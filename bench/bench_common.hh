@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ */
+
+#ifndef PRIME_BENCH_BENCH_COMMON_HH
+#define PRIME_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/evaluator.hh"
+
+namespace prime::bench {
+
+/** Print the standard header naming the experiment. */
+inline void
+header(const std::string &what)
+{
+    std::cout << "\n=== PRIME reproduction: " << what << " ===\n"
+              << "paper: PRIME (ISCA'16), DOI 10.1109/ISCA.2016.13\n"
+              << "config: 16GB ReRAM, 8 chips x 8 banks, 2 FF + 1 Buffer"
+                 " subarrays/bank, 256x256 mats,\n"
+              << "        3-bit inputs + 4-bit cells + 6-bit SA composed"
+                 " to 6b/8b/6b (Section III-D)\n\n";
+}
+
+/** Evaluate the whole MlBench suite once. */
+inline std::vector<sim::BenchmarkEvaluation>
+evaluateSuite(bool replication = true)
+{
+    sim::EvaluatorOptions opt;
+    opt.mapper.enableReplication = replication;
+    sim::Evaluator ev(nvmodel::defaultTechParams(), opt);
+    return ev.evaluateMlBench();
+}
+
+} // namespace prime::bench
+
+#endif // PRIME_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 10 reproduction: energy-saving factors over the CPU-only
+ * baseline for pNPU-co, pNPU-pim-x64 and PRIME across MlBench (the
+ * paper omits pim-x1, whose energy equals pim-x64).
+ */
+
+#include "bench_common.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/table.hh"
+
+using namespace prime;
+
+int
+main(int argc, char **argv)
+{
+    bench::header("Figure 10 - energy saving vs CPU-only");
+
+    auto suite = bench::evaluateSuite();
+
+    Table table({"platform", "CNN-1", "CNN-2", "MLP-S", "MLP-M", "MLP-L",
+                 "VGG-D", "gmean"});
+    struct Row
+    {
+        const char *name;
+        sim::PlatformResult sim::BenchmarkEvaluation::*member;
+    };
+    const Row rows[] = {
+        {"pNPU-co", &sim::BenchmarkEvaluation::npuCo},
+        {"pNPU-pim-x64", &sim::BenchmarkEvaluation::npuPimX64},
+        {"PRIME", &sim::BenchmarkEvaluation::prime},
+    };
+    for (const Row &row : rows) {
+        table.row().cell(row.name);
+        std::vector<double> savings;
+        for (const auto &e : suite) {
+            const double s = (e.*(row.member)).energySavingOver(e.cpu);
+            savings.push_back(s);
+            table.speedupCell(s);
+        }
+        table.speedupCell(sim::geometricMean(savings));
+    }
+    table.print(std::cout, "Energy saving over CPU-only (per image)");
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0) {
+            std::ofstream csv(argv[i + 1]);
+            table.printCsv(csv);
+            std::cout << "(series written to " << argv[i + 1] << ")\n";
+        }
+    }
+
+    std::vector<double> prime_savings;
+    for (const auto &e : suite)
+        prime_savings.push_back(e.prime.energySavingOver(e.cpu));
+    std::cout << "\nPRIME energy saving (gmean): "
+              << sim::geometricMean(prime_savings)
+              << "x   (paper: ~895x)\n";
+    return 0;
+}

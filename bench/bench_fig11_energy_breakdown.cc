@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 11 reproduction: energy breakdown (computation / buffer /
+ * memory) normalized to pNPU-co, for pNPU-co, pNPU-pim-x64 and PRIME.
+ * The paper's observations: pim-x64 saves ~93.9% of the memory energy;
+ * CNNs are buffer-heavy, MLPs memory-heavy; PRIME shrinks all three.
+ */
+
+#include "bench_common.hh"
+
+#include "common/table.hh"
+
+using namespace prime;
+
+int
+main()
+{
+    bench::header("Figure 11 - energy breakdown (vs pNPU-co)");
+
+    auto suite = bench::evaluateSuite();
+
+    Table table({"benchmark", "platform", "compute", "buffer", "memory",
+                 "total"});
+    double mem_saving_sum = 0.0;
+    for (const auto &e : suite) {
+        const double base = e.npuCo.energy.total();
+        struct Entry
+        {
+            const char *name;
+            const sim::PlatformResult *r;
+        };
+        const Entry entries[] = {
+            {"pNPU-co", &e.npuCo},
+            {"pNPU-pim-x64", &e.npuPimX64},
+            {"PRIME", &e.prime},
+        };
+        for (const Entry &entry : entries) {
+            table.row()
+                .cell(e.topology.name)
+                .cell(entry.name)
+                .cell(entry.r->energy.compute / base, 4)
+                .cell(entry.r->energy.buffer / base, 4)
+                .cell(entry.r->energy.memory / base, 4)
+                .cell(entry.r->energy.total() / base, 4);
+        }
+        mem_saving_sum +=
+            1.0 - e.npuPimX64.energy.memory / e.npuCo.energy.memory;
+    }
+    table.print(std::cout,
+                "Per-image energy, normalized to pNPU-co total = 1.0");
+
+    std::cout << "\npim-x64 memory-energy saving vs pNPU-co (mean): "
+              << 100.0 * mem_saving_sum / suite.size()
+              << "%   (paper: ~93.9%)\n";
+    return 0;
+}

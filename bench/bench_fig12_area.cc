@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 12 reproduction: area overhead of PRIME -- the per-FF-mat
+ * addition breakdown (driver / subtraction+sigmoid / control+mux, paper:
+ * 23% / 29% / 8%, totalling a 60% mat increase) and the whole-chip
+ * overhead (paper: 5.76%).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "nvmodel/area_model.hh"
+
+using namespace prime;
+
+int
+main()
+{
+    std::cout << "\n=== PRIME reproduction: Figure 12 - area overhead "
+                 "===\n\n";
+
+    nvmodel::AreaModel model(nvmodel::defaultTechParams());
+    nvmodel::AreaReport report = model.report();
+
+    Table table({"FF-mat addition", "area (um^2)", "% of standard mat"});
+    for (const auto &item : report.ffAdditions)
+        table.row()
+            .cell(item.name)
+            .cell(item.area, 0)
+            .percentCell(item.fractionOfReference);
+    table.row()
+        .cell("TOTAL")
+        .cell(report.ffMatArea - report.standardMatArea, 0)
+        .percentCell(report.ffMatIncrease);
+    table.print(std::cout, "FF mat additions (Figure 4 blue blocks)");
+
+    std::cout << "\nStandard mat area:      " << report.standardMatArea
+              << " um^2\n"
+              << "FF mat area:            " << report.ffMatArea
+              << " um^2 (+" << 100.0 * report.ffMatIncrease
+              << "%, paper: +60%)\n"
+              << "Baseline chip area:     "
+              << report.baselineChipArea / units::mm2 << " mm^2\n"
+              << "PRIME chip area:        "
+              << report.primeChipArea / units::mm2 << " mm^2\n"
+              << "Whole-chip overhead:    "
+              << 100.0 * report.chipOverhead
+              << "%   (paper: 5.76% with 2 FF + 1 Buffer per bank)\n";
+
+    // Ablation: FF count vs overhead trade-off the paper discusses
+    // ("the choice of the number of FF subarrays is a tradeoff between
+    // peak GOPS and area overhead").
+    Table sweep({"FF subarrays/bank", "chip overhead", "peak synapses"});
+    for (int ff : {1, 2, 4, 8}) {
+        nvmodel::TechParams p = nvmodel::defaultTechParams();
+        p.geometry.ffSubarraysPerBank = ff;
+        nvmodel::AreaModel m(p);
+        sweep.row()
+            .cell(static_cast<long long>(ff))
+            .percentCell(m.report().chipOverhead, 2)
+            .cell(formatCompact(
+                static_cast<double>(p.geometry.maxSynapses()), 2));
+    }
+    std::cout << '\n';
+    sweep.print(std::cout, "Ablation: FF subarray count vs area");
+    return 0;
+}

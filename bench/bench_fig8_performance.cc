@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 8 reproduction: performance speedups over the CPU-only
+ * baseline for pNPU-co, pNPU-pim-x1, pNPU-pim-x64 and PRIME across
+ * MlBench, with the geometric-mean column.
+ *
+ * Pass --no-replication to run the mapper ablation (Section IV-B1).
+ */
+
+#include <algorithm>
+#include <cstring>
+
+#include "bench_common.hh"
+
+#include <fstream>
+
+#include "common/table.hh"
+
+using namespace prime;
+
+int
+main(int argc, char **argv)
+{
+    bool replication = true;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--no-replication") == 0)
+            replication = false;
+
+    bench::header(std::string("Figure 8 - speedup vs CPU-only") +
+                  (replication ? "" : " [ablation: replication off]"));
+
+    auto suite = bench::evaluateSuite(replication);
+
+    Table table({"platform", "CNN-1", "CNN-2", "MLP-S", "MLP-M", "MLP-L",
+                 "VGG-D", "gmean"});
+    struct Row
+    {
+        const char *name;
+        sim::PlatformResult sim::BenchmarkEvaluation::*member;
+    };
+    const Row rows[] = {
+        {"pNPU-co", &sim::BenchmarkEvaluation::npuCo},
+        {"pNPU-pim-x1", &sim::BenchmarkEvaluation::npuPimX1},
+        {"pNPU-pim-x64", &sim::BenchmarkEvaluation::npuPimX64},
+        {"PRIME", &sim::BenchmarkEvaluation::prime},
+    };
+    for (const Row &row : rows) {
+        table.row().cell(row.name);
+        std::vector<double> speedups;
+        for (const auto &e : suite) {
+            const double s = (e.*(row.member)).speedupOver(e.cpu);
+            speedups.push_back(s);
+            table.speedupCell(s);
+        }
+        table.speedupCell(sim::geometricMean(speedups));
+    }
+    table.print(std::cout,
+                "Speedup over CPU-only (throughput per image)");
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0) {
+            std::ofstream csv(argv[i + 1]);
+            table.printCsv(csv);
+            std::cout << "(series written to " << argv[i + 1] << ")\n";
+        }
+    }
+
+    // The paper's headline relations.
+    std::vector<double> pim_over_co, prime_over_pim64, prime_speedup;
+    for (const auto &e : suite) {
+        pim_over_co.push_back(e.npuPimX1.speedupOver(e.npuCo));
+        prime_over_pim64.push_back(e.prime.speedupOver(e.npuPimX64));
+        prime_speedup.push_back(e.prime.speedupOver(e.cpu));
+    }
+    std::cout << "\npNPU-pim-x1 over pNPU-co (gmean):   "
+              << sim::geometricMean(pim_over_co)
+              << "x   (paper: ~9.1x)\n"
+              << "PRIME over pNPU-pim-x64 (gmean):    "
+              << sim::geometricMean(prime_over_pim64)
+              << "x   (paper: ~4.1x)\n"
+              << "PRIME over CPU-only (gmean):        "
+              << sim::geometricMean(prime_speedup)
+              << "x   (paper: ~2360x)\n"
+              << "PRIME's weakest speedup is "
+              << (prime_speedup.back() ==
+                          *std::min_element(prime_speedup.begin(),
+                                            prime_speedup.end())
+                      ? "VGG-D (matches the paper: inter-bank/chip "
+                        "communication bound)"
+                      : "NOT VGG-D (mismatch vs paper)")
+              << "\n";
+    return 0;
+}

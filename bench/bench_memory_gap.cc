@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Section II-A substrate characterization: "The read latency of ReRAM
+ * can be comparable to that of DRAM while its write latency is
+ * significantly longer (e.g. 5x). Several architectural techniques were
+ * proposed [20] ... bridging the performance gap between the optimized
+ * ReRAM and DRAM within 10%."
+ *
+ * We replay the canonical access patterns through three timing
+ * configurations of the same memory model — DRAM-like, naive ReRAM
+ * (raw 5x writes) and the optimized ReRAM the paper adopts (Table IV)
+ * — and report bandwidth and the gap to DRAM.  A Start-Gap
+ * wear-leveling run on a hot-spot write stream closes the endurance
+ * story (Section II-A cites [23]).
+ */
+
+#include <iostream>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "memory/wear_leveling.hh"
+#include "sim/trace.hh"
+
+using namespace prime;
+
+namespace {
+
+sim::TraceResult
+replay(const nvmodel::TimingParams &timing, sim::TracePattern pattern,
+       double write_fraction)
+{
+    nvmodel::TechParams tech = nvmodel::defaultTechParams();
+    tech.timing = timing;
+    memory::MainMemory mem(tech);
+    sim::TraceOptions opt;
+    opt.pattern = pattern;
+    opt.count = 8192;
+    opt.writeFraction = write_fraction;
+    return sim::runTrace(mem, sim::generateTrace(mem.mapper(), opt));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "\n=== PRIME reproduction: ReRAM-vs-DRAM main memory "
+                 "gap (Section II-A, [20]) ===\n\n";
+
+    const nvmodel::TimingParams dram = nvmodel::dramLikeTimings();
+    const nvmodel::TimingParams naive = nvmodel::naiveReramTimings();
+    const nvmodel::TimingParams optimized =
+        nvmodel::defaultTechParams().timing;  // Table IV
+
+    Table table({"pattern", "writes", "DRAM GB/s", "naive ReRAM",
+                 "optimized ReRAM", "naive gap", "optimized gap"});
+    const sim::TracePattern patterns[] = {
+        sim::TracePattern::SequentialStream,
+        sim::TracePattern::SingleBankRandom,
+        sim::TracePattern::RowLocal,
+        sim::TracePattern::RandomUniform,
+        sim::TracePattern::HotSpot,
+    };
+    for (sim::TracePattern p : patterns) {
+        for (double wf : {0.0, 0.2}) {
+            const auto d = replay(dram, p, wf);
+            const auto n = replay(naive, p, wf);
+            const auto o = replay(optimized, p, wf);
+            table.row()
+                .cell(sim::tracePatternName(p))
+                .percentCell(wf, 0)
+                .cell(d.bandwidth, 2)
+                .cell(n.bandwidth, 2)
+                .cell(o.bandwidth, 2)
+                .percentCell(1.0 - n.bandwidth / d.bandwidth)
+                .percentCell(1.0 - o.bandwidth / d.bandwidth);
+        }
+    }
+    table.print(std::cout,
+                "Achieved bandwidth, FR-FCFS, backlogged traces (gap = "
+                "shortfall vs DRAM)");
+
+    std::cout << "\npaper shape: reads are DRAM-comparable; naive ReRAM "
+                 "writes open a large gap on\nbank-bound patterns "
+                 "(stream, single-bank); the optimized design (Table IV "
+                 "timings)\nstays within ~10% of DRAM.  Bank-parallel "
+                 "patterns are channel-bound for all three.\n\n";
+
+    // Wear leveling under a pathological hot write stream (region of
+    // 64 lines, gap moved every 16 writes as in [23]'s fast-rotation
+    // configuration; the stream needs several full rotations to
+    // flatten).
+    constexpr int kLines = 64;
+    constexpr int kWrites = 500000;
+    memory::StartGapLeveler leveler(kLines, 16);
+    Rng rng(3);
+    for (int i = 0; i < kWrites; ++i) {
+        // 95% of writes hammer 8 hot lines.
+        const std::uint32_t line =
+            rng.bernoulli(0.95)
+                ? static_cast<std::uint32_t>(rng.uniformInt(0, 7))
+                : static_cast<std::uint32_t>(
+                      rng.uniformInt(0, kLines - 1));
+        leveler.recordWrite(line);
+    }
+    // A no-leveling baseline: identical stream, fixed mapping.
+    std::vector<std::uint64_t> flat(kLines, 0);
+    Rng rng2(3);
+    std::uint64_t peak = 0, total = 0;
+    for (int i = 0; i < kWrites; ++i) {
+        const std::uint32_t line =
+            rng2.bernoulli(0.95)
+                ? static_cast<std::uint32_t>(rng2.uniformInt(0, 7))
+                : static_cast<std::uint32_t>(
+                      rng2.uniformInt(0, kLines - 1));
+        peak = std::max(peak, ++flat[line]);
+        ++total;
+    }
+    const double unleveled_ratio =
+        static_cast<double>(peak) /
+        (static_cast<double>(total) / kLines);
+
+    std::cout << "Start-Gap wear leveling [23] on a 95%-hot write "
+                 "stream (64 lines, 500k writes):\n"
+              << "  without leveling: peak/mean wear = "
+              << unleveled_ratio << "x\n"
+              << "  with Start-Gap:   peak/mean wear = "
+              << leveler.wearRatio() << "x  (" << leveler.gapMoves()
+              << " gap moves, "
+              << 100.0 * leveler.gapMoves() / kWrites
+              << "% write overhead)\n";
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the ReRAM compute substrate:
+ * crossbar MVMs, the composing pipeline, and the peripheral units.
+ * These measure the *simulator's* throughput (useful when scaling
+ * experiments), not modeled hardware time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "reram/composing.hh"
+#include "reram/peripheral.hh"
+
+using namespace prime;
+using namespace prime::reram;
+
+namespace {
+
+Crossbar &
+sharedCrossbar(int rows, int cols)
+{
+    static std::map<std::pair<int, int>, std::unique_ptr<Crossbar>> cache;
+    auto key = std::make_pair(rows, cols);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        CrossbarParams p;
+        p.rows = rows;
+        p.cols = cols;
+        auto xbar = std::make_unique<Crossbar>(p);
+        Rng rng(rows * 31 + cols);
+        std::vector<std::vector<int>> levels(rows, std::vector<int>(cols));
+        for (auto &r : levels)
+            for (int &v : r)
+                v = static_cast<int>(rng.uniformInt(0, 15));
+        xbar->programLevels(levels);
+        it = cache.emplace(key, std::move(xbar)).first;
+    }
+    return *it->second;
+}
+
+void
+BM_CrossbarMvmExact(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Crossbar &xbar = sharedCrossbar(n, n);
+    Rng rng(7);
+    std::vector<int> in(static_cast<std::size_t>(n));
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 7));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(xbar.mvmExact(in));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n) * n);
+}
+BENCHMARK(BM_CrossbarMvmExact)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_CrossbarMvmAnalog(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Crossbar &xbar = sharedCrossbar(n, n);
+    Rng rng(8);
+    std::vector<int> in(static_cast<std::size_t>(n));
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 7));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(xbar.mvmAnalog(in));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n) * n);
+}
+BENCHMARK(BM_CrossbarMvmAnalog)->Arg(64)->Arg(256);
+
+void
+BM_ComposedMatMvm(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    ComposingParams cp;
+    CrossbarParams xp;
+    static std::map<int, std::unique_ptr<ComposedMatrixEngine>> cache;
+    auto it = cache.find(n);
+    if (it == cache.end()) {
+        auto engine =
+            std::make_unique<ComposedMatrixEngine>(n, n, cp, xp);
+        Rng rng(9);
+        std::vector<std::vector<int>> w(n, std::vector<int>(n));
+        for (auto &r : w)
+            for (int &v : r)
+                v = static_cast<int>(rng.uniformInt(-255, 255));
+        engine->programWeights(w);
+        it = cache.emplace(n, std::move(engine)).first;
+    }
+    Rng rng(10);
+    std::vector<int> in(static_cast<std::size_t>(n));
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 63));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(it->second->mvmExact(in));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n) * n);
+}
+BENCHMARK(BM_ComposedMatMvm)->Arg(64)->Arg(256);
+
+void
+BM_ComposedApprox(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    ComposingParams cp;
+    Rng rng(11);
+    std::vector<int> in(static_cast<std::size_t>(n)),
+        w(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        in[static_cast<std::size_t>(i)] =
+            static_cast<int>(rng.uniformInt(0, 63));
+        w[static_cast<std::size_t>(i)] =
+            static_cast<int>(rng.uniformInt(-255, 255));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(composedApprox(in, w, cp));
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ComposedApprox)->Arg(256)->Arg(1024);
+
+void
+BM_MaxPoolUnit(benchmark::State &state)
+{
+    MaxPoolUnit unit;
+    std::array<std::int64_t, 4> in = {17, -3, 42, 8};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.pool4(in));
+        in[0] = (in[0] + 1) & 0xff;
+    }
+}
+BENCHMARK(BM_MaxPoolUnit);
+
+void
+BM_CellProgramming(benchmark::State &state)
+{
+    DeviceParams params;
+    Rng rng(12);
+    Cell cell;
+    int level = 0;
+    for (auto _ : state) {
+        cell.program(params, level, 4, &rng);
+        level = (level + 1) & 0xf;
+    }
+}
+BENCHMARK(BM_CellProgramming);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the memory substrate and the
+ * PRIME controller path: request scheduling, address decode, the event
+ * queue, and Table I command round trips.  Also reports the modeled
+ * Buffer-subarray bypass latency delta (a Section III-A design note).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mapping/commands.hh"
+#include "memory/main_memory.hh"
+#include "nvmodel/latency_model.hh"
+#include "nn/dataset.hh"
+#include "prime/prime_system.hh"
+#include "sim/event.hh"
+
+using namespace prime;
+
+namespace {
+
+void
+BM_AddressDecode(benchmark::State &state)
+{
+    memory::AddressMapper mapper(nvmodel::defaultTechParams().geometry);
+    std::uint64_t addr = 0;
+    const std::uint64_t cap = mapper.capacityBytes();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper.decode(addr));
+        addr = (addr + 4093) % cap;
+    }
+}
+BENCHMARK(BM_AddressDecode);
+
+void
+BM_MemoryAccess(benchmark::State &state)
+{
+    memory::MainMemory mem(nvmodel::defaultTechParams());
+    std::uint64_t addr = 0;
+    const std::uint64_t cap = mem.mapper().capacityBytes();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mem.access(memory::Request{addr, 64, false, 0.0}));
+        addr = (addr + 8191) % cap;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemoryAccess);
+
+void
+BM_FrFcfsBatch(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    nvmodel::TechParams tech = nvmodel::defaultTechParams();
+    for (auto _ : state) {
+        state.PauseTiming();
+        memory::MainMemory mem(tech);
+        std::vector<memory::Request> reqs;
+        reqs.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i)
+            reqs.push_back(memory::Request{
+                static_cast<std::uint64_t>(i) * 4099 % 1000000, 64,
+                (i % 3) == 0, 0.0});
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(mem.scheduleBatch(std::move(reqs)));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FrFcfsBatch)->Arg(64)->Arg(512);
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(static_cast<Ns>((i * 37) % 997), [](Ns) {});
+        q.run();
+        benchmark::DoNotOptimize(q.processed());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_CommandRoundTrip(benchmark::State &state)
+{
+    mapping::Command c;
+    c.op = mapping::CommandOp::Load;
+    c.src = 0x40;
+    c.dst = 0x1234;
+    c.bytes = 192;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            mapping::decodeCommand(mapping::encodeCommand(c)));
+}
+BENCHMARK(BM_CommandRoundTrip);
+
+/** Not a timing benchmark: prints the modeled buffer-bypass ablation. */
+void
+BM_ModeledBufferBypass(benchmark::State &state)
+{
+    nvmodel::LatencyModel lat(nvmodel::defaultTechParams());
+    // With the Buffer subarray, a 256-value activation vector pays one
+    // buffered transfer; bypassing (output of one mat feeds the next via
+    // the intermediate register) drops the access latency.
+    const double bytes = 256 * 0.75;
+    const Ns buffered = lat.bufferTransfer(bytes);
+    const Ns bypassed = bytes / 32.0;  // register-to-register stream
+    for (auto _ : state)
+        benchmark::DoNotOptimize(buffered - bypassed);
+    state.counters["buffered_ns"] = buffered;
+    state.counters["bypassed_ns"] = bypassed;
+}
+BENCHMARK(BM_ModeledBufferBypass);
+
+/** Simulator throughput of one full functional PRIME inference. */
+void
+BM_PrimeSystemInference(benchmark::State &state)
+{
+    static core::PrimeSystem *prime = [] {
+        nn::Topology topo =
+            nn::parseTopology("bench-mlp", "784-64-10", 1, 28, 28);
+        nn::SyntheticMnist gen;
+        auto train = gen.generate(200);
+        Rng rng(1);
+        static nn::Network net = nn::buildNetwork(topo, rng);
+        nn::Trainer::Options opt;
+        opt.epochs = 1;
+        opt.learningRate = 0.3;
+        nn::Trainer::train(net, train, opt);
+        auto *p = new core::PrimeSystem();
+        p->mapTopology(topo);
+        p->programWeight(net);
+        p->configDatapath();
+        return p;
+    }();
+    nn::SyntheticMnist gen;
+    nn::Sample sample = gen.generateDigit(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(prime->run(sample.input));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrimeSystemInference);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * NN-scale sweep: how PRIME's advantage evolves from tiny kernels to
+ * bank-filling MLPs (the Section IV-B small/medium/large regimes on a
+ * continuous axis).
+ *
+ * Shapes to observe: tiny NNs are input-delivery-bound (the off-chip
+ * channel caps throughput, Section V-B's "data input may be serial");
+ * mid-size MLPs ride the crossbar parallelism (speedup grows with
+ * weight count since the baselines stream every weight); the largest
+ * single-bank MLPs saturate the FF mat budget.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/evaluator.hh"
+
+using namespace prime;
+
+int
+main()
+{
+    std::cout << "\n=== PRIME reproduction: NN scale sweep (Section "
+                 "IV-B regimes) ===\n\n";
+
+    sim::Evaluator ev(nvmodel::defaultTechParams());
+    Table table({"topology", "synapses", "scale", "mats", "PRIME vs CPU",
+                 "PRIME vs pim-x64", "crossbar ns/img", "floor ns/img"});
+    for (int hidden : {16, 64, 256, 512, 1024, 1536, 2048}) {
+        const std::string spec =
+            "784-" + std::to_string(hidden) + "-10";
+        nn::Topology topo =
+            nn::parseTopology(spec, spec, 1, 28, 28);
+        sim::BenchmarkEvaluation e = ev.evaluate(topo);
+
+        // Crossbar-side throughput (before the input-delivery floor)
+        // vs the off-chip delivery floor itself.
+        const double input_floor_ns =
+            784.0 * (nvmodel::defaultTechParams().inputBits / 8.0) /
+            nvmodel::defaultTechParams().timing.channelBandwidth();
+        const double crossbar_ns =
+            e.prime.latency /
+            (64.0 * e.plan.copiesPerBank);
+
+        table.row()
+            .cell(spec)
+            .cell(formatCompact(
+                static_cast<double>(topo.totalSynapses()), 2))
+            .cell(mapping::nnScaleName(e.plan.scale))
+            .cell(e.plan.totalMats())
+            .speedupCell(e.prime.speedupOver(e.cpu))
+            .speedupCell(e.prime.speedupOver(e.npuPimX64))
+            .cell(crossbar_ns, 1)
+            .cell(input_floor_ns, 1);
+    }
+    table.print(std::cout,
+                "784-H-10 MLPs, throughput speedups with 64-bank "
+                "parallelism");
+
+    std::cout << "\nshape: with 64-bank parallelism the crossbars "
+                 "outrun the off-chip input-delivery\nfloor (~69 ns/"
+                 "image) at every size here, so PRIME's per-image time "
+                 "is constant while\nevery baseline slows linearly "
+                 "with the weight count it must re-stream -- the\n"
+                 "advantage therefore grows with NN size until the FF "
+                 "mats run out (MLP-L fills 58\nof 64).\n";
+    return 0;
+}

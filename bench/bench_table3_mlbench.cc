@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table III reproduction: the MlBench benchmark suite with per-NN
+ * workload characterization, plus the mapping statistics the paper
+ * quotes in Section V-D (FF utilization before/after replication).
+ */
+
+#include "bench_common.hh"
+
+#include "common/table.hh"
+#include "mapping/mapper.hh"
+
+using namespace prime;
+
+int
+main()
+{
+    bench::header("Table III - MlBench benchmarks and mapping");
+
+    Table table({"benchmark", "topology", "synapses", "MACs/image",
+                 "scale", "mats", "banks", "util-before", "util-after",
+                 "copies/bank"});
+
+    mapping::Mapper mapper(nvmodel::defaultTechParams().geometry,
+                           mapping::MapperOptions{});
+    double util_before = 0.0, util_after = 0.0;
+    int counted = 0;
+    for (const nn::Topology &topo : nn::mlBench()) {
+        mapping::MappingPlan plan = mapper.map(topo);
+        std::string spec = topo.spec;
+        if (spec.size() > 34)
+            spec = spec.substr(0, 31) + "...";
+        table.row()
+            .cell(topo.name)
+            .cell(spec)
+            .cell(formatCompact(
+                static_cast<double>(topo.totalSynapses()), 2))
+            .cell(formatCompact(static_cast<double>(topo.totalMacs()), 2))
+            .cell(mapping::nnScaleName(plan.scale))
+            .cell(static_cast<long long>(plan.totalMats()))
+            .cell(static_cast<long long>(plan.banksUsed))
+            .percentCell(plan.utilizationBefore)
+            .percentCell(plan.utilizationAfter)
+            .cell(static_cast<long long>(plan.copiesPerBank));
+        if (topo.name != "VGG-D") {
+            util_before += plan.utilizationBefore;
+            util_after += plan.utilizationAfter;
+            ++counted;
+        }
+    }
+    table.print(std::cout, "Table III + Section IV-B mapping plan");
+
+    std::cout << "\nFF-subarray utilization, MlBench average (ex VGG-D): "
+              << 100.0 * util_before / counted << "% before / "
+              << 100.0 * util_after / counted
+              << "% after replication (paper: 39.8% / 75.9%)\n";
+    std::cout << "Max mappable NN: "
+              << nvmodel::defaultTechParams().geometry.maxSynapses()
+              << " synapses (paper: ~2.7e8; TrueNorth 1.4e7)\n";
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Approximate computing on PRIME (paper Section II-B: "Researchers have
+ * also utilized NNs to accelerate approximate computing [32][33]").
+ *
+ * The classic NPU use case: replace a hot numerical kernel with a small
+ * MLP and run it on the in-memory accelerator.  Here the kernel is a
+ * 2-D Gaussian-mixture field evaluation (a stand-in for e.g. the
+ * `sobel`/`inversek2j` kernels of Esmaeilzadeh et al. [32]); the MLP is
+ * trained on input/output pairs, mapped onto one FF mat, and invoked
+ * through the Figure 7 API.  We report approximation quality (mean
+ * relative error), the crossbar-datapath penalty on top of it, and the
+ * modeled invocation cost.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "prime/prime_system.hh"
+
+using namespace prime;
+
+namespace {
+
+/** The "expensive" kernel being approximated. */
+double
+kernel(double x, double y)
+{
+    const double a = std::exp(-((x - 0.3) * (x - 0.3) +
+                                (y - 0.7) * (y - 0.7)) /
+                              0.08);
+    const double b = 0.6 * std::exp(-((x - 0.75) * (x - 0.75) +
+                                      (y - 0.2) * (y - 0.2)) /
+                                    0.05);
+    return a + b;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("PRIME approximate computing: a 2-32-16 MLP replacing "
+                "a Gaussian-mixture kernel\n\n");
+
+    // Training pairs sampled on a grid; a regression head is emulated
+    // with a 2-logit classifier-style output (value, 1-value) so the
+    // softmax post-processing stays out of the way: we read logit 0.
+    nn::Topology topo = nn::parseTopology("approx", "2-32-16-2", 1, 1, 2,
+                                          nn::LayerKind::Relu);
+    Rng rng(8);
+    nn::Network net = nn::buildNetwork(topo, rng);
+
+    // Simple regression training loop (MSE on logit 0), annealed SGD.
+    double lr = 0.05;
+    Rng data_rng(9);
+    for (int step = 0; step < 200000; ++step) {
+        if (step > 0 && step % 50000 == 0)
+            lr *= 0.5;
+        const double x = data_rng.uniform(), y = data_rng.uniform();
+        nn::Tensor in = nn::Tensor::vector1d({x, y});
+        nn::Tensor out = net.forward(in);
+        const double target = kernel(x, y);
+        nn::Tensor grad({2});
+        grad[0] = out[0] - target;   // d(MSE)/d(logit0)
+        grad[1] = 0.0;
+        net.backward(grad);
+        net.sgdStep(lr);
+    }
+
+    // Software approximation quality.
+    double sw_err = 0.0, hw_err = 0.0;
+    const int grid = 24;
+
+    // Deploy on PRIME.
+    core::PrimeSystem prime;
+    prime.mapTopology(topo);
+    prime.programWeight(net);
+    prime.configDatapath();
+    std::vector<nn::Sample> cal;
+    Rng cal_rng(10);
+    for (int i = 0; i < 32; ++i)
+        cal.push_back(nn::Sample{
+            nn::Tensor({1, 1, 2},
+                       {cal_rng.uniform(), cal_rng.uniform()}),
+            0});
+    prime.calibrate(cal);
+
+    for (int ix = 0; ix < grid; ++ix) {
+        for (int iy = 0; iy < grid; ++iy) {
+            const double x = (ix + 0.5) / grid, y = (iy + 0.5) / grid;
+            const double truth = kernel(x, y);
+            nn::Tensor in({1, 1, 2}, {x, y});
+            const double sw = net.forward(in)[0];
+            const double hw = prime.run(in)[0];
+            sw_err += std::fabs(sw - truth);
+            hw_err += std::fabs(hw - truth);
+        }
+    }
+    sw_err /= grid * grid;
+    hw_err /= grid * grid;
+
+    const mapping::MappingPlan &plan = prime.plan();
+    sim::PlatformResult perf = prime.estimatePerformance();
+
+    std::printf("mean absolute error (kernel range [0, 1.6]):\n");
+    std::printf("  float MLP approximation:   %.4f\n", sw_err);
+    std::printf("  PRIME crossbar datapath:   %.4f (composing + 6-bit "
+                "SA quantization on top)\n\n",
+                hw_err);
+    std::printf("deployment: %s scale, %lld mat(s), in-mat replication "
+                "x%d (the Section IV-B small-NN path)\n",
+                mapping::nnScaleName(plan.scale), plan.totalMats(),
+                plan.layers.front().inMatReplicas);
+    std::printf("modeled invocation: %.0f ns/call on one bank; %.2f nJ "
+                "per call\n",
+                perf.latency, perf.energy.total() / 1e3);
+    std::printf("\nthe kernel stays resident in two FF mats; the rest "
+                "of the bank keeps serving as memory\n(%.1f MB "
+                "available).\n",
+                prime.availableFfMemoryBytes() / 1024.0 / 1024.0);
+    return 0;
+}

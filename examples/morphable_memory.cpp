@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Morphable memory demo (paper Sections III-A2 and IV-C): the OS
+ * releases idle FF crossbar mats back to the memory pool when the page
+ * miss rate signals memory pressure, and reclaims them when NN work
+ * returns.
+ *
+ * The scenario runs three phases of a synthetic paging workload against
+ * the OsRuntime policy and a PrimeSystem whose FF subarrays morph
+ * accordingly:
+ *
+ *   phase 1: small working set, NN inference active  -> mats compute
+ *   phase 2: working set exceeds memory, NN idle     -> mats released
+ *   phase 3: pressure gone, NN jobs queued again     -> mats reclaimed
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "nn/dataset.hh"
+#include "prime/prime_system.hh"
+#include "prime/runtime.hh"
+
+using namespace prime;
+
+namespace {
+
+/** A toy LRU-ish paging process: hit probability follows working set. */
+struct PagingWorkload
+{
+    double residentFraction;  ///< fraction of the working set in memory
+
+    void
+    drive(core::OsRuntime &runtime, Rng &rng, int accesses) const
+    {
+        for (int i = 0; i < accesses; ++i)
+            runtime.recordPageAccess(!rng.bernoulli(residentFraction));
+    }
+};
+
+const char *
+actionName(core::RuntimeAction action)
+{
+    switch (action) {
+      case core::RuntimeAction::None: return "hold";
+      case core::RuntimeAction::ReleaseMats: return "RELEASE mats";
+      case core::RuntimeAction::ReclaimMats: return "RECLAIM mats";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("PRIME morphable memory: FF subarrays switching between "
+                "NN acceleration and capacity\n\n");
+
+    nvmodel::TechParams tech = nvmodel::defaultTechParams();
+    StatGroup stats;
+    core::RuntimeOptions options;
+    options.window = 2048;
+    core::OsRuntime runtime(tech, options, &stats);
+    Rng rng(99);
+
+    // A resident NN keeps some mats in compute mode initially.
+    core::PrimeSystem prime(tech);
+    nn::Topology topo =
+        nn::parseTopology("resident-mlp", "784-64-10", 1, 28, 28);
+    nn::SyntheticMnist gen;
+    std::vector<nn::Sample> train = gen.generate(300);
+    Rng netRng(3);
+    nn::Network net = nn::buildNetwork(topo, netRng);
+    nn::Trainer::Options topt;
+    topt.epochs = 2;
+    topt.learningRate = 0.3;
+    nn::Trainer::train(net, train, topt);
+    prime.mapTopology(topo);
+    prime.programWeight(net);
+    prime.configDatapath();
+
+    std::printf("resident NN mapped: %.1f MB of FF capacity left as "
+                "memory\n\n",
+                prime.availableFfMemoryBytes() / 1024.0 / 1024.0);
+    std::printf("%-8s %-28s %-10s %-14s %-14s %s\n", "phase", "workload",
+                "miss-rate", "policy", "compute-mats", "extra-capacity");
+
+    struct Phase
+    {
+        const char *name;
+        PagingWorkload workload;
+        bool nnActive;
+        int steps;
+    };
+    const Phase phases[] = {
+        {"1", {0.995}, true, 4},   // small working set, NN busy
+        {"2", {0.80}, false, 6},   // thrash: 20% miss rate, NN idle
+        {"3", {0.999}, true, 6},   // pressure gone, NN queued again
+    };
+
+    for (const Phase &phase : phases) {
+        runtime.setFfBusy(phase.nnActive);
+        for (int step = 0; step < phase.steps; ++step) {
+            phase.workload.drive(runtime, rng, 1024);
+            core::RuntimeAction action = runtime.step();
+            char workload[32];
+            std::snprintf(workload, sizeof(workload), "miss=%.1f%%",
+                          100.0 * (1.0 - phase.workload.residentFraction));
+            std::printf("%-8s %-28s %-10.3f %-14s %-14d %.1f MB\n",
+                        phase.name, workload,
+                        runtime.missRate(), actionName(action),
+                        runtime.matsServingCompute(),
+                        runtime.releasedBytes() / 1024.0 / 1024.0);
+        }
+    }
+
+    std::printf("\npolicy events: %llu releases, %llu reclaims "
+                "(hysteresis thresholds: release >%.0f%% miss, reclaim "
+                "<%.0f%%)\n",
+                (unsigned long long)stats.get("runtime.releases").count(),
+                (unsigned long long)stats.get("runtime.reclaims").count(),
+                100.0 * options.releaseThreshold,
+                100.0 * options.reclaimThreshold);
+
+    // Wrap-up morph of the resident NN.
+    prime.release();
+    std::printf("NN released: full FF capacity (%.1f MB) serves as "
+                "memory\n",
+                prime.availableFfMemoryBytes() / 1024.0 / 1024.0);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Quickstart: the five-step PRIME software/hardware interface (paper
+ * Figure 7) on a small digit classifier.
+ *
+ *   1. Map_Topology    - compile the NN onto FF crossbar mats
+ *   2. Program_Weight  - morph mats to compute mode, program cells
+ *   3. Config_Datapath - issue the Table I configuration commands
+ *   4. Run             - inference through the analog crossbars
+ *   5. Post_Proc       - softmax on the CPU side
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "nn/dataset.hh"
+#include "prime/prime_system.hh"
+
+using namespace prime;
+
+int
+main()
+{
+    std::printf("PRIME quickstart: training a 784-64-10 MLP, then "
+                "running it inside ReRAM main memory\n\n");
+
+    // Off-line training (the paper trains off-line too; PRIME runs
+    // inference).  The dataset is the synthetic digit task.
+    nn::Topology topology =
+        nn::parseTopology("quickstart-mlp", "784-64-10", 1, 28, 28);
+    nn::SyntheticMnist dataset;
+    std::vector<nn::Sample> train = dataset.generate(800);
+    std::vector<nn::Sample> test = dataset.generate(100);
+
+    Rng rng(1);
+    nn::Network net = nn::buildNetwork(topology, rng);
+    nn::Trainer::Options opt;
+    opt.epochs = 5;
+    opt.learningRate = 0.3;
+    nn::Trainer::train(net, train, opt);
+    std::printf("float32 test accuracy: %.1f%%\n\n",
+                100.0 * nn::Trainer::evaluate(net, test));
+
+    // --- the Figure 7 API ---------------------------------------------
+    core::PrimeSystem prime;
+
+    const mapping::MappingPlan &plan = prime.mapTopology(topology);
+    std::printf("Map_Topology:    %s scale, %lld FF mats, %d bank(s), "
+                "%d copies/bank\n",
+                mapping::nnScaleName(plan.scale), plan.totalMats(),
+                plan.banksUsed, plan.copiesPerBank);
+
+    prime.programWeight(net);
+    std::printf("Program_Weight:  %llu mats morphed to compute mode, "
+                "%.0f KB migrated to Mem subarrays\n",
+                (unsigned long long)
+                    prime.stats().get("morph.mats_to_compute").count(),
+                prime.stats().get("morph.migrated_bytes").sum() / 1024.0);
+
+    prime.configDatapath();
+    std::printf("Config_Datapath: %zu Table-I commands (e.g. \"%s\")\n",
+                prime.configCommands().size(),
+                mapping::toString(prime.configCommands().front()).c_str());
+
+    prime.calibrate(std::vector<nn::Sample>(train.begin(),
+                                            train.begin() + 32));
+
+    int correct = 0;
+    for (const nn::Sample &s : test) {
+        nn::Tensor logits = prime.run(s.input);           // Run
+        std::vector<double> probs = prime.postProc(logits);  // Post_Proc
+        int best = 0;
+        for (std::size_t i = 1; i < probs.size(); ++i)
+            if (probs[i] > probs[best])
+                best = static_cast<int>(i);
+        if (best == s.label)
+            ++correct;
+    }
+    std::printf("Run + Post_Proc: PRIME in-memory accuracy: %.1f%% "
+                "(%d/%zu)\n\n",
+                100.0 * correct / test.size(), correct, test.size());
+
+    // Accounting.
+    sim::PlatformResult perf = prime.estimatePerformance();
+    std::printf("modeled latency: %.2f us/image, throughput: %.1f ns/"
+                "image with 64-bank parallelism\n",
+                perf.latency / 1e3, perf.timePerImage);
+    std::printf("modeled energy:  %.2f nJ/image (compute %.0f%%, buffer "
+                "%.0f%%, memory %.0f%%)\n",
+                perf.energy.total() / 1e3,
+                100.0 * perf.energy.compute / perf.energy.total(),
+                100.0 * perf.energy.buffer / perf.energy.total(),
+                100.0 * perf.energy.memory / perf.energy.total());
+    std::printf("one-time configuration: %.1f ms (amortized over many "
+                "inferences, as in the paper)\n",
+                prime.configurationTime() / 1e6);
+
+    // Wrap-up: morph the FF subarrays back to normal memory.
+    prime.release();
+    std::printf("\nrelease(): FF subarrays serve %.1f MB as ordinary "
+                "memory again\n",
+                prime.availableFfMemoryBytes() / 1024.0 / 1024.0);
+    return 0;
+}

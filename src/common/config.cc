@@ -1,0 +1,88 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace prime {
+
+void
+Config::set(const std::string &assignment)
+{
+    const auto eq = assignment.find('=');
+    PRIME_FATAL_IF(eq == std::string::npos || eq == 0,
+                   "malformed assignment '", assignment,
+                   "' (want key=value)");
+    set(assignment.substr(0, eq), assignment.substr(eq + 1));
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+    used_[key] = false;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    used_[key] = true;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    PRIME_FATAL_IF(end == it->second.c_str() || *end != '\0',
+                   "config key '", key, "': '", it->second,
+                   "' is not a number");
+    return v;
+}
+
+int
+Config::getInt(const std::string &key, int fallback) const
+{
+    const double v = getDouble(key, static_cast<double>(fallback));
+    const int i = static_cast<int>(v);
+    PRIME_FATAL_IF(static_cast<double>(i) != v, "config key '", key,
+                   "' wants an integer");
+    return i;
+}
+
+std::string
+Config::getString(const std::string &key,
+                  const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    used_[key] = true;
+    return it->second;
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &kv : values_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::vector<std::string>
+Config::unusedKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : used_)
+        if (!kv.second)
+            out.push_back(kv.first);
+    return out;
+}
+
+} // namespace prime

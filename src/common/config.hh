@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Key=value configuration parsing for experiment scripting.
+ *
+ * Benches and the CLI accept overrides like
+ * `--set timing.sa_clock_ghz=1.0 --set geometry.ff_subarrays=4`; this
+ * module parses them into a flat map and applies the known keys onto a
+ * TechParams (unknown keys are fatal, typos should not silently run the
+ * default configuration).
+ */
+
+#ifndef PRIME_COMMON_CONFIG_HH
+#define PRIME_COMMON_CONFIG_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace prime {
+
+/** A flat string-keyed configuration. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse one "key=value" assignment; fatal on malformed input. */
+    void set(const std::string &assignment);
+
+    /** Direct insertion. */
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    /** Typed getters with defaults; fatal on unparsable values. */
+    double getDouble(const std::string &key, double fallback) const;
+    int getInt(const std::string &key, int fallback) const;
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+
+    /** All keys, sorted. */
+    std::vector<std::string> keys() const;
+
+    /** Keys that were never read by a getter (typo detection). */
+    std::vector<std::string> unusedKeys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    mutable std::map<std::string, bool> used_;
+};
+
+} // namespace prime
+
+#endif // PRIME_COMMON_CONFIG_HH

@@ -1,0 +1,110 @@
+#include "common/fixed_point.hh"
+
+#include <algorithm>
+#include <vector>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace prime {
+
+double
+DfxFormat::step() const
+{
+    return std::ldexp(1.0, -fracLength);
+}
+
+std::int64_t
+DfxFormat::maxMantissa() const
+{
+    return (std::int64_t{1} << (bits - 1)) - 1;
+}
+
+std::int64_t
+DfxFormat::minMantissa() const
+{
+    return -(std::int64_t{1} << (bits - 1));
+}
+
+double
+DfxFormat::maxValue() const
+{
+    return static_cast<double>(maxMantissa()) * step();
+}
+
+double
+DfxFormat::minValue() const
+{
+    return static_cast<double>(minMantissa()) * step();
+}
+
+DfxFormat
+DfxFormat::choose(std::span<const double> data, int bits,
+                  double saturate_fraction)
+{
+    PRIME_ASSERT(bits >= 1 && bits <= 32, "bits=", bits);
+    PRIME_ASSERT(saturate_fraction >= 0.0 && saturate_fraction < 0.5,
+                 "saturate_fraction=", saturate_fraction);
+    double max_abs = 0.0;
+    if (saturate_fraction > 0.0 && data.size() > 8) {
+        std::vector<double> mags(data.begin(), data.end());
+        for (double &m : mags)
+            m = std::fabs(m);
+        const std::size_t keep = static_cast<std::size_t>(
+            (1.0 - saturate_fraction) * (mags.size() - 1));
+        std::nth_element(mags.begin(), mags.begin() + keep, mags.end());
+        max_abs = mags[keep];
+    } else {
+        for (double x : data)
+            max_abs = std::max(max_abs, std::fabs(x));
+    }
+
+    DfxFormat fmt;
+    fmt.bits = bits;
+    if (max_abs == 0.0) {
+        fmt.fracLength = bits - 1;
+        return fmt;
+    }
+    // Integer bits needed to hold max_abs with a sign bit; the fraction
+    // length is whatever is left.  frexp gives max_abs = m * 2^e with
+    // m in [0.5, 1), so values below 2^e need e integer bits.
+    int exp = 0;
+    std::frexp(max_abs, &exp);
+    fmt.fracLength = bits - 1 - exp;
+    return fmt;
+}
+
+std::int64_t
+dfxQuantize(double x, const DfxFormat &fmt)
+{
+    double scaled = std::ldexp(x, fmt.fracLength);
+    double rounded = std::nearbyint(scaled);
+    double lo = static_cast<double>(fmt.minMantissa());
+    double hi = static_cast<double>(fmt.maxMantissa());
+    rounded = std::clamp(rounded, lo, hi);
+    return static_cast<std::int64_t>(rounded);
+}
+
+double
+dfxDequantize(std::int64_t mantissa, const DfxFormat &fmt)
+{
+    return std::ldexp(static_cast<double>(mantissa), -fmt.fracLength);
+}
+
+double
+dfxRound(double x, const DfxFormat &fmt)
+{
+    return dfxDequantize(dfxQuantize(x, fmt), fmt);
+}
+
+DfxFormat
+dfxRoundVector(std::vector<double> &data, int bits,
+               double saturate_fraction)
+{
+    DfxFormat fmt = DfxFormat::choose(data, bits, saturate_fraction);
+    for (double &x : data)
+        x = dfxRound(x, fmt);
+    return fmt;
+}
+
+} // namespace prime

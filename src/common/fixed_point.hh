@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Dynamic fixed-point arithmetic (Courbariaux et al., "Low precision
+ * storage for deep learning" [68] in the PRIME paper).
+ *
+ * A dynamic fixed-point group is a set of values sharing one scaling
+ * factor 2^-fracLength; each value is an n-bit two's-complement mantissa.
+ * PRIME represents NN inputs, weights and activations per layer in this
+ * format (Section III-D of the paper), choosing the fraction length per
+ * tensor so the largest magnitude just fits.
+ */
+
+#ifndef PRIME_COMMON_FIXED_POINT_HH
+#define PRIME_COMMON_FIXED_POINT_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace prime {
+
+/**
+ * The shared exponent/width descriptor of a dynamic fixed-point group.
+ */
+struct DfxFormat
+{
+    /** Total mantissa bits including sign (1..32). */
+    int bits = 8;
+    /** Fraction length: value = mantissa * 2^-fracLength. */
+    int fracLength = 0;
+
+    /** Largest representable value. */
+    double maxValue() const;
+    /** Smallest (most negative) representable value. */
+    double minValue() const;
+    /** Quantization step 2^-fracLength. */
+    double step() const;
+    /** Largest positive mantissa (2^(bits-1) - 1). */
+    std::int64_t maxMantissa() const;
+    /** Most negative mantissa (-2^(bits-1)). */
+    std::int64_t minMantissa() const;
+
+    /**
+     * Pick the fraction length so the largest |x| in @p data fits without
+     * saturation (the paper's per-layer dynamic scaling).  For all-zero
+     * input the format defaults to fracLength = bits - 1.
+     *
+     * @param saturate_fraction Courbariaux-style overflow tolerance: the
+     *        format covers the (1 - saturate_fraction) magnitude
+     *        quantile instead of the strict maximum, trading a few
+     *        clipped outliers for a finer step (a large win at <= 4
+     *        bits).
+     */
+    static DfxFormat choose(std::span<const double> data, int bits,
+                            double saturate_fraction = 0.0);
+};
+
+/** Quantize one value: round-to-nearest mantissa with saturation. */
+std::int64_t dfxQuantize(double x, const DfxFormat &fmt);
+
+/** Mantissa back to real value. */
+double dfxDequantize(std::int64_t mantissa, const DfxFormat &fmt);
+
+/** Round-trip a value through the format (quantize then dequantize). */
+double dfxRound(double x, const DfxFormat &fmt);
+
+/** Round-trip a whole vector in place; returns the chosen format. */
+DfxFormat dfxRoundVector(std::vector<double> &data, int bits,
+                         double saturate_fraction = 0.0);
+
+} // namespace prime
+
+#endif // PRIME_COMMON_FIXED_POINT_HH

@@ -1,0 +1,59 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace prime {
+
+namespace {
+LogLevel globalLevel = LogLevel::Normal;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+LogLevel
+setLogLevel(LogLevel level)
+{
+    LogLevel prev = globalLevel;
+    globalLevel = level;
+    return prev;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    // Throwing (rather than exit(1)) lets gtest death/exception tests cover
+    // user-error paths without killing the test binary.
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (globalLevel != LogLevel::Quiet)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (globalLevel == LogLevel::Verbose)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace prime

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting.
+ *
+ * Conventions (mirroring gem5's logging.hh):
+ *   panic()  -- a model invariant was violated; this is a simulator bug.
+ *               Aborts so a debugger/core dump can inspect the state.
+ *   fatal()  -- the user asked for something the model cannot do (bad
+ *               configuration, out-of-range parameter).  Exits cleanly.
+ *   warn()   -- something is modeled approximately; simulation continues.
+ *   inform() -- neutral status output.
+ */
+
+#ifndef PRIME_COMMON_LOGGING_HH
+#define PRIME_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace prime {
+
+/** Verbosity gate for inform(); warnings and errors always print. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Process-wide log level (tests set Quiet to keep output clean). */
+LogLevel logLevel();
+
+/** Change the process-wide log level; returns the previous value. */
+LogLevel setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Build a message from stream-style arguments. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+} // namespace prime
+
+/** Unrecoverable internal error: model invariant broken. */
+#define PRIME_PANIC(...) \
+    ::prime::detail::panicImpl(__FILE__, __LINE__, \
+                               ::prime::detail::format(__VA_ARGS__))
+
+/** Unrecoverable user error: invalid configuration or arguments. */
+#define PRIME_FATAL(...) \
+    ::prime::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::prime::detail::format(__VA_ARGS__))
+
+/** Non-fatal modeling caveat. */
+#define PRIME_WARN(...) \
+    ::prime::detail::warnImpl(::prime::detail::format(__VA_ARGS__))
+
+/** Neutral status message (suppressed at LogLevel::Quiet). */
+#define PRIME_INFORM(...) \
+    ::prime::detail::informImpl(::prime::detail::format(__VA_ARGS__))
+
+/** Fatal user error when a condition holds. */
+#define PRIME_FATAL_IF(cond, ...) \
+    do { \
+        if (cond) { \
+            PRIME_FATAL(__VA_ARGS__); \
+        } \
+    } while (0)
+
+/** Panic unless a model invariant holds. */
+#define PRIME_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            PRIME_PANIC("assertion failed: " #cond " ", \
+                        ::prime::detail::format(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // PRIME_COMMON_LOGGING_HH

@@ -1,0 +1,48 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace prime {
+
+Stat &
+StatGroup::get(const std::string &name)
+{
+    return stats_[name];
+}
+
+const Stat *
+StatGroup::find(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+StatGroup::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(stats_.size());
+    for (const auto &kv : stats_)
+        out.push_back(kv.first);
+    return out;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : stats_)
+        kv.second.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : stats_) {
+        os << std::left << std::setw(44) << kv.first
+           << " count=" << std::setw(12) << kv.second.count()
+           << " sum=" << std::setw(16) << kv.second.sum()
+           << " mean=" << kv.second.mean() << '\n';
+    }
+}
+
+} // namespace prime

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Lightweight statistics registry in the spirit of gem5's stats package.
+ *
+ * Model components register named scalars/counters in a StatGroup; benches
+ * and tests read them back or dump them as text.  No global state: each
+ * simulated system owns its own root group.
+ */
+
+#ifndef PRIME_COMMON_STATS_HH
+#define PRIME_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prime {
+
+/** A named accumulating statistic (count + sum, enough for mean). */
+class Stat
+{
+  public:
+    Stat() = default;
+
+    /** Add one sample. */
+    void
+    sample(double value)
+    {
+        sum_ += value;
+        count_ += 1;
+        min_ = count_ == 1 ? value : (value < min_ ? value : min_);
+        max_ = count_ == 1 ? value : (value > max_ ? value : max_);
+    }
+
+    /** Add to the running total without counting a sample (counter use). */
+    void
+    add(double value)
+    {
+        sum_ += value;
+    }
+
+    /** Increment a pure event counter. */
+    void
+    increment(std::uint64_t n = 1)
+    {
+        count_ += n;
+    }
+
+    /** Reset to empty. */
+    void
+    reset()
+    {
+        *this = Stat();
+    }
+
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A flat namespace of stats addressed by dotted names
+ * ("bank0.ff.mvm_passes").  Lookup creates on demand so components can
+ * stay decoupled from whoever reads the numbers.
+ */
+class StatGroup
+{
+  public:
+    /** Get or create a stat by name. */
+    Stat &get(const std::string &name);
+
+    /** Look up an existing stat; nullptr if absent. */
+    const Stat *find(const std::string &name) const;
+
+    /** All names in sorted order. */
+    std::vector<std::string> names() const;
+
+    /** Reset every stat. */
+    void resetAll();
+
+    /** Human-readable dump (name, count, sum, mean per line). */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::map<std::string, Stat> stats_;
+};
+
+} // namespace prime
+
+#endif // PRIME_COMMON_STATS_HH

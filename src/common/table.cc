@@ -1,0 +1,143 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace prime {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    PRIME_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    PRIME_ASSERT(!rows_.empty(), "call row() before cell()");
+    PRIME_ASSERT(rows_.back().size() < headers_.size(),
+                 "row has more cells than headers");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << value;
+    return cell(os.str());
+}
+
+Table &
+Table::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::speedupCell(double value)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(value >= 100.0 ? 0 : (value >= 10.0 ? 1 : 2));
+    os << value << "x";
+    return cell(os.str());
+}
+
+Table &
+Table::percentCell(double fraction, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << fraction * 100.0 << "%";
+    return cell(os.str());
+}
+
+void
+Table::print(std::ostream &os, const std::string &title) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        os << "| ";
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            std::string v = c < cells.size() ? cells[c] : "";
+            os << v << std::string(widths[c] - v.size(), ' ');
+            os << (c + 1 < headers_.size() ? " | " : " |");
+        }
+        os << '\n';
+    };
+
+    if (!title.empty())
+        os << title << '\n';
+    print_row(headers_);
+    os << "|-";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << std::string(widths[c], '-');
+        os << (c + 1 < headers_.size() ? "-|-" : "-|");
+    }
+    os << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            std::string v = c < cells.size() ? cells[c] : "";
+            const bool quote =
+                v.find(',') != std::string::npos ||
+                v.find('"') != std::string::npos;
+            if (quote) {
+                std::string escaped = "\"";
+                for (char ch : v) {
+                    if (ch == '"')
+                        escaped += '"';
+                    escaped += ch;
+                }
+                escaped += '"';
+                v = escaped;
+            }
+            os << v << (c + 1 < headers_.size() ? "," : "");
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+formatCompact(double value, int precision)
+{
+    char buf[64];
+    double mag = std::fabs(value);
+    if (value != 0.0 && (mag >= 1.0e6 || mag < 1.0e-3))
+        std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+    else
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+} // namespace prime

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harnesses to print the
+ * paper's tables and figure series in a readable, diffable layout.
+ */
+
+#ifndef PRIME_COMMON_TABLE_HH
+#define PRIME_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prime {
+
+/**
+ * Collects rows of strings with a header and renders them column-aligned.
+ * Numeric helpers format with a consistent precision so figure outputs are
+ * stable across runs.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &value);
+
+    /** Append a formatted floating-point cell (fixed, @p precision digits). */
+    Table &cell(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    Table &cell(long long value);
+
+    /** Append a "1234.5x" style speedup cell with adaptive precision. */
+    Table &speedupCell(double value);
+
+    /** Append a percentage cell ("12.3%"). */
+    Table &percentCell(double fraction, int precision = 1);
+
+    /** Number of data rows so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render with a title line, header, separator and rows. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+    /** Render as RFC-4180-ish CSV (quotes cells containing commas). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double as "123.4" / "1.23e+06" style compact string. */
+std::string formatCompact(double value, int precision = 3);
+
+} // namespace prime
+
+#endif // PRIME_COMMON_TABLE_HH

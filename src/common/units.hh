@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Physical-unit conventions used across the PRIME model.
+ *
+ * The simulator is an architectural model, not SPICE: quantities are plain
+ * doubles in fixed canonical units.  Keeping a single convention in one
+ * header avoids the classic ns-vs-ps / pJ-vs-nJ mixups when component
+ * models are combined.
+ *
+ * Canonical units:
+ *   time    -> nanoseconds   (ns)
+ *   energy  -> picojoules    (pJ)
+ *   power   -> milliwatts    (mW)   [1 pJ / 1 ns == 1 mW]
+ *   area    -> square micrometers (um^2)
+ *   voltage -> volts
+ *   current -> microamperes  (uA)
+ *   resistance -> ohms
+ *   conductance -> microsiemens (uS) [V * uS == uA]
+ */
+
+#ifndef PRIME_COMMON_UNITS_HH
+#define PRIME_COMMON_UNITS_HH
+
+namespace prime {
+
+/** Time in nanoseconds. */
+using Ns = double;
+/** Energy in picojoules. */
+using PicoJoule = double;
+/** Power in milliwatts (pJ/ns). */
+using MilliWatt = double;
+/** Area in square micrometers. */
+using SquareUm = double;
+/** Voltage in volts. */
+using Volt = double;
+/** Current in microamperes. */
+using MicroAmp = double;
+/** Resistance in ohms. */
+using Ohm = double;
+/** Conductance in microsiemens. */
+using MicroSiemens = double;
+/** Frequency in GHz (cycles per ns). */
+using GigaHertz = double;
+
+namespace units {
+
+/** Convert a resistance in ohms to a conductance in microsiemens. */
+constexpr MicroSiemens
+ohmsToMicroSiemens(Ohm r)
+{
+    return 1.0e6 / r;
+}
+
+/** Convert megabytes to bytes. */
+constexpr unsigned long long
+mib(unsigned long long n)
+{
+    return n * 1024ull * 1024ull;
+}
+
+/** Convert gigabytes to bytes. */
+constexpr unsigned long long
+gib(unsigned long long n)
+{
+    return n * 1024ull * 1024ull * 1024ull;
+}
+
+/** Convert kilobytes to bytes. */
+constexpr unsigned long long
+kib(unsigned long long n)
+{
+    return n * 1024ull;
+}
+
+/** Seconds expressed in ns. */
+constexpr Ns second = 1.0e9;
+/** Microseconds expressed in ns. */
+constexpr Ns microsecond = 1.0e3;
+/** Milliseconds expressed in ns. */
+constexpr Ns millisecond = 1.0e6;
+
+/** Nanojoules expressed in pJ. */
+constexpr PicoJoule nanojoule = 1.0e3;
+/** Microjoules expressed in pJ. */
+constexpr PicoJoule microjoule = 1.0e6;
+/** Millijoules expressed in pJ. */
+constexpr PicoJoule millijoule = 1.0e9;
+/** Joules expressed in pJ. */
+constexpr PicoJoule joule = 1.0e12;
+
+/** Square millimeters expressed in um^2. */
+constexpr SquareUm mm2 = 1.0e6;
+
+} // namespace units
+} // namespace prime
+
+#endif // PRIME_COMMON_UNITS_HH

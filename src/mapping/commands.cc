@@ -1,0 +1,132 @@
+#include "mapping/commands.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace prime::mapping {
+
+namespace {
+
+constexpr std::size_t kEncodedSize = 24;
+
+void
+put32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+put64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+get32(const std::vector<std::uint8_t> &in, std::size_t at)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(in[at + i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+get64(const std::vector<std::uint8_t> &in, std::size_t at)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(in[at + i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeCommand(const Command &command)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(kEncodedSize);
+    out.push_back(static_cast<std::uint8_t>(command.op));
+    out.push_back(command.flag);
+    // Pack matAddr and bytes into shared fields: config commands use
+    // matAddr, data-flow commands use bytes.
+    put32(out, command.isDatapathConfig() ? command.matAddr
+                                          : command.bytes);
+    put64(out, command.src);
+    put64(out, command.dst);
+    out.push_back(0);  // reserved
+    out.push_back(0);  // reserved
+    PRIME_ASSERT(out.size() == kEncodedSize, "encode size drift");
+    return out;
+}
+
+Command
+decodeCommand(const std::vector<std::uint8_t> &bytes)
+{
+    PRIME_FATAL_IF(bytes.size() != kEncodedSize,
+                   "command must be ", kEncodedSize, " bytes, got ",
+                   bytes.size());
+    PRIME_FATAL_IF(bytes[0] > static_cast<std::uint8_t>(CommandOp::Store),
+                   "bad opcode ", static_cast<int>(bytes[0]));
+    Command c;
+    c.op = static_cast<CommandOp>(bytes[0]);
+    c.flag = bytes[1];
+    if (c.isDatapathConfig())
+        c.matAddr = get32(bytes, 2);
+    else
+        c.bytes = get32(bytes, 2);
+    c.src = get64(bytes, 6);
+    c.dst = get64(bytes, 14);
+    if (c.op == CommandOp::SetMatFunction)
+        PRIME_FATAL_IF(c.flag > 2, "mat function flag ", int(c.flag));
+    else if (c.isDatapathConfig())
+        PRIME_FATAL_IF(c.flag > 1, "config flag ", int(c.flag));
+    return c;
+}
+
+std::string
+toString(const Command &command)
+{
+    std::ostringstream os;
+    switch (command.op) {
+      case CommandOp::SetMatFunction: {
+        const char *fn[] = {"prog", "comp", "mem"};
+        os << fn[command.flag] << " mat " << command.matAddr;
+        break;
+      }
+      case CommandOp::BypassSigmoid:
+        os << "bypass sigmoid mat " << command.matAddr << " "
+           << int(command.flag);
+        break;
+      case CommandOp::BypassSa:
+        os << "bypass SA mat " << command.matAddr << " "
+           << int(command.flag);
+        break;
+      case CommandOp::InputSource:
+        os << "input source mat " << command.matAddr << " "
+           << (command.flag ? "prev-layer" : "buffer");
+        break;
+      case CommandOp::Fetch:
+        os << "fetch mem:0x" << std::hex << command.src << " to buf:0x"
+           << command.dst << std::dec << " " << command.bytes;
+        break;
+      case CommandOp::Commit:
+        os << "commit buf:0x" << std::hex << command.src << " to mem:0x"
+           << command.dst << std::dec << " " << command.bytes;
+        break;
+      case CommandOp::Load:
+        os << "load buf:0x" << std::hex << command.src << " to ff:0x"
+           << command.dst << std::dec << " " << command.bytes;
+        break;
+      case CommandOp::Store:
+        os << "store ff:0x" << std::hex << command.src << " to buf:0x"
+           << command.dst << std::dec << " " << command.bytes;
+        break;
+    }
+    return os.str();
+}
+
+} // namespace prime::mapping

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The PRIME controller command set (paper Table I).
+ *
+ * Datapath-configure commands (issued once per FF configuration):
+ *   prog/comp/mem [mat adr][0/1/2]   select mat function
+ *   bypass sigmoid [mat adr][0/1]
+ *   bypass SA [mat adr][0/1]
+ *   input source [mat adr][0/1]      Buffer subarray vs previous layer
+ *
+ * Data-flow-control commands (issued throughout computation):
+ *   fetch  [mem adr] to [buf adr]
+ *   commit [buf adr] to [mem adr]
+ *   load   [buf adr] to [FF adr]
+ *   store  [FF adr]  to [buf adr]
+ */
+
+#ifndef PRIME_MAPPING_COMMANDS_HH
+#define PRIME_MAPPING_COMMANDS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prime::mapping {
+
+/** Command opcodes, one per Table I row. */
+enum class CommandOp : std::uint8_t
+{
+    SetMatFunction = 0,  ///< prog/comp/mem [mat adr][0/1/2]
+    BypassSigmoid = 1,   ///< bypass sigmoid [mat adr][0/1]
+    BypassSa = 2,        ///< bypass SA [mat adr][0/1]
+    InputSource = 3,     ///< input source [mat adr][0/1]
+    Fetch = 4,           ///< fetch [mem adr] to [buf adr]
+    Commit = 5,          ///< commit [buf adr] to [mem adr]
+    Load = 6,            ///< load [buf adr] to [FF adr]
+    Store = 7,           ///< store [FF adr] to [buf adr]
+};
+
+/** Mat function selected by SetMatFunction. */
+enum class MatFunction : std::uint8_t
+{
+    Program = 0,
+    Compute = 1,
+    Memory = 2,
+};
+
+/** Input source selected by InputSource. */
+enum class InputSource : std::uint8_t
+{
+    Buffer = 0,
+    PreviousLayer = 1,
+};
+
+/** One decoded controller command. */
+struct Command
+{
+    CommandOp op = CommandOp::SetMatFunction;
+    /** Global mat address for datapath-configure commands. */
+    std::uint32_t matAddr = 0;
+    /** 0/1/2 flag argument for datapath-configure commands. */
+    std::uint8_t flag = 0;
+    /** Source address (mem/buf/FF depending on op). */
+    std::uint64_t src = 0;
+    /** Destination address. */
+    std::uint64_t dst = 0;
+    /** Transfer size for data-flow commands. */
+    std::uint32_t bytes = 0;
+
+    bool isDatapathConfig() const
+    {
+        return op == CommandOp::SetMatFunction ||
+               op == CommandOp::BypassSigmoid ||
+               op == CommandOp::BypassSa || op == CommandOp::InputSource;
+    }
+
+    bool operator==(const Command &) const = default;
+};
+
+/** Fixed-size binary encoding (24 bytes) for the command queue. */
+std::vector<std::uint8_t> encodeCommand(const Command &command);
+
+/** Decode; throws via PRIME_FATAL on malformed input. */
+Command decodeCommand(const std::vector<std::uint8_t> &bytes);
+
+/** Assembly-style rendering ("comp mat 12", "load buf:0x40 to ff:0x0 64"). */
+std::string toString(const Command &command);
+
+} // namespace prime::mapping
+
+#endif // PRIME_MAPPING_COMMANDS_HH

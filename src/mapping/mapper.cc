@@ -1,0 +1,243 @@
+#include "mapping/mapper.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prime::mapping {
+
+const char *
+nnScaleName(NnScale scale)
+{
+    switch (scale) {
+      case NnScale::Small: return "small";
+      case NnScale::Medium: return "medium";
+      case NnScale::Large: return "large";
+    }
+    return "?";
+}
+
+long long
+LayerMapping::serialRounds() const
+{
+    const long long parallel =
+        static_cast<long long>(inMatReplicas) * crossMatReplicas;
+    return (info.positions + parallel - 1) / parallel;
+}
+
+long long
+MappingPlan::totalMats() const
+{
+    long long n = 0;
+    for (const LayerMapping &l : layers)
+        n += l.matsUsed();
+    return n;
+}
+
+long long
+MappingPlan::totalSynapseCells() const
+{
+    long long n = 0;
+    for (const LayerMapping &l : layers)
+        for (const MatTile &t : l.tiles)
+            n += static_cast<long long>(t.rowsUsed) * t.colsUsed *
+                 l.inMatReplicas;
+    return n;
+}
+
+Mapper::Mapper(const nvmodel::Geometry &geometry,
+               const MapperOptions &options)
+    : geometry_(geometry), options_(options)
+{
+}
+
+std::vector<WeightedLayer>
+Mapper::weightedLayers(const nn::Topology &topology)
+{
+    std::vector<WeightedLayer> out;
+    for (std::size_t i = 0; i < topology.layers.size(); ++i) {
+        const nn::LayerSpec &s = topology.layers[i];
+        if (s.kind != nn::LayerKind::FullyConnected &&
+            s.kind != nn::LayerKind::Convolution)
+            continue;
+        WeightedLayer w;
+        w.layerIndex = static_cast<int>(i);
+        w.kind = s.kind;
+        if (s.kind == nn::LayerKind::FullyConnected) {
+            w.rows = s.inFeatures;
+            w.cols = s.outFeatures;
+            w.positions = 1;
+        } else {
+            w.rows = s.inC * s.kernel * s.kernel;
+            w.cols = s.outC;
+            w.positions = static_cast<long long>(s.outH) * s.outW;
+        }
+        if (i + 1 < topology.layers.size()) {
+            const nn::LayerKind next = topology.layers[i + 1].kind;
+            w.sigmoidAfter = next == nn::LayerKind::Sigmoid;
+            w.reluAfter = next == nn::LayerKind::Relu;
+        }
+        out.push_back(w);
+    }
+    return out;
+}
+
+MappingPlan
+Mapper::map(const nn::Topology &topology) const
+{
+    const int mat_rows = geometry_.matRows;
+    const int mat_cols = geometry_.matCols;
+    const int mats_per_bank =
+        geometry_.ffSubarraysPerBank * geometry_.matsPerSubarray;
+    const long long total_mats =
+        static_cast<long long>(mats_per_bank) * geometry_.totalBanks();
+
+    MappingPlan plan;
+    plan.benchmark = topology.name;
+
+    // 1. Tile every weighted layer.
+    for (const WeightedLayer &w : weightedLayers(topology)) {
+        LayerMapping m;
+        m.info = w;
+        m.rowTiles = (w.rows + mat_rows - 1) / mat_rows;
+        m.colTiles = (w.cols + mat_cols - 1) / mat_cols;
+        if (m.rowTiles == 1 && m.colTiles == 1) {
+            // Small layer: pack independent copies into the same mat
+            // (the paper's 128-1 -> 256-2 duplication).
+            m.inMatReplicas =
+                std::max(1, std::min(mat_rows / w.rows,
+                                     mat_cols / w.cols));
+        }
+        plan.layers.push_back(m);
+    }
+
+    long long base_mats = 0;
+    for (const LayerMapping &m : plan.layers)
+        base_mats += m.matsPerReplica();
+    PRIME_FATAL_IF(base_mats > total_mats,
+                   topology.name, " needs ", base_mats,
+                   " FF mats but the memory provides ", total_mats);
+
+    // 2. Classify scale and pick the reservation that one NN copy uses.
+    if (base_mats <= 1 && plan.layers.size() == 1)
+        plan.scale = NnScale::Small;
+    else if (base_mats <= mats_per_bank)
+        plan.scale = plan.layers.size() == 1 ? NnScale::Small
+                                             : NnScale::Medium;
+    else
+        plan.scale = NnScale::Large;
+
+    plan.banksUsed = static_cast<int>(
+        (base_mats + mats_per_bank - 1) / mats_per_bank);
+
+    // 3. Bank-level parallelism: small/medium NNs are copied into every
+    // bank (one image per bank); large NNs replicate whole pipelines
+    // into spare banks when they fit.
+    if (options_.enableBankParallelism)
+        plan.bankReplicas =
+            std::max(1, geometry_.totalBanks() / plan.banksUsed);
+    else
+        plan.bankReplicas = 1;
+
+    // Utilization is measured against the FF resources the plan reserves:
+    // one bank for small/medium (each bank hosts an identical copy), the
+    // whole memory for large.
+    const long long reserved_mats =
+        plan.scale == NnScale::Large
+            ? total_mats
+            : static_cast<long long>(mats_per_bank);
+
+    plan.utilizationBefore =
+        static_cast<double>(base_mats) / reserved_mats;
+
+    // 4. Replication into spare mats.  Conv layers execute outH*outW
+    // MVMs per inference, so extra copies multiply throughput; FC layers
+    // gain nothing within a single inference and are not replicated
+    // across mats.
+    long long spare = (plan.scale == NnScale::Large
+                           ? total_mats / plan.bankReplicas
+                           : static_cast<long long>(mats_per_bank)) -
+                      base_mats;
+    if (options_.enableReplication && plan.scale != NnScale::Large) {
+        // Whole-NN copies inside the bank keep several images in
+        // flight; the Buffer subarray's connection-unit bandwidth bounds
+        // useful copies at two (both copies stream activations through
+        // the same buffer).
+        constexpr int kMaxCopiesPerBank = 2;
+        plan.copiesPerBank = static_cast<int>(std::max<long long>(
+            1, std::min<long long>(kMaxCopiesPerBank,
+                                   mats_per_bank / base_mats)));
+        spare -= static_cast<long long>(plan.copiesPerBank - 1) * base_mats;
+    }
+    if (options_.enableReplication) {
+        // The connection-unit bandwidth also bounds useful conv-layer
+        // replicas; cap the fan-out per layer.
+        constexpr int kMaxConvReplicas = 5;
+        bool progress = true;
+        while (progress && spare > 0) {
+            progress = false;
+            // Pick the conv layer with the most serial rounds left.
+            LayerMapping *best = nullptr;
+            for (LayerMapping &m : plan.layers) {
+                if (m.info.kind != nn::LayerKind::Convolution)
+                    continue;
+                if (m.serialRounds() <= 1)
+                    continue;
+                if (m.crossMatReplicas >= kMaxConvReplicas)
+                    continue;
+                if (m.matsPerReplica() > spare)
+                    continue;
+                if (!best || m.serialRounds() > best->serialRounds())
+                    best = &m;
+            }
+            if (best) {
+                best->crossMatReplicas += 1;
+                spare -= best->matsPerReplica();
+                progress = true;
+            }
+        }
+    }
+
+    // 5. Physical placement: walk mats in (bank, subarray, mat) order.
+    long long cursor = 0;
+    auto place = [&](MatTile &tile) {
+        const long long in_bank = cursor % mats_per_bank;
+        tile.bank = static_cast<int>(cursor / mats_per_bank);
+        tile.subarray = static_cast<int>(in_bank /
+                                         geometry_.matsPerSubarray);
+        tile.mat = static_cast<int>(in_bank % geometry_.matsPerSubarray);
+        ++cursor;
+    };
+    for (LayerMapping &m : plan.layers) {
+        for (int rep = 0; rep < m.crossMatReplicas; ++rep) {
+            for (int rt = 0; rt < m.rowTiles; ++rt) {
+                for (int ct = 0; ct < m.colTiles; ++ct) {
+                    MatTile t;
+                    t.layerIndex = m.info.layerIndex;
+                    t.rowTile = rt;
+                    t.colTile = ct;
+                    t.replica = rep;
+                    t.rowsUsed = std::min(mat_rows,
+                                          m.info.rows - rt * mat_rows);
+                    t.colsUsed = std::min(mat_cols,
+                                          m.info.cols - ct * mat_cols);
+                    place(t);
+                    m.tiles.push_back(t);
+                }
+            }
+        }
+    }
+
+    plan.utilizationAfter =
+        static_cast<double>(plan.totalMats() +
+                            static_cast<long long>(plan.copiesPerBank - 1) *
+                                base_mats) /
+        reserved_mats;
+    // Replicas may spill into further banks; report the real footprint.
+    plan.banksUsed = static_cast<int>(std::max<long long>(
+        plan.banksUsed,
+        (plan.totalMats() + mats_per_bank - 1) / mats_per_bank));
+    return plan;
+}
+
+} // namespace prime::mapping

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Compile-time NN-to-crossbar mapping (paper Section IV-B).
+ *
+ * The mapper turns a Topology into a MappingPlan:
+ *
+ *   - Small-scale NN (fits one FF mat): mapped once, then *replicated*
+ *     into independent portions of the mat (e.g. a 128-1 NN becomes a
+ *     256-2 duplicate) and into spare mats.
+ *   - Medium-scale NN (fits the FF subarrays of one bank): *split* into
+ *     256x256 tiles across mats; partial results of row tiles are
+ *     *merged* by digital adders afterwards (split-merge).
+ *   - Large-scale NN (exceeds one bank): tiles spill across banks, which
+ *     then run as a pipeline over the shared internal bus (inter-bank
+ *     communication); spare mats still host conv-layer replicas.
+ *
+ * Convolution layers are lowered to MVMs of shape (inC*k*k) x outC that
+ * execute once per output position, so replication multiplies their
+ * throughput; bank-level parallelism (Section IV-B2) replicates whole
+ * small/medium NNs across all 64 banks, one image per bank.
+ */
+
+#ifndef PRIME_MAPPING_MAPPER_HH
+#define PRIME_MAPPING_MAPPER_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/topology.hh"
+#include "nvmodel/tech_params.hh"
+
+namespace prime::mapping {
+
+/** Size class of an NN relative to the FF resources (Section IV-B1). */
+enum class NnScale
+{
+    Small,   ///< fits in a single FF mat
+    Medium,  ///< fits in the FF subarrays of one bank
+    Large,   ///< spans multiple banks
+};
+
+const char *nnScaleName(NnScale scale);
+
+/** Mapper configuration. */
+struct MapperOptions
+{
+    /** Replicate small NNs / conv layers into spare mats (IV-B1). */
+    bool enableReplication = true;
+    /** Use all banks for one-image-per-bank parallelism (IV-B2). */
+    bool enableBankParallelism = true;
+};
+
+/** The MVM view of one weighted layer. */
+struct WeightedLayer
+{
+    /** Index into Topology::layers. */
+    int layerIndex = 0;
+    nn::LayerKind kind = nn::LayerKind::FullyConnected;
+    /** MVM input count (FC: inFeatures; conv: inC*k*k). */
+    int rows = 0;
+    /** MVM output count (FC: outFeatures; conv: outC). */
+    int cols = 0;
+    /** MVM executions per inference (FC: 1; conv: outH*outW). */
+    long long positions = 1;
+    /** Whether a sigmoid directly follows (datapath bypass config). */
+    bool sigmoidAfter = false;
+    /** Whether a ReLU directly follows. */
+    bool reluAfter = false;
+};
+
+/** One physical mat assignment. */
+struct MatTile
+{
+    int layerIndex = 0;
+    /** Tile coordinates within the layer's weight matrix. */
+    int rowTile = 0, colTile = 0;
+    /** Occupied logical cells in this mat. */
+    int rowsUsed = 0, colsUsed = 0;
+    /** Cross-mat replica this tile belongs to (0 = primary). */
+    int replica = 0;
+    /** Physical placement. */
+    int bank = 0, subarray = 0, mat = 0;
+};
+
+/** Mapping of one weighted layer. */
+struct LayerMapping
+{
+    WeightedLayer info;
+    int rowTiles = 1, colTiles = 1;
+    /** Copies packed inside each mat (small layers). */
+    int inMatReplicas = 1;
+    /** Whole-tile-set copies placed in spare mats. */
+    int crossMatReplicas = 1;
+    std::vector<MatTile> tiles;
+
+    /** Mats occupied by one replica. */
+    int matsPerReplica() const { return rowTiles * colTiles; }
+    /** All mats occupied. */
+    long long matsUsed() const
+    {
+        return static_cast<long long>(tiles.size());
+    }
+    /** Serial MVM rounds to cover all positions of one inference. */
+    long long serialRounds() const;
+};
+
+/** The full compile-time plan. */
+struct MappingPlan
+{
+    std::string benchmark;
+    NnScale scale = NnScale::Small;
+    std::vector<LayerMapping> layers;
+    /** Banks one copy of the NN occupies (pipeline depth for Large). */
+    int banksUsed = 1;
+    /** Independent copies across banks (bank-level parallelism). */
+    int bankReplicas = 1;
+    /**
+     * Whole-NN copies replicated inside each bank's FF subarrays so
+     * several images are in flight per bank (capped by the Buffer
+     * subarray bandwidth; Section IV-B1 replication for small NNs).
+     */
+    int copiesPerBank = 1;
+    /** Mat-count utilization of the reserved FF resources. */
+    double utilizationBefore = 0.0;
+    double utilizationAfter = 0.0;
+
+    long long totalMats() const;
+    long long totalSynapseCells() const;
+};
+
+/** The compile-time mapper. */
+class Mapper
+{
+  public:
+    Mapper(const nvmodel::Geometry &geometry, const MapperOptions &options);
+
+    /** Extract the MVM view of every weighted layer. */
+    static std::vector<WeightedLayer>
+    weightedLayers(const nn::Topology &topology);
+
+    /** Produce the full plan; PRIME_FATAL if the NN exceeds capacity. */
+    MappingPlan map(const nn::Topology &topology) const;
+
+  private:
+    nvmodel::Geometry geometry_;
+    MapperOptions options_;
+};
+
+} // namespace prime::mapping
+
+#endif // PRIME_MAPPING_MAPPER_HH

@@ -1,0 +1,57 @@
+#include "memory/address.hh"
+
+#include "common/logging.hh"
+
+namespace prime::memory {
+
+AddressMapper::AddressMapper(const nvmodel::Geometry &geometry)
+    : geometry_(geometry)
+{
+    // One mat row spans the mat's arrays: matCols bits per array, SLC.
+    bytesPerMatRow_ = static_cast<std::uint64_t>(geometry.matCols) *
+                      geometry.arraysPerFfMat / 8;
+    bytesPerMat_ = bytesPerMatRow_ * geometry.matRows;
+    PRIME_ASSERT(bytesPerMatRow_ > 0, "degenerate mat row");
+}
+
+Location
+AddressMapper::decode(std::uint64_t addr) const
+{
+    PRIME_ASSERT(addr < capacityBytes(),
+                 "address ", addr, " beyond capacity ", capacityBytes());
+    Location loc;
+    loc.column = static_cast<int>(addr % bytesPerMatRow_);
+    std::uint64_t rest = addr / bytesPerMatRow_;
+    loc.mat = static_cast<int>(rest % geometry_.matsPerSubarray);
+    rest /= geometry_.matsPerSubarray;
+    loc.subarray = static_cast<int>(rest % geometry_.subarraysPerBank);
+    rest /= geometry_.subarraysPerBank;
+    loc.globalBank = static_cast<int>(rest % geometry_.totalBanks());
+    rest /= geometry_.totalBanks();
+    loc.row = static_cast<int>(rest);
+    loc.chip = loc.globalBank / geometry_.banksPerChip;
+    loc.bank = loc.globalBank % geometry_.banksPerChip;
+    return loc;
+}
+
+std::uint64_t
+AddressMapper::encode(const Location &loc) const
+{
+    std::uint64_t addr = loc.row;
+    addr = addr * geometry_.totalBanks() + loc.globalBank;
+    addr = addr * geometry_.subarraysPerBank + loc.subarray;
+    addr = addr * geometry_.matsPerSubarray + loc.mat;
+    addr = addr * bytesPerMatRow_ + loc.column;
+    return addr;
+}
+
+int
+AddressMapper::pageBank(std::uint64_t page_number) const
+{
+    // A 4 KiB page spans 32 consecutive 128 B mat rows, all in one bank
+    // given the row-major layout; expose that bank to the OS.
+    const std::uint64_t addr = page_number * 4096ull;
+    return decode(addr % capacityBytes()).globalBank;
+}
+
+} // namespace prime::memory

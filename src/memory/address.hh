@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Physical address decomposition for the PRIME ReRAM main memory.
+ *
+ * Layout (high to low): row | bank | chip | subarray | mat | column-burst.
+ * Putting bank/chip bits below the row bits interleaves consecutive rows
+ * across banks for parallelism, while Section IV-B2's bank-aware data
+ * placement uses pageBank() to pin one image per bank.
+ */
+
+#ifndef PRIME_MEMORY_ADDRESS_HH
+#define PRIME_MEMORY_ADDRESS_HH
+
+#include <cstdint>
+
+#include "nvmodel/tech_params.hh"
+
+namespace prime::memory {
+
+/** Decoded location of a physical address. */
+struct Location
+{
+    int chip = 0;
+    int bank = 0;        ///< bank within the chip
+    int globalBank = 0;  ///< chip * banksPerChip + bank
+    int subarray = 0;
+    int mat = 0;
+    int row = 0;
+    int column = 0;      ///< byte offset within the mat row
+};
+
+/**
+ * Maps physical byte addresses to memory coordinates and back.  The
+ * mapping is exact with respect to the configured geometry: mats hold
+ * matRows x matCols x arraysPerFfMat SLC bits in memory mode.
+ */
+class AddressMapper
+{
+  public:
+    explicit AddressMapper(const nvmodel::Geometry &geometry);
+
+    /** Decode an address; asserts it is within capacity. */
+    Location decode(std::uint64_t addr) const;
+
+    /** Inverse of decode (used by tests as a round-trip invariant). */
+    std::uint64_t encode(const Location &loc) const;
+
+    /** Bytes stored per mat (memory mode, SLC). */
+    std::uint64_t bytesPerMat() const { return bytesPerMat_; }
+
+    /** Bytes stored per mat row (one wordline across the mat's arrays). */
+    std::uint64_t bytesPerMatRow() const { return bytesPerMatRow_; }
+
+    /** Bytes per subarray. */
+    std::uint64_t bytesPerSubarray() const
+    {
+        return bytesPerMat_ * geometry_.matsPerSubarray;
+    }
+
+    /** Bytes per bank. */
+    std::uint64_t bytesPerBank() const
+    {
+        return bytesPerSubarray() * geometry_.subarraysPerBank;
+    }
+
+    /** Total modeled capacity (geometry-derived, <= nominal capacity). */
+    std::uint64_t capacityBytes() const
+    {
+        return bytesPerBank() * geometry_.totalBanks();
+    }
+
+    /** Global bank an OS page (4 KiB) resides in (Section IV-B2). */
+    int pageBank(std::uint64_t page_number) const;
+
+    const nvmodel::Geometry &geometry() const { return geometry_; }
+
+  private:
+    nvmodel::Geometry geometry_;
+    std::uint64_t bytesPerMatRow_;
+    std::uint64_t bytesPerMat_;
+};
+
+} // namespace prime::memory
+
+#endif // PRIME_MEMORY_ADDRESS_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Timing state machine of one ReRAM bank (performance-optimized ReRAM
+ * main memory after Xu et al. [20], parameters from Table IV).
+ *
+ * The bank keeps one open row (global row buffer); accesses to the open
+ * row pay tCL, others pay precharge + activate + column access.  ReRAM's
+ * long writes are captured by tWR write recovery occupying the bank.
+ */
+
+#ifndef PRIME_MEMORY_BANK_HH
+#define PRIME_MEMORY_BANK_HH
+
+#include <cstdint>
+
+#include "nvmodel/tech_params.hh"
+
+namespace prime::memory {
+
+/** Row-buffer management policy. */
+enum class PagePolicy
+{
+    Open,    ///< leave the row open (bets on locality)
+    Closed,  ///< auto-precharge after every access (bets against it)
+};
+
+/** Outcome of one bank access. */
+struct BankAccess
+{
+    /** When the bank actually started serving the access. */
+    Ns start = 0.0;
+    /** When data is available at the bank / write is accepted. */
+    Ns complete = 0.0;
+    /** When the bank can accept the next access. */
+    Ns bankFree = 0.0;
+    /** Whether the open row matched. */
+    bool rowHit = false;
+};
+
+/** One bank's timing state. */
+class BankModel
+{
+  public:
+    explicit BankModel(const nvmodel::TimingParams &timing,
+                       PagePolicy policy = PagePolicy::Open)
+        : timing_(timing), policy_(policy)
+    {}
+
+    /**
+     * Serve a read or write to @p row at or after @p when; updates the
+     * open row and busy horizon.
+     */
+    BankAccess access(Ns when, int row, bool is_write);
+
+    /** Currently open row (-1 when closed). */
+    int openRow() const { return openRow_; }
+
+    /** Earliest time the bank can start a new access. */
+    Ns nextFree() const { return nextFree_; }
+
+    /** Close the open row (used when a subarray morphs modes). */
+    void precharge();
+
+    std::uint64_t rowHits() const { return rowHits_; }
+    std::uint64_t rowMisses() const { return rowMisses_; }
+
+    PagePolicy policy() const { return policy_; }
+
+  private:
+    nvmodel::TimingParams timing_;
+    PagePolicy policy_;
+    bool lastWasWrite_ = false;
+    int openRow_ = -1;
+    Ns nextFree_ = 0.0;
+    std::uint64_t rowHits_ = 0;
+    std::uint64_t rowMisses_ = 0;
+};
+
+} // namespace prime::memory
+
+#endif // PRIME_MEMORY_BANK_HH

@@ -1,0 +1,137 @@
+#include "memory/main_memory.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prime::memory {
+
+MainMemory::MainMemory(const nvmodel::TechParams &params,
+                       PagePolicy policy)
+    : params_(params), mapper_(params.geometry)
+{
+    banks_.reserve(params.geometry.totalBanks());
+    for (int b = 0; b < params.geometry.totalBanks(); ++b)
+        banks_.emplace_back(params.timing, policy);
+}
+
+const BankModel &
+MainMemory::bank(int global_bank) const
+{
+    PRIME_ASSERT(global_bank >= 0 &&
+                     global_bank < static_cast<int>(banks_.size()),
+                 "bank ", global_bank);
+    return banks_[static_cast<std::size_t>(global_bank)];
+}
+
+BankModel &
+MainMemory::bank(int global_bank)
+{
+    return const_cast<BankModel &>(
+        static_cast<const MainMemory &>(*this).bank(global_bank));
+}
+
+RequestResult
+MainMemory::access(const Request &request)
+{
+    RequestResult result;
+    result.request = request;
+    result.location = mapper_.decode(request.addr);
+
+    BankModel &b = bank(result.location.globalBank);
+    result.bank = b.access(request.issue, rowTag(result.location),
+                           request.isWrite);
+
+    // The data burst serializes on the shared channel after the bank has
+    // the data (read) or before the bank commits it (write, modeled
+    // symmetrically).
+    const Ns transfer = request.bytes /
+                        params_.timing.channelBandwidth();
+    const Ns start = std::max(result.bank.complete, channelFree_);
+    result.dataReady = start + transfer;
+    channelFree_ = result.dataReady;
+
+    stats_.get(request.isWrite ? "mem.writes" : "mem.reads").increment();
+    stats_.get("mem.bytes").add(request.bytes);
+    stats_.get(result.bank.rowHit ? "mem.row_hits" : "mem.row_misses")
+        .increment();
+    stats_.get("mem.service_ns").sample(result.dataReady - request.issue);
+    return result;
+}
+
+std::vector<RequestResult>
+MainMemory::scheduleBatch(std::vector<Request> requests, int window)
+{
+    PRIME_ASSERT(window >= 1, "window=", window);
+    std::vector<RequestResult> results;
+    results.reserve(requests.size());
+
+    // Keep requests sorted by issue time; repeatedly pick, within the
+    // first `window` pending entries, a row-hit request if one exists,
+    // otherwise the oldest.
+    std::stable_sort(requests.begin(), requests.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.issue < b.issue;
+                     });
+    std::vector<Request> pending = std::move(requests);
+    while (!pending.empty()) {
+        const int limit = std::min<int>(window,
+                                        static_cast<int>(pending.size()));
+        int chosen = 0;
+        for (int i = 0; i < limit; ++i) {
+            Location loc = mapper_.decode(pending[i].addr);
+            if (bank(loc.globalBank).openRow() == rowTag(loc)) {
+                chosen = i;
+                break;
+            }
+        }
+        Request next = pending[static_cast<std::size_t>(chosen)];
+        pending.erase(pending.begin() + chosen);
+        results.push_back(access(next));
+    }
+    return results;
+}
+
+void
+MainMemory::writeData(std::uint64_t addr,
+                      const std::vector<std::uint8_t> &data)
+{
+    for (std::size_t i = 0; i < data.size(); ++i)
+        store_[addr + i] = data[i];
+}
+
+std::vector<std::uint8_t>
+MainMemory::readData(std::uint64_t addr, std::size_t size) const
+{
+    std::vector<std::uint8_t> out(size, 0);
+    for (std::size_t i = 0; i < size; ++i) {
+        auto it = store_.find(addr + i);
+        if (it != store_.end())
+            out[i] = it->second;
+    }
+    return out;
+}
+
+int
+MainMemory::rowTag(const Location &loc) const
+{
+    // The row-buffer tag identifies the physical wordline: the row index
+    // alone is ambiguous across the subarrays/mats of a bank.
+    const nvmodel::Geometry &g = params_.geometry;
+    return (loc.row * g.subarraysPerBank + loc.subarray) *
+               g.matsPerSubarray +
+           loc.mat;
+}
+
+double
+MainMemory::rowHitRate() const
+{
+    std::uint64_t hits = 0, total = 0;
+    for (const BankModel &b : banks_) {
+        hits += b.rowHits();
+        total += b.rowHits() + b.rowMisses();
+    }
+    return total ? static_cast<double>(hits) / total : 0.0;
+}
+
+} // namespace prime::memory

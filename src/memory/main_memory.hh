@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The ReRAM main memory: address mapping, per-bank timing, a shared
+ * channel, an FR-FCFS request scheduler, and a functional backing store.
+ *
+ * This is the substrate PRIME morphs: Mem subarrays serve ordinary
+ * traffic through this model, while FF/Buffer subarray interactions are
+ * layered on top by src/prime (reserving address ranges, migrating data,
+ * and bypassing the channel via the buffer connection unit).
+ */
+
+#ifndef PRIME_MEMORY_MAIN_MEMORY_HH
+#define PRIME_MEMORY_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "memory/address.hh"
+#include "memory/bank.hh"
+#include "nvmodel/tech_params.hh"
+
+namespace prime::memory {
+
+/** One memory request as seen by the controller. */
+struct Request
+{
+    std::uint64_t addr = 0;
+    std::uint32_t bytes = 64;
+    bool isWrite = false;
+    /** Earliest time the request may be scheduled. */
+    Ns issue = 0.0;
+};
+
+/** Completion record for a scheduled request. */
+struct RequestResult
+{
+    Request request;
+    Location location;
+    BankAccess bank;
+    /** Time the data finished moving over the channel. */
+    Ns dataReady = 0.0;
+};
+
+/**
+ * The full main-memory model.  Timed accesses move the module's notion
+ * of bank/channel availability forward; functional reads/writes touch
+ * the sparse backing store (so PRIME's mode-morphing data migration can
+ * be checked end to end).
+ */
+class MainMemory
+{
+  public:
+    explicit MainMemory(const nvmodel::TechParams &params,
+                        PagePolicy policy = PagePolicy::Open);
+
+    /** Schedule one request immediately (FCFS semantics). */
+    RequestResult access(const Request &request);
+
+    /**
+     * FR-FCFS: schedule a batch, preferring row-buffer hits within a
+     * lookahead window of @p window requests, never starving the oldest
+     * request beyond the window.  Results are in completion order.
+     */
+    std::vector<RequestResult>
+    scheduleBatch(std::vector<Request> requests, int window = 16);
+
+    /** Functional write of a byte span at @p addr. */
+    void writeData(std::uint64_t addr, const std::vector<std::uint8_t> &data);
+
+    /** Functional read of @p size bytes at @p addr (absent bytes are 0). */
+    std::vector<std::uint8_t> readData(std::uint64_t addr,
+                                       std::size_t size) const;
+
+    const AddressMapper &mapper() const { return mapper_; }
+    const BankModel &bank(int global_bank) const;
+    BankModel &bank(int global_bank);
+
+    /** Earliest time the shared channel is free. */
+    Ns channelFree() const { return channelFree_; }
+
+    /** Aggregate row-buffer hit rate over all banks. */
+    double rowHitRate() const;
+
+    StatGroup &stats() { return stats_; }
+    const nvmodel::TechParams &params() const { return params_; }
+
+  private:
+    /** Physical wordline tag for the row buffer (row x subarray x mat). */
+    int rowTag(const Location &loc) const;
+
+    nvmodel::TechParams params_;
+    AddressMapper mapper_;
+    std::vector<BankModel> banks_;
+    Ns channelFree_ = 0.0;
+    std::unordered_map<std::uint64_t, std::uint8_t> store_;
+    StatGroup stats_;
+};
+
+} // namespace prime::memory
+
+#endif // PRIME_MEMORY_MAIN_MEMORY_HH

@@ -1,0 +1,70 @@
+#include "memory/wear_leveling.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prime::memory {
+
+StartGapLeveler::StartGapLeveler(std::uint32_t lines,
+                                 std::uint32_t gap_move_period)
+    : lines_(lines), period_(gap_move_period), gap_(lines),
+      physicalWrites_(lines + 1, 0)
+{
+    PRIME_ASSERT(lines >= 2, "region needs at least 2 lines");
+    PRIME_ASSERT(gap_move_period >= 1, "period >= 1");
+}
+
+std::uint32_t
+StartGapLeveler::physicalLine(std::uint32_t logical) const
+{
+    PRIME_ASSERT(logical < lines_, "logical line ", logical, " of ",
+                 lines_);
+    // Canonical Start-Gap mapping over N+1 physical slots: rotate by
+    // Start, then skip the gap slot.
+    std::uint32_t pa = (logical + start_) % lines_;
+    if (pa >= gap_)
+        ++pa;
+    return pa;
+}
+
+std::uint32_t
+StartGapLeveler::recordWrite(std::uint32_t logical)
+{
+    const std::uint32_t pa = physicalLine(logical);
+    ++physicalWrites_[pa];
+
+    if (++writesSinceMove_ >= period_) {
+        writesSinceMove_ = 0;
+        ++gapMoves_;
+        if (gap_ == 0) {
+            // Rotation complete: the gap wraps and the whole region has
+            // shifted by one line.
+            gap_ = lines_;
+            start_ = (start_ + 1) % lines_;
+        } else {
+            // Copy line (gap-1) into the gap slot; that copy is itself
+            // a write to the destination.
+            ++physicalWrites_[gap_];
+            --gap_;
+        }
+    }
+    return pa;
+}
+
+double
+StartGapLeveler::wearRatio() const
+{
+    std::uint64_t total = 0, peak = 0;
+    for (std::uint64_t w : physicalWrites_) {
+        total += w;
+        peak = std::max(peak, w);
+    }
+    if (total == 0)
+        return 1.0;
+    const double mean =
+        static_cast<double>(total) / physicalWrites_.size();
+    return static_cast<double>(peak) / mean;
+}
+
+} // namespace prime::memory

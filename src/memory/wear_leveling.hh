@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Start-Gap wear leveling (Qureshi et al. [23], cited by the paper's
+ * endurance discussion in Section II-A).
+ *
+ * ReRAM endurance (~1e12) is far better than PCM's but main-memory
+ * write streams still concentrate on hot lines; Start-Gap rotates a
+ * spare "gap" line through the region so every physical line
+ * periodically moves, spreading writes with only two registers (start,
+ * gap) and one extra line of storage.
+ *
+ * Mapping (for a region of N logical lines over N+1 physical slots):
+ *   physical = (logical + start) mod (N + 1)
+ *   if physical >= gap: physical += 1   -- skip the gap slot... (the
+ * canonical formulation keeps it simpler: lines below the gap are
+ * shifted by one).  After every `gapMovePeriod` writes the gap swaps
+ * with its neighbor; a full rotation increments `start`.
+ */
+
+#ifndef PRIME_MEMORY_WEAR_LEVELING_HH
+#define PRIME_MEMORY_WEAR_LEVELING_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace prime::memory {
+
+/** Start-Gap remapper over one region of lines. */
+class StartGapLeveler
+{
+  public:
+    /**
+     * @param lines            logical line count N (physical = N + 1)
+     * @param gap_move_period  writes between gap movements (paper value
+     *                         psi = 100)
+     */
+    explicit StartGapLeveler(std::uint32_t lines,
+                             std::uint32_t gap_move_period = 100);
+
+    /** Translate a logical line to its current physical slot. */
+    std::uint32_t physicalLine(std::uint32_t logical) const;
+
+    /**
+     * Record one write to a logical line; occasionally moves the gap.
+     * Returns the physical slot the write landed in.
+     */
+    std::uint32_t recordWrite(std::uint32_t logical);
+
+    std::uint32_t lines() const { return lines_; }
+    std::uint32_t start() const { return start_; }
+    std::uint32_t gap() const { return gap_; }
+    /** Gap movements so far (each is one line copy). */
+    std::uint64_t gapMoves() const { return gapMoves_; }
+    /** Write counts per physical slot (for wear analysis). */
+    const std::vector<std::uint64_t> &physicalWrites() const
+    {
+        return physicalWrites_;
+    }
+
+    /**
+     * Wear-flattening quality: max physical writes / mean physical
+     * writes (1.0 = perfectly level).
+     */
+    double wearRatio() const;
+
+  private:
+    std::uint32_t lines_;
+    std::uint32_t period_;
+    std::uint32_t start_ = 0;
+    std::uint32_t gap_;
+    std::uint32_t writesSinceMove_ = 0;
+    std::uint64_t gapMoves_ = 0;
+    std::vector<std::uint64_t> physicalWrites_;
+};
+
+} // namespace prime::memory
+
+#endif // PRIME_MEMORY_WEAR_LEVELING_HH

@@ -1,0 +1,92 @@
+#include "nn/dataset.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.hh"
+
+namespace prime::nn {
+
+namespace {
+
+/** Classic 5x7 digit font, one string per row, '#' = stroke. */
+const std::array<std::array<const char *, 7>, 10> kFont = {{
+    {" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "},  // 0
+    {"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "},  // 1
+    {" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"},  // 2
+    {"#####", "   # ", "  #  ", "   # ", "    #", "#   #", " ### "},  // 3
+    {"   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "},  // 4
+    {"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "},  // 5
+    {"  ## ", " #   ", "#    ", "#### ", "#   #", "#   #", " ### "},  // 6
+    {"#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "},  // 7
+    {" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "},  // 8
+    {" ### ", "#   #", "#   #", " ####", "    #", "   # ", " ##  "},  // 9
+}};
+
+} // namespace
+
+const std::vector<int> &
+SyntheticMnist::glyph(int digit)
+{
+    PRIME_ASSERT(digit >= 0 && digit < kClasses, "digit ", digit);
+    static std::array<std::vector<int>, 10> cache;
+    std::vector<int> &g = cache[static_cast<std::size_t>(digit)];
+    if (g.empty()) {
+        g.reserve(35);
+        for (const char *row : kFont[static_cast<std::size_t>(digit)])
+            for (int c = 0; c < 5; ++c)
+                g.push_back(row[c] == '#' ? 1 : 0);
+    }
+    return g;
+}
+
+SyntheticMnist::SyntheticMnist(const SyntheticMnistOptions &options)
+    : options_(options), rng_(options.seed)
+{
+}
+
+Sample
+SyntheticMnist::generateDigit(int digit)
+{
+    const std::vector<int> &g = glyph(digit);
+    Tensor img({1, kHeight, kWidth});
+
+    // Scale the 5x7 glyph by 3 -> 15x21 and place with jitter inside the
+    // 28x28 canvas.
+    const int scale = 3;
+    const int gw = 5 * scale, gh = 7 * scale;
+    const int max_ox = kWidth - gw, max_oy = kHeight - gh;
+    const int ox = static_cast<int>(rng_.uniformInt(
+        std::max(0, max_ox / 2 - options_.jitterX),
+        std::min(max_ox, max_ox / 2 + options_.jitterX)));
+    const int oy = static_cast<int>(rng_.uniformInt(
+        std::max(0, max_oy / 2 - options_.jitterY),
+        std::min(max_oy, max_oy / 2 + options_.jitterY)));
+
+    for (int y = 0; y < gh; ++y) {
+        for (int x = 0; x < gw; ++x) {
+            const int stroke = g[static_cast<std::size_t>(y / scale) * 5 +
+                                 x / scale];
+            if (stroke && !rng_.bernoulli(options_.strokeDropout))
+                img.at3(0, oy + y, ox + x) = rng_.uniform(0.6, 1.0);
+        }
+    }
+    for (std::size_t i = 0; i < img.size(); ++i) {
+        double v = img[i] + rng_.gaussian(0.0, options_.noiseSigma);
+        img[i] = std::clamp(v, 0.0, 1.0);
+    }
+    return Sample{std::move(img), digit};
+}
+
+std::vector<Sample>
+SyntheticMnist::generate(int count)
+{
+    PRIME_ASSERT(count > 0, "count=", count);
+    std::vector<Sample> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        out.push_back(generateDigit(i % kClasses));
+    return out;
+}
+
+} // namespace prime::nn

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Synthetic MNIST substitute.
+ *
+ * The paper's Figure 6 precision study runs a LeNet-style CNN over the
+ * MNIST handwritten digits [67].  MNIST itself is not available in this
+ * offline environment, so we generate a deterministic digit-glyph task
+ * with the same shape: 10 classes of 28x28 grayscale images, drawn from
+ * a 5x7 stroke font scaled 3x, with random placement jitter, stroke
+ * dropout, amplitude variation and additive noise.  What Figure 6
+ * measures -- how classification accuracy degrades as input and synaptic
+ * weight precision shrink -- only needs a learnable 10-class image task,
+ * which this preserves (see DESIGN.md, substitutions).
+ */
+
+#ifndef PRIME_NN_DATASET_HH
+#define PRIME_NN_DATASET_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/network.hh"
+
+namespace prime::nn {
+
+/** Generator options. */
+struct SyntheticMnistOptions
+{
+    /** Per-pixel additive Gaussian noise sigma. */
+    double noiseSigma = 0.10;
+    /** Probability a stroke pixel drops out. */
+    double strokeDropout = 0.05;
+    /** Maximum horizontal placement jitter in pixels. */
+    int jitterX = 6;
+    /** Maximum vertical placement jitter in pixels. */
+    int jitterY = 3;
+    /** RNG seed. */
+    unsigned long long seed = 42;
+};
+
+/** Deterministic synthetic digit dataset (28x28, labels 0..9). */
+class SyntheticMnist
+{
+  public:
+    static constexpr int kHeight = 28;
+    static constexpr int kWidth = 28;
+    static constexpr int kClasses = 10;
+
+    explicit SyntheticMnist(const SyntheticMnistOptions &options = {});
+
+    /** Generate @p count samples with shape (1, 28, 28), labels round-robin. */
+    std::vector<Sample> generate(int count);
+
+    /** Generate one sample of a given digit. */
+    Sample generateDigit(int digit);
+
+    /** The 5x7 stroke bitmap of a digit (row-major, 35 entries of 0/1). */
+    static const std::vector<int> &glyph(int digit);
+
+  private:
+    SyntheticMnistOptions options_;
+    Rng rng_;
+};
+
+} // namespace prime::nn
+
+#endif // PRIME_NN_DATASET_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Layer interface for the NN substrate: forward/backward with cached
+ * activations, SGD parameter updates, and enough introspection for the
+ * quantized PRIME runtime to lift trained weights out of a network.
+ */
+
+#ifndef PRIME_NN_LAYER_HH
+#define PRIME_NN_LAYER_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace prime::nn {
+
+/** Discriminates layer types for mapping and quantization. */
+enum class LayerKind
+{
+    FullyConnected,
+    Convolution,
+    MaxPool,
+    MeanPool,
+    Sigmoid,
+    Relu,
+    Flatten,
+};
+
+/** Human-readable layer kind. */
+const char *layerKindName(LayerKind kind);
+
+/**
+ * One differentiable layer.  forward() caches whatever backward() needs;
+ * backward() receives dL/d(output) and returns dL/d(input), accumulating
+ * parameter gradients internally.
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    virtual LayerKind kind() const = 0;
+    virtual std::string name() const = 0;
+
+    virtual Tensor forward(const Tensor &input) = 0;
+    virtual Tensor backward(const Tensor &grad_output) = 0;
+
+    /** Apply one SGD update and clear gradients (no-op if stateless). */
+    virtual void sgdStep(double /*learning_rate*/) {}
+
+    /** Trainable weights (nullptr for stateless layers). */
+    virtual std::vector<double> *weights() { return nullptr; }
+    virtual const std::vector<double> *weights() const { return nullptr; }
+
+    /** Trainable bias (nullptr for stateless layers). */
+    virtual std::vector<double> *bias() { return nullptr; }
+    virtual const std::vector<double> *bias() const { return nullptr; }
+};
+
+} // namespace prime::nn
+
+#endif // PRIME_NN_LAYER_HH

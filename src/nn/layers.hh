@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Concrete layers of the NN substrate: fully-connected, 2-D convolution,
+ * max/mean pooling, sigmoid, ReLU, flatten.  These mirror exactly the
+ * layer set PRIME accelerates (paper Section III-E).
+ */
+
+#ifndef PRIME_NN_LAYERS_HH
+#define PRIME_NN_LAYERS_HH
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "nn/layer.hh"
+
+namespace prime::nn {
+
+/** y = W x + b with W stored row-major [out][in]. */
+class FullyConnected : public Layer
+{
+  public:
+    FullyConnected(int in_features, int out_features, Rng &rng);
+
+    LayerKind kind() const override { return LayerKind::FullyConnected; }
+    std::string name() const override;
+
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+    void sgdStep(double learning_rate) override;
+
+    std::vector<double> *weights() override { return &w_; }
+    const std::vector<double> *weights() const override { return &w_; }
+    std::vector<double> *bias() override { return &b_; }
+    const std::vector<double> *bias() const override { return &b_; }
+
+    int inFeatures() const { return in_; }
+    int outFeatures() const { return out_; }
+
+  private:
+    int in_;
+    int out_;
+    std::vector<double> w_, b_, gw_, gb_;
+    Tensor lastInput_;
+};
+
+/**
+ * 2-D convolution over (c, h, w) tensors, stride 1, optional symmetric
+ * zero padding.  Weights are [outC][inC][k][k].
+ */
+class Convolution : public Layer
+{
+  public:
+    Convolution(int in_channels, int in_height, int in_width,
+                int out_channels, int kernel, int padding, Rng &rng);
+
+    LayerKind kind() const override { return LayerKind::Convolution; }
+    std::string name() const override;
+
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+    void sgdStep(double learning_rate) override;
+
+    std::vector<double> *weights() override { return &w_; }
+    const std::vector<double> *weights() const override { return &w_; }
+    std::vector<double> *bias() override { return &b_; }
+    const std::vector<double> *bias() const override { return &b_; }
+
+    int inChannels() const { return inC_; }
+    int inHeight() const { return inH_; }
+    int inWidth() const { return inW_; }
+    int outChannels() const { return outC_; }
+    int kernel() const { return k_; }
+    int padding() const { return pad_; }
+    int outHeight() const { return inH_ + 2 * pad_ - k_ + 1; }
+    int outWidth() const { return inW_ + 2 * pad_ - k_ + 1; }
+
+  private:
+    double &wAt(int oc, int ic, int kh, int kw);
+    double wAt(int oc, int ic, int kh, int kw) const;
+
+    int inC_, inH_, inW_, outC_, k_, pad_;
+    std::vector<double> w_, b_, gw_, gb_;
+    Tensor lastInput_;
+};
+
+/** k x k max pooling with stride k over (c, h, w). */
+class MaxPool : public Layer
+{
+  public:
+    explicit MaxPool(int k = 2) : k_(k) {}
+
+    LayerKind kind() const override { return LayerKind::MaxPool; }
+    std::string name() const override { return "maxpool"; }
+
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+
+    int k() const { return k_; }
+
+  private:
+    int k_;
+    std::vector<int> argmax_;
+    std::vector<int> inShape_;
+};
+
+/** k x k mean pooling with stride k over (c, h, w). */
+class MeanPool : public Layer
+{
+  public:
+    explicit MeanPool(int k = 2) : k_(k) {}
+
+    LayerKind kind() const override { return LayerKind::MeanPool; }
+    std::string name() const override { return "meanpool"; }
+
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+
+    int k() const { return k_; }
+
+  private:
+    int k_;
+    std::vector<int> inShape_;
+};
+
+/** Elementwise logistic sigmoid. */
+class Sigmoid : public Layer
+{
+  public:
+    LayerKind kind() const override { return LayerKind::Sigmoid; }
+    std::string name() const override { return "sigmoid"; }
+
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+
+  private:
+    Tensor lastOutput_;
+};
+
+/** Elementwise rectified linear unit. */
+class Relu : public Layer
+{
+  public:
+    LayerKind kind() const override { return LayerKind::Relu; }
+    std::string name() const override { return "relu"; }
+
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+
+  private:
+    Tensor lastInput_;
+};
+
+/** Shape adapter from (c, h, w) to a flat vector. */
+class Flatten : public Layer
+{
+  public:
+    LayerKind kind() const override { return LayerKind::Flatten; }
+    std::string name() const override { return "flatten"; }
+
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+
+  private:
+    std::vector<int> inShape_;
+};
+
+} // namespace prime::nn
+
+#endif // PRIME_NN_LAYERS_HH

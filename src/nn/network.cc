@@ -1,0 +1,129 @@
+#include "nn/network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace prime::nn {
+
+std::vector<double>
+softmax(const Tensor &logits)
+{
+    double max_logit = -1.0e300;
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        max_logit = std::max(max_logit, logits[i]);
+    std::vector<double> p(logits.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        p[i] = std::exp(logits[i] - max_logit);
+        sum += p[i];
+    }
+    for (double &v : p)
+        v /= sum;
+    return p;
+}
+
+double
+softmaxCrossEntropy(const Tensor &logits, int label, Tensor &grad)
+{
+    PRIME_ASSERT(label >= 0 &&
+                     label < static_cast<int>(logits.size()),
+                 "label ", label);
+    std::vector<double> p = softmax(logits);
+    grad = Tensor({static_cast<int>(logits.size())});
+    for (std::size_t i = 0; i < p.size(); ++i)
+        grad[i] = p[i];
+    grad[static_cast<std::size_t>(label)] -= 1.0;
+    const double eps = 1.0e-12;
+    return -std::log(p[static_cast<std::size_t>(label)] + eps);
+}
+
+void
+Network::add(std::unique_ptr<Layer> layer)
+{
+    PRIME_ASSERT(layer != nullptr, "null layer");
+    layers_.push_back(std::move(layer));
+}
+
+Tensor
+Network::forward(const Tensor &input)
+{
+    Tensor x = input;
+    for (auto &layer : layers_)
+        x = layer->forward(x);
+    return x;
+}
+
+void
+Network::backward(const Tensor &loss_grad)
+{
+    Tensor g = loss_grad;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+}
+
+void
+Network::sgdStep(double learning_rate)
+{
+    for (auto &layer : layers_)
+        layer->sgdStep(learning_rate);
+}
+
+int
+Network::predict(const Tensor &input)
+{
+    return static_cast<int>(forward(input).argmax());
+}
+
+std::size_t
+Network::parameterCount() const
+{
+    std::size_t n = 0;
+    for (const auto &layer : layers_) {
+        if (const auto *w = layer->weights())
+            n += w->size();
+        if (const auto *b = layer->bias())
+            n += b->size();
+    }
+    return n;
+}
+
+double
+Trainer::train(Network &net, const std::vector<Sample> &train_set,
+               const Options &options)
+{
+    PRIME_ASSERT(!train_set.empty(), "empty training set");
+    Rng rng(options.seed);
+    double lr = options.learningRate;
+    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+        std::vector<std::size_t> order = rng.permutation(train_set.size());
+        double loss_sum = 0.0;
+        for (std::size_t idx : order) {
+            const Sample &s = train_set[idx];
+            Tensor logits = net.forward(s.input);
+            Tensor grad;
+            loss_sum += softmaxCrossEntropy(logits, s.label, grad);
+            net.backward(grad);
+            net.sgdStep(lr);
+        }
+        PRIME_INFORM("epoch ", epoch, " mean loss ",
+                     loss_sum / train_set.size(), " lr ", lr);
+        lr *= options.lrDecay;
+    }
+    return evaluate(net, train_set);
+}
+
+double
+Trainer::evaluate(Network &net, const std::vector<Sample> &test_set)
+{
+    PRIME_ASSERT(!test_set.empty(), "empty test set");
+    std::size_t correct = 0;
+    for (const Sample &s : test_set)
+        if (net.predict(s.input) == s.label)
+            ++correct;
+    return static_cast<double>(correct) / test_set.size();
+}
+
+} // namespace prime::nn

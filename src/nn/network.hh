@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A sequential network of layers plus softmax cross-entropy training
+ * support.  This is the off-line training substrate: PRIME itself only
+ * runs inference (training is future work in the paper), so the trainer
+ * produces the `NN param.file` weights that Program_Weight installs.
+ */
+
+#ifndef PRIME_NN_NETWORK_HH
+#define PRIME_NN_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace prime::nn {
+
+/** Softmax + cross-entropy: returns loss and writes dL/dlogits. */
+double softmaxCrossEntropy(const Tensor &logits, int label, Tensor &grad);
+
+/** Numerically-stable softmax probabilities. */
+std::vector<double> softmax(const Tensor &logits);
+
+/** A plain sequential network. */
+class Network
+{
+  public:
+    Network() = default;
+    Network(Network &&) = default;
+    Network &operator=(Network &&) = default;
+
+    /** Append a layer (takes ownership). */
+    void add(std::unique_ptr<Layer> layer);
+
+    /** Run all layers forward. */
+    Tensor forward(const Tensor &input);
+
+    /** Backpropagate a loss gradient through all layers. */
+    void backward(const Tensor &loss_grad);
+
+    /** One SGD update on every trainable layer. */
+    void sgdStep(double learning_rate);
+
+    /** Forward + argmax. */
+    int predict(const Tensor &input);
+
+    /** Total trainable parameter count. */
+    std::size_t parameterCount() const;
+
+    std::size_t layerCount() const { return layers_.size(); }
+    Layer &layer(std::size_t i) { return *layers_[i]; }
+    const Layer &layer(std::size_t i) const { return *layers_[i]; }
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/** One labelled sample. */
+struct Sample
+{
+    Tensor input;
+    int label = 0;
+};
+
+/** SGD trainer with per-epoch accuracy reporting. */
+class Trainer
+{
+  public:
+    struct Options
+    {
+        int epochs = 3;
+        double learningRate = 0.01;
+        /** Learning-rate decay multiplier applied per epoch. */
+        double lrDecay = 0.7;
+        unsigned long long seed = 7;
+    };
+
+    /** Train in place; returns final training-set accuracy. */
+    static double train(Network &net, const std::vector<Sample> &train_set,
+                        const Options &options);
+
+    /** Classification accuracy on a dataset. */
+    static double evaluate(Network &net, const std::vector<Sample> &test_set);
+};
+
+} // namespace prime::nn
+
+#endif // PRIME_NN_NETWORK_HH

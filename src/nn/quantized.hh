@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Quantized inference runtime (paper Section III-D, Figure 6).
+ *
+ * Two fidelity levels share the same trained weights:
+ *
+ *   Fidelity::DynamicFixedPoint -- the software study behind Figure 6:
+ *     inputs/activations and synaptic weights of every layer are rounded
+ *     to dynamic fixed point [68] of configurable bit widths, arithmetic
+ *     stays in doubles.  Sweeping 1..8 bits reproduces the accuracy-vs-
+ *     precision surface.
+ *
+ *   Fidelity::ComposedHardware -- the PRIME datapath emulation: weighted
+ *     layers run through the input & synapse composing integer pipeline
+ *     (3-bit input phases, 4-bit cells, 6-bit SA codes) exactly as the
+ *     FF subarray hardware would compute them, including the HH/HL/LH
+ *     truncation.  Used to validate end-to-end fidelity of the hardware
+ *     path against the software quantization.
+ */
+
+#ifndef PRIME_NN_QUANTIZED_HH
+#define PRIME_NN_QUANTIZED_HH
+
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "nn/network.hh"
+#include "nn/topology.hh"
+#include "reram/composing.hh"
+#include "reram/faults.hh"
+
+namespace prime::nn {
+
+/** How faithfully to emulate the PRIME datapath. */
+enum class Fidelity
+{
+    DynamicFixedPoint,
+    ComposedHardware,
+};
+
+/** Quantization configuration. */
+struct QuantizedOptions
+{
+    /** Input/activation precision in bits (Figure 6 x-axis). */
+    int inputBits = 6;
+    /** Synaptic weight precision in bits (Figure 6 series). */
+    int weightBits = 8;
+    Fidelity fidelity = Fidelity::DynamicFixedPoint;
+    /** Composing parameters for ComposedHardware fidelity. */
+    reram::ComposingParams composing;
+};
+
+/**
+ * An inference-only network with per-layer quantized weights, built by
+ * lifting the trained parameters out of a functional Network.
+ */
+class QuantizedNetwork
+{
+  public:
+    /**
+     * @param topology layer specs (must match @p trained layer for layer)
+     * @param trained  the float network whose weights are quantized
+     */
+    QuantizedNetwork(const Topology &topology, const Network &trained,
+                     const QuantizedOptions &options);
+
+    /**
+     * Profile the per-layer SA window on sample data (ComposedHardware
+     * fidelity): runs the quantized pipeline recording each layer's
+     * maximum integer dot-product magnitude, then sets the layer's
+     * reconfigurable-SA shift with a 2x safety margin.  Uncalibrated
+     * layers fall back to the conservative worst-case-weight window.
+     */
+    void calibrate(const std::vector<Sample> &samples);
+
+    /** Quantized forward pass; returns logits. */
+    Tensor forward(const Tensor &input) const;
+
+    /** Argmax classification. */
+    int predict(const Tensor &input) const;
+
+    /** Accuracy over a dataset. */
+    double accuracy(const std::vector<Sample> &samples) const;
+
+    /**
+     * Reliability study hooks: corrupt the stored weights as the
+     * physical arrays would.  injectCellFaults() applies stuck-at
+     * faults under the composing cell layout (reram::injectWeightFaults)
+     * to every weighted layer; applyProgrammingVariation() perturbs each
+     * weight multiplicatively with the lognormal conductance-tuning
+     * error of [31].  Both are destructive; construct a fresh network
+     * per trial.
+     */
+    void injectCellFaults(const reram::FaultModel &model, Rng &rng);
+    void applyProgrammingVariation(double sigma, Rng &rng);
+
+    const QuantizedOptions &options() const { return options_; }
+
+  private:
+    /** Per-layer quantized parameters. */
+    struct QLayer
+    {
+        LayerSpec spec;
+        /** Weights after quantize-dequantize (dfx round trip). */
+        std::vector<double> weights;
+        std::vector<double> bias;
+        DfxFormat weightFormat;
+        /** Calibrated SA-window shift (-1: use the worst-case bound). */
+        int outputShift = -1;
+        /** Peak |integer dot product| observed while calibrating. */
+        std::int64_t calibrationPeak = 0;
+    };
+
+    Tensor quantizeActivations(const Tensor &x) const;
+    Tensor forwardFc(QLayer &q, const Tensor &x) const;
+    Tensor forwardConv(QLayer &q, const Tensor &x) const;
+    /** Composed-hardware signed MVM used by both FC and conv lowering. */
+    std::vector<double>
+    composedMvm(QLayer &q, const std::vector<double> &inputs,
+                const std::vector<std::vector<double>> &weight_cols) const;
+
+    Topology topology_;
+    QuantizedOptions options_;
+    mutable std::vector<QLayer> qlayers_;
+    /** True while calibrate() drives forward passes. */
+    bool calibrating_ = false;
+};
+
+} // namespace prime::nn
+
+#endif // PRIME_NN_QUANTIZED_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Spiking-neural-network extension (paper Section II-B: "ReRAM can also
+ * implement SNN [13]. Making PRIME to support SNN is our future work").
+ *
+ * We implement the standard rate-coded conversion: a trained MLP's
+ * weights are reused unchanged; inputs are encoded as Bernoulli spike
+ * trains whose rate is the analog input value; neurons are
+ * leaky-integrate-and-fire (LIF); the class with the most output spikes
+ * wins.  On PRIME hardware each timestep drives the crossbar wordlines
+ * with *binary* spikes, i.e. a single 1-bit input phase -- no input
+ * composing is needed, which halves the passes per MVM (the cost model
+ * below accounts for this).
+ */
+
+#ifndef PRIME_NN_SNN_HH
+#define PRIME_NN_SNN_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/network.hh"
+#include "nn/topology.hh"
+#include "nvmodel/energy_model.hh"
+#include "nvmodel/latency_model.hh"
+
+namespace prime::nn {
+
+/** LIF neuron configuration. */
+struct LifParams
+{
+    /** Firing threshold on the membrane potential. */
+    double threshold = 1.0;
+    /** Per-timestep leak multiplier (1.0 = perfect integrator). */
+    double leak = 1.0;
+    /** Reset-by-subtraction (true) or reset-to-zero (false). */
+    bool resetBySubtraction = true;
+};
+
+/**
+ * A rate-coded spiking version of a trained fully-connected network.
+ * Conv layers are not supported (the paper's SNN references are
+ * MLP-style cores); construction rejects them.
+ */
+class SpikingNetwork
+{
+  public:
+    /**
+     * Lift weights from @p trained (must follow @p topology).  Weights
+     * are normalized per layer by the maximum positive activation the
+     * float network produces on @p calibration (standard data-based
+     * threshold balancing) so spike rates stay in range.
+     */
+    SpikingNetwork(const Topology &topology, const Network &trained,
+                   const std::vector<Sample> &calibration,
+                   const LifParams &params = {});
+
+    /**
+     * Simulate @p timesteps of rate-coded input; returns per-class
+     * output spike counts.
+     */
+    std::vector<int> simulate(const Tensor &input, int timesteps,
+                              Rng &rng) const;
+
+    /** Argmax over output spike counts. */
+    int predict(const Tensor &input, int timesteps, Rng &rng) const;
+
+    /** Classification accuracy at a given simulation length. */
+    double accuracy(const std::vector<Sample> &samples, int timesteps,
+                    Rng &rng) const;
+
+    /** Number of spiking (weighted) layers. */
+    std::size_t layerCount() const { return layers_.size(); }
+
+    /**
+     * PRIME cost of one inference: timesteps x one binary-input crossbar
+     * pass per weighted layer (half the passes of the rate-based MVM,
+     * since spikes need no input composing).
+     */
+    Ns modeledLatency(const nvmodel::LatencyModel &lat,
+                      int timesteps) const;
+    PicoJoule modeledEnergy(const nvmodel::EnergyModel &energy,
+                            int timesteps) const;
+
+  private:
+    struct SpikingLayer
+    {
+        int inFeatures = 0;
+        int outFeatures = 0;
+        /** Row-major [out][in], threshold-balanced. */
+        std::vector<double> weights;
+        std::vector<double> bias;
+    };
+
+    LifParams params_;
+    std::vector<SpikingLayer> layers_;
+};
+
+} // namespace prime::nn
+
+#endif // PRIME_NN_SNN_HH

@@ -1,0 +1,80 @@
+#include "nn/tensor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prime::nn {
+
+std::size_t
+shapeSize(const std::vector<int> &shape)
+{
+    std::size_t n = 1;
+    for (int d : shape) {
+        PRIME_ASSERT(d > 0, "non-positive dimension ", d);
+        n *= static_cast<std::size_t>(d);
+    }
+    return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shapeSize(shape_), 0.0)
+{
+}
+
+Tensor::Tensor(std::vector<int> shape, std::vector<double> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    PRIME_ASSERT(data_.size() == shapeSize(shape_),
+                 "shape/data mismatch: ", data_.size(), " vs ",
+                 shapeSize(shape_));
+}
+
+Tensor
+Tensor::vector1d(std::vector<double> data)
+{
+    const int n = static_cast<int>(data.size());
+    return Tensor({n}, std::move(data));
+}
+
+double &
+Tensor::at3(int c, int h, int w)
+{
+    PRIME_ASSERT(shape_.size() == 3, "at3 on rank-", shape_.size());
+    PRIME_ASSERT(c >= 0 && c < shape_[0] && h >= 0 && h < shape_[1] &&
+                     w >= 0 && w < shape_[2],
+                 "at3(", c, ",", h, ",", w, ")");
+    const std::size_t idx =
+        (static_cast<std::size_t>(c) * shape_[1] + h) * shape_[2] + w;
+    return data_[idx];
+}
+
+double
+Tensor::at3(int c, int h, int w) const
+{
+    return const_cast<Tensor *>(this)->at3(c, h, w);
+}
+
+Tensor
+Tensor::reshaped(std::vector<int> new_shape) const
+{
+    PRIME_ASSERT(shapeSize(new_shape) == data_.size(),
+                 "reshape size mismatch");
+    return Tensor(std::move(new_shape), data_);
+}
+
+void
+Tensor::fill(double value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+std::size_t
+Tensor::argmax() const
+{
+    PRIME_ASSERT(!data_.empty(), "argmax of empty tensor");
+    return static_cast<std::size_t>(
+        std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+} // namespace prime::nn

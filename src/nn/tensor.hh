@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal dense tensor for the NN substrate.
+ *
+ * The functional network (training + quantized inference) works in
+ * doubles; the PRIME datapath emulation quantizes at layer boundaries.
+ * Shapes are row-major; images are stored as (channels, height, width).
+ */
+
+#ifndef PRIME_NN_TENSOR_HH
+#define PRIME_NN_TENSOR_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace prime::nn {
+
+/** A dense row-major tensor of doubles. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Construct zero-filled with the given shape. */
+    explicit Tensor(std::vector<int> shape);
+
+    /** Construct from shape and flat data (sizes must agree). */
+    Tensor(std::vector<int> shape, std::vector<double> data);
+
+    /** 1-D convenience constructor. */
+    static Tensor vector1d(std::vector<double> data);
+
+    const std::vector<int> &shape() const { return shape_; }
+    std::size_t size() const { return data_.size(); }
+
+    double *data() { return data_.data(); }
+    const double *data() const { return data_.data(); }
+    std::vector<double> &flat() { return data_; }
+    const std::vector<double> &flat() const { return data_; }
+
+    double &operator[](std::size_t i) { return data_[i]; }
+    double operator[](std::size_t i) const { return data_[i]; }
+
+    /** 3-D (c, h, w) accessors; asserts a rank-3 shape. */
+    double &at3(int c, int h, int w);
+    double at3(int c, int h, int w) const;
+
+    /** Reinterpret with a new shape of identical element count. */
+    Tensor reshaped(std::vector<int> new_shape) const;
+
+    /** Fill with a constant. */
+    void fill(double value);
+
+    /** Index of the maximum element (argmax over the flat data). */
+    std::size_t argmax() const;
+
+  private:
+    std::vector<int> shape_;
+    std::vector<double> data_;
+};
+
+/** Element count implied by a shape. */
+std::size_t shapeSize(const std::vector<int> &shape);
+
+} // namespace prime::nn
+
+#endif // PRIME_NN_TENSOR_HH

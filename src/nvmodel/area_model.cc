@@ -1,0 +1,82 @@
+#include "nvmodel/area_model.hh"
+
+namespace prime::nvmodel {
+
+SquareUm
+AreaModel::matArrayArea() const
+{
+    const Geometry &g = params_.geometry;
+    const double cells = static_cast<double>(g.matRows) * g.matCols *
+                         g.arraysPerFfMat;
+    return cells * params_.area.cellArea();
+}
+
+SquareUm
+AreaModel::standardMatArea() const
+{
+    const AreaParams &a = params_.area;
+    return matArrayArea() + a.rowDecoder + a.standardWlDrivers +
+           a.columnMux + a.standardSenseAmps + a.writeDrivers;
+}
+
+SquareUm
+AreaModel::ffAdditionArea() const
+{
+    const AreaParams &a = params_.area;
+    return a.ffDriverAddition + a.ffSubtraction + a.ffSigmoid +
+           a.ffSaUpgrade + a.ffControlMux;
+}
+
+SquareUm
+AreaModel::ffMatArea() const
+{
+    return standardMatArea() + ffAdditionArea();
+}
+
+SquareUm
+AreaModel::baselineBankArea() const
+{
+    const Geometry &g = params_.geometry;
+    const double mats = static_cast<double>(g.subarraysPerBank) *
+                        g.matsPerSubarray;
+    return mats * standardMatArea() + params_.area.bankFixedOverhead;
+}
+
+SquareUm
+AreaModel::primeBankArea() const
+{
+    const Geometry &g = params_.geometry;
+    const double ff_mats = static_cast<double>(g.ffSubarraysPerBank) *
+                           g.matsPerSubarray;
+    return baselineBankArea() + ff_mats * ffAdditionArea() +
+           params_.area.primeController + params_.area.bufferConnection;
+}
+
+AreaReport
+AreaModel::report() const
+{
+    const AreaParams &a = params_.area;
+    AreaReport r;
+    r.standardMatArea = standardMatArea();
+    r.ffMatArea = ffMatArea();
+
+    auto add = [&](const std::string &name, SquareUm area) {
+        r.ffAdditions.push_back({name, area, area / r.standardMatArea});
+    };
+    add("wordline driver (voltage sources, latch, amp)", a.ffDriverAddition);
+    add("subtraction unit", a.ffSubtraction);
+    add("sigmoid unit", a.ffSigmoid);
+    add("SA upgrade (counter, precision ctrl, ReLU, pool)", a.ffSaUpgrade);
+    add("control and multiplexers", a.ffControlMux);
+
+    r.ffMatIncrease = ffAdditionArea() / r.standardMatArea;
+
+    const int banks = params_.geometry.totalBanks();
+    r.baselineChipArea = baselineBankArea() * banks;
+    r.primeChipArea = primeBankArea() * banks;
+    r.chipOverhead = (r.primeChipArea - r.baselineChipArea) /
+                     r.baselineChipArea;
+    return r;
+}
+
+} // namespace prime::nvmodel

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bottom-up area model (NVSim-style) for the PRIME chip, producing the
+ * Figure 12 breakdown: the FF-mat area increase (driver / subtraction +
+ * sigmoid / control + mux) and the whole-chip overhead (paper: 5.76% for
+ * 2 FF + 1 Buffer subarray per bank).
+ */
+
+#ifndef PRIME_NVMODEL_AREA_MODEL_HH
+#define PRIME_NVMODEL_AREA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "nvmodel/tech_params.hh"
+
+namespace prime::nvmodel {
+
+/** One named area contribution. */
+struct AreaItem
+{
+    std::string name;
+    SquareUm area = 0.0;
+    /** Fraction of the reference (standard mat or chip) area. */
+    double fractionOfReference = 0.0;
+};
+
+/** Figure 12-shaped report. */
+struct AreaReport
+{
+    /** Area of an unmodified memory mat (array + standard periphery). */
+    SquareUm standardMatArea = 0.0;
+    /** Area of an FF mat with all Figure 4 additions. */
+    SquareUm ffMatArea = 0.0;
+    /** Per-addition breakdown, fractions relative to the standard mat. */
+    std::vector<AreaItem> ffAdditions;
+    /** Total FF-mat increase as a fraction of the standard mat (~0.60). */
+    double ffMatIncrease = 0.0;
+    /** Whole-chip area without PRIME modifications. */
+    SquareUm baselineChipArea = 0.0;
+    /** Whole-chip area with PRIME modifications. */
+    SquareUm primeChipArea = 0.0;
+    /** Chip-level overhead fraction (~0.0576). */
+    double chipOverhead = 0.0;
+};
+
+/** Computes component and aggregate areas from TechParams. */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const TechParams &params) : params_(params) {}
+
+    /**
+     * Cell-array area of one mat.  A mat comprises arraysPerFfMat
+     * crossbar arrays (NVSim's 2x2-subarray mat organization); Mem and FF
+     * mats have identical storage, FF mats differ only in periphery.
+     */
+    SquareUm matArrayArea() const;
+
+    /** Standard memory mat: array + conventional periphery. */
+    SquareUm standardMatArea() const;
+
+    /** Sum of the FF additions per mat. */
+    SquareUm ffAdditionArea() const;
+
+    /** FF mat: standard mat + additions. */
+    SquareUm ffMatArea() const;
+
+    /** One bank without PRIME modifications. */
+    SquareUm baselineBankArea() const;
+
+    /** One bank with FF additions, controller and connection unit. */
+    SquareUm primeBankArea() const;
+
+    /** Full Figure 12 report. */
+    AreaReport report() const;
+
+  private:
+    TechParams params_;
+};
+
+} // namespace prime::nvmodel
+
+#endif // PRIME_NVMODEL_AREA_MODEL_HH

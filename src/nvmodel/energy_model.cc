@@ -1,0 +1,89 @@
+#include "nvmodel/energy_model.hh"
+
+namespace prime::nvmodel {
+
+PicoJoule
+EnergyModel::crossbarPhase() const
+{
+    const Geometry &g = params_.geometry;
+    const double cells = static_cast<double>(g.matRows) * g.matCols *
+                         g.arraysPerFfMat;
+    return cells * params_.energy.crossbarPerCellPass;
+}
+
+PicoJoule
+EnergyModel::saConversions(long long count) const
+{
+    return static_cast<double>(count) * params_.energy.saConversion;
+}
+
+PicoJoule
+EnergyModel::matMvm(bool with_sigmoid) const
+{
+    const Geometry &g = params_.geometry;
+    const EnergyParams &e = params_.energy;
+    const int phases = 2;  // composing: high and low input phases
+    // Each logical output column senses two physical bitline components
+    // (weight high/low halves) per phase.
+    const long long conversions =
+        static_cast<long long>(phases) * 2 * g.matCols;
+
+    PicoJoule total = phases * crossbarPhase();
+    total += phases * g.matRows * e.wordlineDrive;
+    total += saConversions(conversions);
+    total += static_cast<double>(phases) * 2 * g.matCols * e.subtraction;
+    if (with_sigmoid)
+        total += g.matCols * e.sigmoid;
+    total += g.matCols * e.reluOrPool;
+    return total;
+}
+
+PicoJoule
+EnergyModel::bufferRead(double bytes) const
+{
+    return bytes * 8.0 * params_.energy.bufferReadPerBit;
+}
+
+PicoJoule
+EnergyModel::bufferWrite(double bytes) const
+{
+    return bytes * 8.0 * params_.energy.bufferWritePerBit;
+}
+
+PicoJoule
+EnergyModel::memRead(double bytes) const
+{
+    return bytes * 8.0 * params_.energy.memReadPerBit;
+}
+
+PicoJoule
+EnergyModel::memWrite(double bytes) const
+{
+    return bytes * 8.0 * params_.energy.memWritePerBit;
+}
+
+PicoJoule
+EnergyModel::gdlTransfer(double bytes) const
+{
+    return bytes * 8.0 * params_.energy.gdlPerBit;
+}
+
+PicoJoule
+EnergyModel::offChipTransfer(double bytes) const
+{
+    return bytes * 8.0 * params_.energy.offChipPerBit;
+}
+
+PicoJoule
+EnergyModel::weightProgramming(long long cells) const
+{
+    return static_cast<double>(cells) * params_.energy.mlcProgramPerCell;
+}
+
+PicoJoule
+EnergyModel::controller(long long commands) const
+{
+    return static_cast<double>(commands) * params_.energy.controllerPerCommand;
+}
+
+} // namespace prime::nvmodel

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-operation energy model for the PRIME memory system (NVSim/CACTI-IO
+ * style).  All results are in picojoules; callers accumulate them into
+ * the evaluation's compute / buffer / memory breakdown (Figure 11).
+ */
+
+#ifndef PRIME_NVMODEL_ENERGY_MODEL_HH
+#define PRIME_NVMODEL_ENERGY_MODEL_HH
+
+#include "nvmodel/tech_params.hh"
+
+namespace prime::nvmodel {
+
+/** Stateless per-operation energy calculator. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const TechParams &params) : params_(params) {}
+
+    /** One analog pass over all crossbar arrays of one FF mat. */
+    PicoJoule crossbarPhase() const;
+
+    /** @p count SA conversions at full output precision. */
+    PicoJoule saConversions(long long count) const;
+
+    /** One full logical mat MVM: two composing phases, drivers, SAs,
+     *  subtraction, optional sigmoid, ReLU/pool logic. */
+    PicoJoule matMvm(bool with_sigmoid) const;
+
+    /** Buffer-subarray traffic through the connection unit. */
+    PicoJoule bufferRead(double bytes) const;
+    PicoJoule bufferWrite(double bytes) const;
+
+    /** Mem-subarray array accesses. */
+    PicoJoule memRead(double bytes) const;
+    PicoJoule memWrite(double bytes) const;
+
+    /** Global data line transfer within a chip. */
+    PicoJoule gdlTransfer(double bytes) const;
+
+    /** Off-chip channel transfer (both directions priced the same). */
+    PicoJoule offChipTransfer(double bytes) const;
+
+    /** MLC write-verify programming of @p cells crossbar cells. */
+    PicoJoule weightProgramming(long long cells) const;
+
+    /** PRIME controller executing @p commands Table-I commands. */
+    PicoJoule controller(long long commands) const;
+
+    const TechParams &params() const { return params_; }
+
+  private:
+    TechParams params_;
+};
+
+} // namespace prime::nvmodel
+
+#endif // PRIME_NVMODEL_ENERGY_MODEL_HH

@@ -1,0 +1,64 @@
+#include "nvmodel/latency_model.hh"
+
+#include <cmath>
+
+namespace prime::nvmodel {
+
+Ns
+LatencyModel::matMvm(bool with_sigmoid) const
+{
+    const Geometry &g = params_.geometry;
+    const TimingParams &t = params_.timing;
+    const int phases = 2;  // composing: high and low input phases
+    // Per phase each logical column produces two bitline components
+    // (weight high/low halves); the mat's SAs convert them in rounds.
+    const int conversions_per_phase = 2 * g.matCols;
+    const int rounds = (conversions_per_phase + g.sasPerMat - 1) /
+                       g.sasPerMat;
+    Ns per_phase = t.matDriveSettle +
+                   rounds * t.saConversion(params_.outputBits);
+    Ns total = phases * per_phase;
+    if (with_sigmoid)
+        total += t.analogFunctionDelay;
+    return total;
+}
+
+Ns
+LatencyModel::bufferTransfer(double bytes) const
+{
+    const TimingParams &t = params_.timing;
+    return t.bufferAccess + bytes / t.bufferBytesPerNs;
+}
+
+Ns
+LatencyModel::gdlTransfer(double bytes) const
+{
+    return bytes / params_.timing.gdlBytesPerNs;
+}
+
+Ns
+LatencyModel::offChipTransfer(double bytes) const
+{
+    return bytes / params_.timing.channelBandwidth();
+}
+
+Ns
+LatencyModel::memRowAccess() const
+{
+    const TimingParams &t = params_.timing;
+    return t.tRcd + t.tCl;
+}
+
+Ns
+LatencyModel::interBankTransfer(double bytes) const
+{
+    return params_.timing.interBankHop + gdlTransfer(bytes);
+}
+
+Ns
+LatencyModel::weightProgramming(long long rows) const
+{
+    return static_cast<double>(rows) * params_.timing.mlcProgramPerRow;
+}
+
+} // namespace prime::nvmodel

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-operation latency model for the PRIME memory system, built on the
+ * Table IV timing parameters and the FF-datapath timing of Section III.
+ */
+
+#ifndef PRIME_NVMODEL_LATENCY_MODEL_HH
+#define PRIME_NVMODEL_LATENCY_MODEL_HH
+
+#include "nvmodel/tech_params.hh"
+
+namespace prime::nvmodel {
+
+/** Stateless per-operation latency calculator (results in ns). */
+class LatencyModel
+{
+  public:
+    explicit LatencyModel(const TechParams &params) : params_(params) {}
+
+    /**
+     * One full logical mat MVM: two composing phases; per phase the
+     * wordlines are driven, the arrays settle, and the mat's SAs convert
+     * the 2*cols bitline components in rounds of sasPerMat.
+     */
+    Ns matMvm(bool with_sigmoid) const;
+
+    /** Random access into the Buffer subarray via the connection unit. */
+    Ns bufferAccess() const { return params_.timing.bufferAccess; }
+
+    /** Streaming @p bytes between FF latch/registers and the Buffer. */
+    Ns bufferTransfer(double bytes) const;
+
+    /** Streaming @p bytes over the global data lines within a chip. */
+    Ns gdlTransfer(double bytes) const;
+
+    /** Streaming @p bytes over the off-chip channel. */
+    Ns offChipTransfer(double bytes) const;
+
+    /** One closed-row memory read access (activate + column read). */
+    Ns memRowAccess() const;
+
+    /** One row-buffer-hit column access. */
+    Ns memColumnAccess() const { return params_.timing.tCl; }
+
+    /** Write recovery after a memory-mode write burst. */
+    Ns memWriteRecovery() const { return params_.timing.tWr; }
+
+    /** Inter-bank transfer of @p bytes via the shared internal bus. */
+    Ns interBankTransfer(double bytes) const;
+
+    /** Programming @p rows crossbar rows of weights (write-verify MLC). */
+    Ns weightProgramming(long long rows) const;
+
+    const TechParams &params() const { return params_; }
+
+  private:
+    TechParams params_;
+};
+
+} // namespace prime::nvmodel
+
+#endif // PRIME_NVMODEL_LATENCY_MODEL_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Buffer subarray (paper Section III-B): the Mem subarray adjacent to
+ * the FF subarrays, repurposed as an input/output staging buffer.  The
+ * connection unit gives the FF subarrays random access to any buffer
+ * location without touching the global data lines, so the CPU and FF
+ * computation proceed in parallel.
+ */
+
+#ifndef PRIME_PRIME_BUFFER_SUBARRAY_HH
+#define PRIME_PRIME_BUFFER_SUBARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "nvmodel/tech_params.hh"
+
+namespace prime::core {
+
+/** The byte-addressable staging buffer of one bank. */
+class BufferSubarray
+{
+  public:
+    BufferSubarray(const nvmodel::TechParams &tech, StatGroup *stats);
+
+    /** Capacity in bytes (one subarray of SLC mats). */
+    std::size_t capacity() const { return data_.size(); }
+
+    /** Write through the connection unit (FF side) or row buffer (mem side). */
+    void write(std::size_t addr, const std::vector<std::uint8_t> &bytes);
+
+    /** Read @p size bytes. */
+    std::vector<std::uint8_t> read(std::size_t addr, std::size_t size) const;
+
+    /** Convenience: store a vector of doubles (8 bytes each). */
+    void writeValues(std::size_t addr, const std::vector<double> &values);
+
+    /** Convenience: load a vector of doubles. */
+    std::vector<double> readValues(std::size_t addr,
+                                   std::size_t count) const;
+
+    /** Bytes moved through the buffer so far (both directions). */
+    std::uint64_t trafficBytes() const { return traffic_; }
+
+  private:
+    std::vector<std::uint8_t> data_;
+    StatGroup *stats_;
+    mutable std::uint64_t traffic_ = 0;
+};
+
+} // namespace prime::core
+
+#endif // PRIME_PRIME_BUFFER_SUBARRAY_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Full-function (FF) subarray: the morphable ReRAM structure at the heart
+ * of PRIME (paper Section III-A).  Each FF subarray holds a row of mats;
+ * a mat either stores SLC data (memory mode) or holds a programmed
+ * ComposedMatrixEngine executing NN MVMs (computation mode).
+ */
+
+#ifndef PRIME_PRIME_FF_SUBARRAY_HH
+#define PRIME_PRIME_FF_SUBARRAY_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "nvmodel/tech_params.hh"
+#include "reram/composing.hh"
+#include "reram/peripheral.hh"
+
+namespace prime::core {
+
+/** One morphable mat. */
+class FfMat
+{
+  public:
+    explicit FfMat(const nvmodel::TechParams &tech);
+
+    reram::FfMode mode() const { return mode_; }
+
+    /** SLC storage capacity in memory mode. */
+    std::size_t memoryBytes() const;
+
+    /** Memory-mode write (must be in memory mode). */
+    void writeMemory(std::size_t offset,
+                     const std::vector<std::uint8_t> &data);
+
+    /** Memory-mode read. */
+    std::vector<std::uint8_t> readMemory(std::size_t offset,
+                                         std::size_t size) const;
+
+    /**
+     * Morph to computation mode: returns the SLC contents that must be
+     * migrated to Mem subarrays, then programs the engine with signed
+     * logical weights (rows x cols <= mat geometry).
+     */
+    std::vector<std::uint8_t>
+    morphToCompute(const std::vector<std::vector<int>> &weights,
+                   Rng *rng = nullptr);
+
+    /** Morph back to memory mode (wrap-up step); storage starts zeroed. */
+    void morphToMemory();
+
+    /** The compute engine (computation mode only). */
+    const reram::ComposedMatrixEngine &engine() const;
+    reram::ComposedMatrixEngine &engine();
+
+    /** Datapath configuration bits (Table I bypass commands). */
+    void setBypassSigmoid(bool bypass) { bypassSigmoid_ = bypass; }
+    bool bypassSigmoid() const { return bypassSigmoid_; }
+    void setBypassSa(bool bypass) { bypassSa_ = bypass; }
+    bool bypassSa() const { return bypassSa_; }
+    void setInputFromBuffer(bool from_buffer)
+    {
+        inputFromBuffer_ = from_buffer;
+    }
+    bool inputFromBuffer() const { return inputFromBuffer_; }
+
+  private:
+    nvmodel::TechParams tech_;
+    reram::FfMode mode_ = reram::FfMode::Memory;
+    std::vector<std::uint8_t> slc_;
+    std::unique_ptr<reram::ComposedMatrixEngine> engine_;
+    bool bypassSigmoid_ = true;
+    bool bypassSa_ = false;
+    bool inputFromBuffer_ = true;
+};
+
+/** A row of FF mats with shared accounting. */
+class FfSubarray
+{
+  public:
+    FfSubarray(const nvmodel::TechParams &tech, StatGroup *stats);
+
+    int matCount() const { return static_cast<int>(mats_.size()); }
+    FfMat &mat(int index);
+    const FfMat &mat(int index) const;
+
+    /** Mats currently in computation mode. */
+    int computeMats() const;
+
+    /** Aggregate SLC bytes currently serving as normal memory. */
+    std::size_t memoryModeBytes() const;
+
+  private:
+    nvmodel::TechParams tech_;
+    std::vector<FfMat> mats_;
+    StatGroup *stats_;
+};
+
+} // namespace prime::core
+
+#endif // PRIME_PRIME_FF_SUBARRAY_HH

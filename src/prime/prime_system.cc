@@ -1,0 +1,507 @@
+#include "prime/prime_system.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/network.hh"
+
+namespace prime::core {
+
+PrimeSystem::PrimeSystem(const nvmodel::TechParams &tech,
+                         const mapping::MapperOptions &mapper_options)
+    : tech_(tech), mapperOptions_(mapper_options), mem_(tech),
+      buffer_(tech, &stats_),
+      controller_(tech, &mem_, &ff_, &buffer_, &stats_)
+{
+    // One bank's FF subarrays carry the functional model; bank-level
+    // parallelism replicates this configuration unchanged.
+    for (int i = 0; i < tech.geometry.ffSubarraysPerBank; ++i)
+        ff_.emplace_back(tech, &stats_);
+    // Rebind the controller now that ff_ has its final storage.
+    controller_ = PrimeController(tech, &mem_, &ff_, &buffer_, &stats_);
+}
+
+const mapping::MappingPlan &
+PrimeSystem::mapTopology(const nn::Topology &topology)
+{
+    mapping::Mapper mapper(tech_.geometry, mapperOptions_);
+    topology_ = topology;
+    plan_ = mapper.map(topology);
+    programs_.clear();
+    configCommands_.clear();
+    programmed_ = false;
+    configured_ = false;
+    return *plan_;
+}
+
+const mapping::MappingPlan &
+PrimeSystem::plan() const
+{
+    PRIME_ASSERT(plan_.has_value(), "mapTopology not called");
+    return *plan_;
+}
+
+const nn::Topology &
+PrimeSystem::topology() const
+{
+    PRIME_ASSERT(topology_.has_value(), "mapTopology not called");
+    return *topology_;
+}
+
+int
+PrimeSystem::globalMat(const mapping::MatTile &tile) const
+{
+    PRIME_ASSERT(tile.bank == 0,
+                 "functional execution is single-bank; tile in bank ",
+                 tile.bank);
+    return tile.subarray * tech_.geometry.matsPerSubarray + tile.mat;
+}
+
+void
+PrimeSystem::programWeight(const nn::Network &trained, Rng *rng)
+{
+    PRIME_ASSERT(plan_.has_value(), "mapTopology must precede");
+    PRIME_FATAL_IF(plan_->banksUsed > 1,
+                   "functional execution supports single-bank plans; ",
+                   topology_->name, " spans ", plan_->banksUsed,
+                   " banks (use the analytic PrimeModel instead)");
+    PRIME_ASSERT(topology_->layers.size() == trained.layerCount(),
+                 "trained network does not match the mapped topology");
+
+    const int max_w = (1 << tech_.weightBits) - 1;
+    programs_.clear();
+    configCommands_.clear();
+
+    for (const mapping::LayerMapping &m : plan_->layers) {
+        LayerProgram lp;
+        lp.mapping = &m;
+        lp.spec = topology_->layers[static_cast<std::size_t>(
+            m.info.layerIndex)];
+
+        const nn::Layer &layer =
+            trained.layer(static_cast<std::size_t>(m.info.layerIndex));
+        const std::vector<double> *w = layer.weights();
+        const std::vector<double> *b = layer.bias();
+        PRIME_ASSERT(w && b, "weighted layer without parameters");
+
+        // Per-layer dynamic fixed point for the synaptic weights
+        // (Courbariaux-style ~1% clipping for a finer step).
+        DfxFormat fmt = DfxFormat::choose(
+            std::span<const double>(w->data(), w->size()),
+            tech_.weightBits, 0.01);
+        lp.weightFrac = fmt.fracLength;
+        lp.bias = *b;
+        dfxRoundVector(lp.bias, tech_.weightBits);
+
+        // Arrange weight codes as [row][col] of the layer's MVM.
+        const int rows = m.info.rows, cols = m.info.cols;
+        std::vector<std::vector<int>> codes(
+            static_cast<std::size_t>(rows),
+            std::vector<int>(static_cast<std::size_t>(cols), 0));
+        auto set_code = [&](int r, int c, double value) {
+            double mant = std::nearbyint(std::ldexp(value, fmt.fracLength));
+            codes[static_cast<std::size_t>(r)][static_cast<std::size_t>(
+                c)] =
+                static_cast<int>(std::clamp(
+                    mant, static_cast<double>(-max_w),
+                    static_cast<double>(max_w)));
+        };
+        if (lp.spec.kind == nn::LayerKind::FullyConnected) {
+            for (int o = 0; o < cols; ++o)
+                for (int i = 0; i < rows; ++i)
+                    set_code(i, o,
+                             (*w)[static_cast<std::size_t>(o) * rows + i]);
+        } else {
+            const nn::LayerSpec &s = lp.spec;
+            for (int oc = 0; oc < cols; ++oc) {
+                int r = 0;
+                for (int ic = 0; ic < s.inC; ++ic)
+                    for (int kh = 0; kh < s.kernel; ++kh)
+                        for (int kw = 0; kw < s.kernel; ++kw, ++r)
+                            set_code(
+                                r, oc,
+                                (*w)[((static_cast<std::size_t>(oc) *
+                                           s.inC + ic) * s.kernel + kh) *
+                                         s.kernel + kw]);
+            }
+        }
+
+        // Program the replica-0 tiles and collect their mats.
+        for (const mapping::MatTile &t : m.tiles) {
+            if (t.replica != 0)
+                continue;
+            std::vector<std::vector<int>> slice(
+                static_cast<std::size_t>(t.rowsUsed),
+                std::vector<int>(static_cast<std::size_t>(t.colsUsed)));
+            for (int r = 0; r < t.rowsUsed; ++r)
+                for (int c = 0; c < t.colsUsed; ++c)
+                    slice[static_cast<std::size_t>(r)]
+                         [static_cast<std::size_t>(c)] =
+                        codes[static_cast<std::size_t>(
+                            t.rowTile * tech_.geometry.matRows + r)]
+                             [static_cast<std::size_t>(
+                                 t.colTile * tech_.geometry.matCols + c)];
+
+            const int mat_idx = globalMat(t);
+            // Morphing step 1+2: migrate resident data, program weights.
+            std::vector<std::uint8_t> migrated =
+                controller_.mat(mat_idx).morphToCompute(slice, rng);
+            // Static SA-window fallback: cover the worst-case dot
+            // product of the programmed tile (calibrate() refines it).
+            controller_.mat(mat_idx).engine().calibrateOutputShift();
+            mem_.writeData(migrationAddr_, migrated);
+            migrationAddr_ += migrated.size();
+            stats_.get("morph.migrated_bytes").add(
+                static_cast<double>(migrated.size()));
+            stats_.get("morph.mats_to_compute").increment();
+            lp.matOf.push_back(mat_idx);
+
+            // Datapath configuration for this mat (Table I, left half).
+            using mapping::Command;
+            using mapping::CommandOp;
+            configCommands_.push_back(Command{
+                CommandOp::SetMatFunction,
+                static_cast<std::uint32_t>(mat_idx),
+                static_cast<std::uint8_t>(mapping::MatFunction::Compute),
+                0, 0, 0});
+            configCommands_.push_back(Command{
+                CommandOp::BypassSigmoid,
+                static_cast<std::uint32_t>(mat_idx),
+                static_cast<std::uint8_t>(m.info.sigmoidAfter ? 0 : 1),
+                0, 0, 0});
+            configCommands_.push_back(
+                Command{CommandOp::BypassSa,
+                        static_cast<std::uint32_t>(mat_idx), 0, 0, 0, 0});
+            configCommands_.push_back(
+                Command{CommandOp::InputSource,
+                        static_cast<std::uint32_t>(mat_idx),
+                        static_cast<std::uint8_t>(
+                            mapping::InputSource::Buffer),
+                        0, 0, 0});
+        }
+        programs_.push_back(std::move(lp));
+    }
+    programmed_ = true;
+}
+
+void
+PrimeSystem::configDatapath()
+{
+    PRIME_ASSERT(programmed_, "programWeight must precede");
+    controller_.executeAll(configCommands_);
+    configured_ = true;
+}
+
+std::vector<std::uint8_t>
+PrimeSystem::quantizeToCodes(const std::vector<double> &values,
+                             int &in_frac) const
+{
+    double max_abs = 0.0;
+    for (double v : values)
+        max_abs = std::max(max_abs, std::fabs(v));
+    int exp = 0;
+    if (max_abs > 0.0)
+        std::frexp(max_abs, &exp);
+    in_frac = tech_.inputBits - exp;
+    const int max_code = (1 << tech_.inputBits) - 1;
+    std::vector<std::uint8_t> codes(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        double scaled = std::ldexp(std::max(values[i], 0.0), in_frac);
+        codes[i] = static_cast<std::uint8_t>(std::clamp(
+            std::nearbyint(scaled), 0.0, static_cast<double>(max_code)));
+    }
+    return codes;
+}
+
+std::vector<double>
+PrimeSystem::tiledMvm(const LayerProgram &lp,
+                      const std::vector<std::uint8_t> &codes, int in_frac)
+{
+    using mapping::Command;
+    using mapping::CommandOp;
+    const mapping::LayerMapping &m = *lp.mapping;
+    PRIME_ASSERT(static_cast<int>(codes.size()) == m.info.rows,
+                 "input codes ", codes.size(), " vs rows ", m.info.rows);
+
+    // Stage the input codes in the Buffer subarray.
+    const std::size_t buf_in = 0;
+    const std::size_t buf_out = 1 << 16;
+    buffer_.write(buf_in, codes);
+
+    std::size_t tile_index = 0;
+    std::vector<const mapping::MatTile *> tiles;
+    for (const mapping::MatTile &t : m.tiles)
+        if (t.replica == 0)
+            tiles.push_back(&t);
+
+    if (calibrating_) {
+        // Track each tile's untruncated dot-product peak; bypass the
+        // command path so downstream layers see exact activations.
+        std::vector<double> out(static_cast<std::size_t>(m.info.cols),
+                                0.0);
+        for (const mapping::MatTile *t : tiles) {
+            const int mat_idx = lp.matOf[tile_index++];
+            const reram::ComposedMatrixEngine &engine =
+                controller_.mat(mat_idx).engine();
+            std::vector<int> seg(static_cast<std::size_t>(t->rowsUsed));
+            for (int r = 0; r < t->rowsUsed; ++r)
+                seg[static_cast<std::size_t>(r)] =
+                    codes[static_cast<std::size_t>(
+                        t->rowTile * tech_.geometry.matRows + r)];
+            std::vector<std::int64_t> full = engine.mvmFull(seg);
+            std::int64_t &peak = calibrationPeaks_[mat_idx];
+            for (int c = 0; c < t->colsUsed; ++c) {
+                peak = std::max(peak, std::abs(full[
+                    static_cast<std::size_t>(c)]));
+                const int col = t->colTile * tech_.geometry.matCols + c;
+                out[static_cast<std::size_t>(col)] += std::ldexp(
+                    static_cast<double>(full[static_cast<std::size_t>(c)]),
+                    -in_frac - lp.weightFrac);
+            }
+        }
+        return out;
+    }
+
+    // Load + compute + store per tile (Table I data-flow commands).
+
+    for (const mapping::MatTile *t : tiles) {
+        const int mat_idx = lp.matOf[tile_index];
+        controller_.execute(Command{
+            CommandOp::Load, 0, 0,
+            buf_in + static_cast<std::uint64_t>(t->rowTile) *
+                         tech_.geometry.matRows,
+            static_cast<std::uint64_t>(mat_idx) *
+                PrimeController::kFfMatStride,
+            static_cast<std::uint32_t>(t->rowsUsed)});
+        controller_.computeMat(mat_idx);
+        controller_.execute(Command{
+            CommandOp::Store, 0, 0,
+            static_cast<std::uint64_t>(mat_idx) *
+                PrimeController::kFfMatStride,
+            buf_out + tile_index * 2 *
+                          static_cast<std::size_t>(
+                              tech_.geometry.matCols),
+            static_cast<std::uint32_t>(2 * t->colsUsed)});
+        ++tile_index;
+    }
+
+    // Merge: partial target codes of row tiles accumulate per output
+    // column; each tile's code scale depends on its own input count.
+    std::vector<double> out(static_cast<std::size_t>(m.info.cols), 0.0);
+    tile_index = 0;
+    for (const mapping::MatTile *t : tiles) {
+        std::vector<std::uint8_t> raw = buffer_.read(
+            buf_out + tile_index * 2 *
+                          static_cast<std::size_t>(tech_.geometry.matCols),
+            static_cast<std::size_t>(2 * t->colsUsed));
+        // The tile's SA window sets the code scale.
+        const int shift = controller_.mat(lp.matOf[tile_index])
+                              .engine().outputShift();
+        for (int c = 0; c < t->colsUsed; ++c) {
+            const std::int16_t code = static_cast<std::int16_t>(
+                static_cast<std::uint16_t>(raw[2 * c]) |
+                (static_cast<std::uint16_t>(raw[2 * c + 1]) << 8));
+            const int col = t->colTile * tech_.geometry.matCols + c;
+            out[static_cast<std::size_t>(col)] +=
+                std::ldexp(static_cast<double>(code),
+                           shift - in_frac - lp.weightFrac);
+        }
+        ++tile_index;
+    }
+    stats_.get("run.tiled_mvms").increment();
+    return out;
+}
+
+nn::Tensor
+PrimeSystem::runFc(const LayerProgram &lp, const nn::Tensor &x)
+{
+    int in_frac = 0;
+    std::vector<std::uint8_t> codes = quantizeToCodes(x.flat(), in_frac);
+    std::vector<double> mvm = tiledMvm(lp, codes, in_frac);
+    nn::Tensor y({lp.spec.outFeatures});
+    for (int o = 0; o < lp.spec.outFeatures; ++o)
+        y[static_cast<std::size_t>(o)] =
+            mvm[static_cast<std::size_t>(o)] +
+            lp.bias[static_cast<std::size_t>(o)];
+    return y;
+}
+
+nn::Tensor
+PrimeSystem::runConv(const LayerProgram &lp, const nn::Tensor &x)
+{
+    const nn::LayerSpec &s = lp.spec;
+    // Layer-wide activation scale, as the wordline drivers are
+    // configured once per layer.
+    int in_frac = 0;
+    std::vector<std::uint8_t> all_codes =
+        quantizeToCodes(x.flat(), in_frac);
+
+    const int field = s.inC * s.kernel * s.kernel;
+    nn::Tensor y({s.outC, s.outH, s.outW});
+    std::vector<std::uint8_t> codes(static_cast<std::size_t>(field));
+    for (int oy = 0; oy < s.outH; ++oy) {
+        for (int ox = 0; ox < s.outW; ++ox) {
+            std::size_t idx = 0;
+            for (int ic = 0; ic < s.inC; ++ic)
+                for (int kh = 0; kh < s.kernel; ++kh)
+                    for (int kw = 0; kw < s.kernel; ++kw) {
+                        const int iy = oy + kh - s.padding;
+                        const int ix = ox + kw - s.padding;
+                        if (iy < 0 || iy >= s.inH || ix < 0 ||
+                            ix >= s.inW) {
+                            codes[idx++] = 0;
+                        } else {
+                            const std::size_t flat =
+                                (static_cast<std::size_t>(ic) * s.inH +
+                                 iy) * s.inW + ix;
+                            codes[idx++] = all_codes[flat];
+                        }
+                    }
+            std::vector<double> mvm = tiledMvm(lp, codes, in_frac);
+            for (int oc = 0; oc < s.outC; ++oc)
+                y.at3(oc, oy, ox) =
+                    mvm[static_cast<std::size_t>(oc)] +
+                    lp.bias[static_cast<std::size_t>(oc)];
+        }
+    }
+    return y;
+}
+
+void
+PrimeSystem::calibrate(const std::vector<nn::Sample> &samples)
+{
+    PRIME_ASSERT(programmed_ && configured_,
+                 "calibrate after programWeight + configDatapath");
+    calibrationPeaks_.clear();
+    calibrating_ = true;
+    for (const nn::Sample &s : samples)
+        run(s.input);
+    calibrating_ = false;
+    for (const auto &[mat_idx, peak] : calibrationPeaks_) {
+        const std::int64_t bound = std::max<std::int64_t>(2 * peak, 1);
+        int bits = 0;
+        while ((std::int64_t{1} << bits) <= bound)
+            ++bits;
+        controller_.mat(mat_idx).engine().setOutputShift(
+            std::max(0, bits - tech_.outputBits));
+    }
+    stats_.get("run.calibrations").increment();
+}
+
+nn::Tensor
+PrimeSystem::run(const nn::Tensor &input)
+{
+    PRIME_ASSERT(programmed_, "programWeight must precede run");
+    PRIME_ASSERT(configured_, "configDatapath must precede run");
+
+    nn::Tensor x = input;
+    std::size_t next_program = 0;
+    for (const nn::LayerSpec &spec : topology_->layers) {
+        switch (spec.kind) {
+          case nn::LayerKind::FullyConnected:
+          case nn::LayerKind::Convolution: {
+            PRIME_ASSERT(next_program < programs_.size(),
+                         "program/topology mismatch");
+            const LayerProgram &lp = programs_[next_program++];
+            x = spec.kind == nn::LayerKind::FullyConnected
+                    ? runFc(lp, x)
+                    : runConv(lp, x);
+            break;
+          }
+          case nn::LayerKind::MaxPool:
+          case nn::LayerKind::MeanPool: {
+            nn::Tensor y({spec.outC, spec.outH, spec.outW});
+            for (int c = 0; c < spec.outC; ++c)
+                for (int oy = 0; oy < spec.outH; ++oy)
+                    for (int ox = 0; ox < spec.outW; ++ox) {
+                        double best = -1.0e300, sum = 0.0;
+                        for (int dy = 0; dy < spec.poolK; ++dy)
+                            for (int dx = 0; dx < spec.poolK; ++dx) {
+                                const double v = x.at3(
+                                    c, oy * spec.poolK + dy,
+                                    ox * spec.poolK + dx);
+                                best = std::max(best, v);
+                                sum += v;
+                            }
+                        y.at3(c, oy, ox) =
+                            spec.kind == nn::LayerKind::MaxPool
+                                ? best
+                                : sum / (spec.poolK * spec.poolK);
+                    }
+            x = y;
+            break;
+          }
+          case nn::LayerKind::Sigmoid:
+            for (std::size_t i = 0; i < x.size(); ++i)
+                x[i] = 1.0 / (1.0 + std::exp(-x[i]));
+            break;
+          case nn::LayerKind::Relu:
+            for (std::size_t i = 0; i < x.size(); ++i)
+                x[i] = x[i] < 0.0 ? 0.0 : x[i];
+            break;
+          case nn::LayerKind::Flatten:
+            x = x.reshaped({static_cast<int>(x.size())});
+            break;
+        }
+    }
+    stats_.get("run.inferences").increment();
+    return x;
+}
+
+std::vector<double>
+PrimeSystem::postProc(const nn::Tensor &logits) const
+{
+    return nn::softmax(logits);
+}
+
+void
+PrimeSystem::release()
+{
+    for (FfSubarray &sub : ff_) {
+        for (int i = 0; i < sub.matCount(); ++i) {
+            if (sub.mat(i).mode() == reram::FfMode::Computation) {
+                sub.mat(i).morphToMemory();
+                stats_.get("morph.mats_to_memory").increment();
+            }
+        }
+    }
+    programmed_ = false;
+    configured_ = false;
+    programs_.clear();
+}
+
+std::size_t
+PrimeSystem::availableFfMemoryBytes() const
+{
+    std::size_t bytes = 0;
+    for (const FfSubarray &sub : ff_)
+        bytes += sub.memoryModeBytes();
+    return bytes;
+}
+
+sim::PlatformResult
+PrimeSystem::estimatePerformance() const
+{
+    PRIME_ASSERT(plan_.has_value(), "mapTopology not called");
+    sim::PrimeModel model(tech_);
+    return model.evaluate(*topology_, *plan_);
+}
+
+Ns
+PrimeSystem::configurationTime() const
+{
+    PRIME_ASSERT(plan_.has_value(), "mapTopology not called");
+    sim::PrimeModel model(tech_);
+    return model.configurationTime(*plan_);
+}
+
+PicoJoule
+PrimeSystem::configurationEnergy() const
+{
+    PRIME_ASSERT(plan_.has_value(), "mapTopology not called");
+    sim::PrimeModel model(tech_);
+    return model.configurationEnergy(*plan_);
+}
+
+} // namespace prime::core

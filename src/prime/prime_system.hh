@@ -1,0 +1,166 @@
+/**
+ * @file
+ * PrimeSystem: the top-level software/hardware interface of PRIME
+ * (paper Figure 7).  The five API steps map one-to-one onto methods:
+ *
+ *   Map_Topology    -> mapTopology()      compile-time mapping (IV-B)
+ *   Program_Weight  -> programWeight()    morph FF mats + program cells
+ *   Config_Datapath -> configDatapath()   Table I configuration commands
+ *   Run             -> run()              functional inference through
+ *                                         the mapped crossbar engines,
+ *                                         data moved by Table I commands
+ *   Post_Proc       -> postProc()         softmax over the logits
+ *
+ * The functional path executes on one bank's FF subarrays (bank-level
+ * parallelism replicates the same configuration across banks, so one
+ * bank is sufficient for functional fidelity).  Performance and energy
+ * are estimated by the analytic PrimeModel over the same MappingPlan.
+ */
+
+#ifndef PRIME_PRIME_PRIME_SYSTEM_HH
+#define PRIME_PRIME_PRIME_SYSTEM_HH
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "mapping/mapper.hh"
+#include "memory/main_memory.hh"
+#include "nn/quantized.hh"
+#include "prime/controller.hh"
+#include "sim/prime_model.hh"
+
+namespace prime::core {
+
+/** The full PRIME machine (functional + analytic). */
+class PrimeSystem
+{
+  public:
+    explicit PrimeSystem(
+        const nvmodel::TechParams &tech = nvmodel::defaultTechParams(),
+        const mapping::MapperOptions &mapper_options = {});
+
+    // ------------------------------------------------ Figure 7 API --
+
+    /** Compile-time mapping of the NN topology onto FF resources. */
+    const mapping::MappingPlan &mapTopology(const nn::Topology &topology);
+
+    /**
+     * Quantize the trained weights to the composing format, morph the
+     * planned FF mats to computation mode (migrating their resident data
+     * into Mem subarrays) and program the crossbar cells.
+     */
+    void programWeight(const nn::Network &trained, Rng *rng = nullptr);
+
+    /** Issue and execute the Table I datapath-configuration commands. */
+    void configDatapath();
+
+    /**
+     * Profile the reconfigurable-SA windows on sample inputs: tracks
+     * each mat's peak integer dot product and programs the SA shift
+     * with 2x headroom (part of the compile-time optimization; without
+     * it the SA defaults to the conservative worst-case-weight window).
+     */
+    void calibrate(const std::vector<nn::Sample> &samples);
+
+    /**
+     * Compute through the analog conductance path instead of the ideal
+     * integer datapath: programming variation (if weights were
+     * programmed with an Rng) and optional read noise then reach the
+     * results.
+     */
+    void setAnalogCompute(bool analog, Rng *noise_rng = nullptr)
+    {
+        controller_.setAnalogCompute(analog, noise_rng);
+    }
+
+    /** One inference through the mapped crossbars. */
+    nn::Tensor run(const nn::Tensor &input);
+
+    /** Softmax post-processing on the CPU side. */
+    std::vector<double> postProc(const nn::Tensor &logits) const;
+
+    // ------------------------------------------------- morphing / OS --
+
+    /** Wrap-up: all compute mats morph back to memory mode. */
+    void release();
+
+    /** FF bytes currently serving as normal memory. */
+    std::size_t availableFfMemoryBytes() const;
+
+    // ------------------------------------------------- accounting ----
+
+    /** Analytic performance/energy for the configured NN. */
+    sim::PlatformResult estimatePerformance() const;
+
+    /** One-time reconfiguration cost (paper excludes it from per-image
+     *  results; reported separately). */
+    Ns configurationTime() const;
+    PicoJoule configurationEnergy() const;
+
+    const mapping::MappingPlan &plan() const;
+    const nn::Topology &topology() const;
+    StatGroup &stats() { return stats_; }
+    PrimeController &controller() { return controller_; }
+    BufferSubarray &buffer() { return buffer_; }
+    memory::MainMemory &mainMemory() { return mem_; }
+
+    /** The datapath-configuration command stream (for inspection). */
+    const std::vector<mapping::Command> &configCommands() const
+    {
+        return configCommands_;
+    }
+
+  private:
+    /** Per weighted layer: quantization scales and digital-side bias. */
+    struct LayerProgram
+    {
+        const mapping::LayerMapping *mapping = nullptr;
+        nn::LayerSpec spec;
+        int weightFrac = 0;
+        std::vector<double> bias;
+        /** Global mat index of each replica-0 tile (rowTile-major). */
+        std::vector<int> matOf;
+    };
+
+    /** Global mat index of a tile within this bank. */
+    int globalMat(const mapping::MatTile &tile) const;
+
+    /** Quantize a non-negative activation vector to Pin-bit codes. */
+    std::vector<std::uint8_t>
+    quantizeToCodes(const std::vector<double> &values, int &in_frac) const;
+
+    /** MVM through the mapped tiles of one layer (split-merge). */
+    std::vector<double>
+    tiledMvm(const LayerProgram &lp,
+             const std::vector<std::uint8_t> &codes, int in_frac);
+
+    nn::Tensor runFc(const LayerProgram &lp, const nn::Tensor &x);
+    nn::Tensor runConv(const LayerProgram &lp, const nn::Tensor &x);
+
+    nvmodel::TechParams tech_;
+    mapping::MapperOptions mapperOptions_;
+    StatGroup stats_;
+    memory::MainMemory mem_;
+    std::vector<FfSubarray> ff_;
+    BufferSubarray buffer_;
+    PrimeController controller_;
+
+    std::optional<nn::Topology> topology_;
+    std::optional<mapping::MappingPlan> plan_;
+    std::vector<LayerProgram> programs_;
+    std::vector<mapping::Command> configCommands_;
+    bool programmed_ = false;
+    bool configured_ = false;
+    /** True while calibrate() drives inferences. */
+    bool calibrating_ = false;
+    /** Peak |integer dot product| per global mat during calibration. */
+    std::map<int, std::int64_t> calibrationPeaks_;
+    /** Cursor for migrating FF-resident data into Mem space. */
+    std::uint64_t migrationAddr_ = 0;
+};
+
+} // namespace prime::core
+
+#endif // PRIME_PRIME_PRIME_SYSTEM_HH

@@ -1,0 +1,80 @@
+#include "prime/runtime.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prime::core {
+
+void
+PageMissTracker::record(bool miss)
+{
+    events_.push_back(miss);
+    if (miss)
+        ++missesInWindow_;
+    if (events_.size() > window_) {
+        if (events_.front())
+            --missesInWindow_;
+        events_.pop_front();
+    }
+    ++total_;
+}
+
+double
+PageMissTracker::missRate() const
+{
+    if (events_.empty())
+        return 0.0;
+    return static_cast<double>(missesInWindow_) / events_.size();
+}
+
+OsRuntime::OsRuntime(const nvmodel::TechParams &tech,
+                     const RuntimeOptions &options, StatGroup *stats)
+    : tech_(tech), options_(options), stats_(stats),
+      tracker_(options.window),
+      totalMats_(tech.geometry.ffSubarraysPerBank *
+                 tech.geometry.matsPerSubarray)
+{
+    PRIME_ASSERT(options.releaseThreshold > options.reclaimThreshold,
+                 "release threshold must exceed reclaim threshold");
+}
+
+RuntimeAction
+OsRuntime::step()
+{
+    const double rate = tracker_.missRate();
+    if (stats_)
+        stats_->get("runtime.miss_rate").sample(rate);
+
+    // Release: memory pressure while the crossbars sit idle.
+    if (!ffBusy_ && rate > options_.releaseThreshold &&
+        matsReleased_ < totalMats_) {
+        matsReleased_ = std::min(totalMats_,
+                                 matsReleased_ + options_.matsPerStep);
+        if (stats_)
+            stats_->get("runtime.releases").increment();
+        return RuntimeAction::ReleaseMats;
+    }
+
+    // Reclaim: NN work queued, or pressure has subsided.
+    if (matsReleased_ > 0 &&
+        (ffBusy_ || rate < options_.reclaimThreshold)) {
+        matsReleased_ = std::max(0, matsReleased_ - options_.matsPerStep);
+        if (stats_)
+            stats_->get("runtime.reclaims").increment();
+        return RuntimeAction::ReclaimMats;
+    }
+    return RuntimeAction::None;
+}
+
+std::uint64_t
+OsRuntime::releasedBytes() const
+{
+    const nvmodel::Geometry &g = tech_.geometry;
+    const std::uint64_t bytes_per_mat =
+        static_cast<std::uint64_t>(g.matRows) * g.matCols *
+        g.arraysPerFfMat / 8;
+    return bytes_per_mat * static_cast<std::uint64_t>(matsReleased_);
+}
+
+} // namespace prime::core

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Operating-system runtime support (paper Section IV-C): when FF
+ * subarrays are configured for NN computation their address space is
+ * reserved and invisible to user applications; when the page-miss rate
+ * indicates memory pressure and the FF crossbars are idle, the OS
+ * releases them back as normal memory, and reclaims them when NN work
+ * returns.  The release/reclaim granularity is one crossbar mat.
+ */
+
+#ifndef PRIME_PRIME_RUNTIME_HH
+#define PRIME_PRIME_RUNTIME_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/stats.hh"
+#include "nvmodel/tech_params.hh"
+
+namespace prime::core {
+
+/** Sliding-window page-miss-rate tracker (after Zhou et al. [80]). */
+class PageMissTracker
+{
+  public:
+    explicit PageMissTracker(std::size_t window = 4096)
+        : window_(window)
+    {}
+
+    /** Record one page access. */
+    void record(bool miss);
+
+    /** Miss rate over the current window (0 when no samples). */
+    double missRate() const;
+
+    std::uint64_t samples() const { return total_; }
+
+  private:
+    std::size_t window_;
+    std::deque<bool> events_;
+    std::size_t missesInWindow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** What the policy wants done with the FF resources. */
+enum class RuntimeAction
+{
+    None,
+    ReleaseMats,   ///< morph idle compute mats back to memory
+    ReclaimMats,   ///< morph memory-serving FF mats back to compute
+};
+
+/** Policy configuration. */
+struct RuntimeOptions
+{
+    /** Release FF capacity above this miss rate (memory pressure). */
+    double releaseThreshold = 0.05;
+    /** Reclaim when the miss rate falls below this (hysteresis). */
+    double reclaimThreshold = 0.01;
+    /** Mats morphed per policy decision. */
+    int matsPerStep = 8;
+    /** Sliding window length in page accesses. */
+    std::size_t window = 4096;
+};
+
+/**
+ * The OS-side manager: combines the miss-rate curve with FF utilization
+ * to decide when to morph, and keeps the MMU-style bookkeeping of how
+ * many mats currently serve memory vs computation.
+ */
+class OsRuntime
+{
+  public:
+    OsRuntime(const nvmodel::TechParams &tech,
+              const RuntimeOptions &options, StatGroup *stats);
+
+    /** Record one page access from the application workload. */
+    void recordPageAccess(bool miss) { tracker_.record(miss); }
+
+    /** Tell the runtime whether NN work is queued on the FF subarrays. */
+    void setFfBusy(bool busy) { ffBusy_ = busy; }
+
+    /**
+     * One policy evaluation: returns the chosen action and applies it to
+     * the bookkeeping (release/reclaim matsPerStep mats).
+     */
+    RuntimeAction step();
+
+    double missRate() const { return tracker_.missRate(); }
+    /** Mats currently released to the memory pool. */
+    int matsServingMemory() const { return matsReleased_; }
+    /** Mats currently available for computation. */
+    int matsServingCompute() const { return totalMats_ - matsReleased_; }
+    /** Extra memory capacity the released mats provide (bytes, SLC). */
+    std::uint64_t releasedBytes() const;
+
+  private:
+    nvmodel::TechParams tech_;
+    RuntimeOptions options_;
+    StatGroup *stats_;
+    PageMissTracker tracker_;
+    bool ffBusy_ = false;
+    int totalMats_;
+    int matsReleased_ = 0;
+};
+
+} // namespace prime::core
+
+#endif // PRIME_PRIME_RUNTIME_HH

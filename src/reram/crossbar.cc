@@ -1,0 +1,218 @@
+#include "reram/crossbar.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prime::reram {
+
+Crossbar::Crossbar(const CrossbarParams &params)
+    : params_(params),
+      cells_(static_cast<std::size_t>(params.rows) * params.cols)
+{
+    PRIME_ASSERT(params.rows > 0 && params.cols > 0,
+                 "bad geometry ", params.rows, "x", params.cols);
+    PRIME_ASSERT(params.inputBits >= 1 && params.inputBits <= 8,
+                 "inputBits=", params.inputBits);
+}
+
+const Cell &
+Crossbar::at(int row, int col) const
+{
+    PRIME_ASSERT(row >= 0 && row < params_.rows, "row=", row);
+    PRIME_ASSERT(col >= 0 && col < params_.cols, "col=", col);
+    return cells_[static_cast<std::size_t>(row) * params_.cols + col];
+}
+
+Cell &
+Crossbar::at(int row, int col)
+{
+    return const_cast<Cell &>(
+        static_cast<const Crossbar &>(*this).at(row, col));
+}
+
+void
+Crossbar::programCell(int row, int col, int level, Rng *rng)
+{
+    at(row, col).program(params_.device, level, params_.cellBits, rng);
+}
+
+void
+Crossbar::programLevels(const std::vector<std::vector<int>> &levels, Rng *rng)
+{
+    PRIME_ASSERT(static_cast<int>(levels.size()) == params_.rows,
+                 "levels rows=", levels.size());
+    for (int r = 0; r < params_.rows; ++r) {
+        PRIME_ASSERT(static_cast<int>(levels[r].size()) == params_.cols,
+                     "levels cols=", levels[r].size(), " at row ", r);
+        for (int c = 0; c < params_.cols; ++c)
+            programCell(r, c, levels[r][c], rng);
+    }
+}
+
+int
+Crossbar::storedLevel(int row, int col) const
+{
+    return at(row, col).level();
+}
+
+MicroSiemens
+Crossbar::conductance(int row, int col) const
+{
+    return at(row, col).conductance();
+}
+
+std::vector<std::int64_t>
+Crossbar::mvmExact(std::span<const int> input_levels) const
+{
+    PRIME_ASSERT(static_cast<int>(input_levels.size()) == params_.rows,
+                 "inputs=", input_levels.size());
+    std::vector<std::int64_t> out(params_.cols, 0);
+    for (int r = 0; r < params_.rows; ++r) {
+        const int in = input_levels[r];
+        PRIME_ASSERT(in >= 0 && in < params_.inputLevels(),
+                     "input level ", in, " out of range at row ", r);
+        if (in == 0)
+            continue;
+        const Cell *row_cells = &cells_[static_cast<std::size_t>(r) *
+                                        params_.cols];
+        for (int c = 0; c < params_.cols; ++c)
+            out[c] += static_cast<std::int64_t>(in) * row_cells[c].level();
+    }
+    return out;
+}
+
+std::vector<double>
+Crossbar::mvmAnalog(std::span<const int> input_levels, Rng *rng) const
+{
+    PRIME_ASSERT(static_cast<int>(input_levels.size()) == params_.rows,
+                 "inputs=", input_levels.size());
+    const Volt v_step = params_.voltageStep();
+    const bool ir_drop = params_.wireResistancePerCell > 0.0;
+    std::vector<double> current(params_.cols, 0.0);
+    for (int r = 0; r < params_.rows; ++r) {
+        const Volt v = v_step * input_levels[r];
+        if (v == 0.0)
+            continue;
+        const Cell *row_cells = &cells_[static_cast<std::size_t>(r) *
+                                        params_.cols];
+        for (int c = 0; c < params_.cols; ++c) {
+            double g = row_cells[c].conductance();
+            if (ir_drop && g > 0.0) {
+                // First-order IR drop: the wire segments from the driver
+                // along the wordline (c+1 pitches) and down the bitline
+                // to the SA (rows - r pitches) sit in series with the
+                // cell.
+                const Ohm r_wire =
+                    params_.wireResistancePerCell *
+                    static_cast<double>((c + 1) + (params_.rows - r));
+                g = 1.0 / (1.0 / g + r_wire * 1.0e-6);  // uS vs Ohm
+            }
+            current[c] += v * g;
+        }
+    }
+    if (rng && params_.readNoiseSigma > 0.0) {
+        // Output-referred noise proportional to the array's full-scale
+        // current, per column.
+        const double full_scale = params_.device.readVoltage *
+                                  params_.device.gMax() * params_.rows;
+        for (double &i : current)
+            i += rng->gaussian(0.0, params_.readNoiseSigma * full_scale);
+    }
+    return current;
+}
+
+double
+Crossbar::levelUnitsFromCurrent(double current_ua) const
+{
+    return current_ua / (params_.voltageStep() * params_.conductanceStep());
+}
+
+void
+Crossbar::writeRowBits(int row, std::span<const std::uint8_t> bits, Rng *rng)
+{
+    PRIME_ASSERT(static_cast<int>(bits.size()) == params_.cols,
+                 "bits=", bits.size());
+    for (int c = 0; c < params_.cols; ++c) {
+        if (bits[c])
+            at(row, c).set(params_.device, rng);
+        else
+            at(row, c).reset(params_.device, rng);
+    }
+}
+
+std::vector<std::uint8_t>
+Crossbar::readRowBits(int row) const
+{
+    std::vector<std::uint8_t> bits(params_.cols);
+    for (int c = 0; c < params_.cols; ++c)
+        bits[c] = at(row, c).readBit(params_.device) ? 1 : 0;
+    return bits;
+}
+
+std::uint64_t
+Crossbar::maxWear() const
+{
+    std::uint64_t w = 0;
+    for (const Cell &cell : cells_)
+        w = std::max(w, cell.wear());
+    return w;
+}
+
+std::uint64_t
+Crossbar::totalWear() const
+{
+    std::uint64_t w = 0;
+    for (const Cell &cell : cells_)
+        w += cell.wear();
+    return w;
+}
+
+DifferentialPair::DifferentialPair(const CrossbarParams &params)
+    : pos_(params), neg_(params)
+{
+}
+
+void
+DifferentialPair::programSigned(const std::vector<std::vector<int>> &weights,
+                                Rng *rng)
+{
+    const CrossbarParams &p = pos_.params();
+    PRIME_ASSERT(static_cast<int>(weights.size()) == p.rows,
+                 "weights rows=", weights.size());
+    const int max_mag = p.cellLevels() - 1;
+    for (int r = 0; r < p.rows; ++r) {
+        PRIME_ASSERT(static_cast<int>(weights[r].size()) == p.cols,
+                     "weights cols=", weights[r].size());
+        for (int c = 0; c < p.cols; ++c) {
+            const int w = weights[r][c];
+            PRIME_ASSERT(w >= -max_mag && w <= max_mag,
+                         "signed weight ", w, " exceeds ", max_mag);
+            pos_.programCell(r, c, w > 0 ? w : 0, rng);
+            neg_.programCell(r, c, w < 0 ? -w : 0, rng);
+        }
+    }
+}
+
+std::vector<std::int64_t>
+DifferentialPair::mvmExact(std::span<const int> input_levels) const
+{
+    std::vector<std::int64_t> p = pos_.mvmExact(input_levels);
+    std::vector<std::int64_t> n = neg_.mvmExact(input_levels);
+    for (std::size_t i = 0; i < p.size(); ++i)
+        p[i] -= n[i];
+    return p;
+}
+
+std::vector<double>
+DifferentialPair::mvmAnalog(std::span<const int> input_levels, Rng *rng) const
+{
+    std::vector<double> p = pos_.mvmAnalog(input_levels, rng);
+    std::vector<double> n = neg_.mvmAnalog(input_levels, rng);
+    std::vector<double> out(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i)
+        out[i] = pos_.levelUnitsFromCurrent(p[i] - n[i]);
+    return out;
+}
+
+} // namespace prime::reram

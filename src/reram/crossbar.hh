@@ -1,0 +1,177 @@
+/**
+ * @file
+ * ReRAM crossbar array model (paper Section II, Figures 1(c) and 2(b)).
+ *
+ * In computation mode the crossbar performs an analog matrix-vector
+ * multiplication: input data are encoded as wordline voltages, synaptic
+ * weights as cell conductances, and each bitline accumulates the current
+ * sum_i V_i * G_ij.  PRIME stores positive and negative weights in two
+ * crossbar arrays sharing input ports; an analog subtraction unit takes
+ * their difference, which also cancels the HRS conductance offset
+ * (G = Gmin + level * Gstep, and the Gmin terms subtract out).
+ *
+ * In memory mode the same array stores one bit per cell (SLC).
+ */
+
+#ifndef PRIME_RERAM_CROSSBAR_HH
+#define PRIME_RERAM_CROSSBAR_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hh"
+#include "reram/cell.hh"
+
+namespace prime::reram {
+
+/** Geometry and electrical configuration of one crossbar array. */
+struct CrossbarParams
+{
+    /** Wordlines (inputs). */
+    int rows = 256;
+    /** Bitlines (outputs). */
+    int cols = 256;
+    /** MLC bits per cell in computation mode (paper: 4). */
+    int cellBits = 4;
+    /** Input voltage precision in bits (paper: 3, i.e. 8 levels). */
+    int inputBits = 3;
+    /** Device technology. */
+    DeviceParams device;
+    /**
+     * Relative sigma of additive output-current read noise, on top of the
+     * per-cell programming variation (Dot-Product Engine noise study [66]).
+     */
+    double readNoiseSigma = 0.0;
+    /**
+     * Interconnect resistance per cell pitch (Ohm); models first-order
+     * IR drop along wordlines/bitlines (Liu et al. [74] compensate for
+     * exactly this effect).  0 disables the wire model.
+     */
+    Ohm wireResistancePerCell = 0.0;
+
+    /** Number of input voltage levels. */
+    int inputLevels() const { return 1 << inputBits; }
+    /** Number of conductance levels per cell. */
+    int cellLevels() const { return 1 << cellBits; }
+    /** Wordline voltage step between adjacent input levels. */
+    Volt voltageStep() const
+    {
+        return device.readVoltage / (inputLevels() - 1);
+    }
+    /** Conductance step between adjacent MLC levels. */
+    MicroSiemens conductanceStep() const
+    {
+        return (device.gMax() - device.gMin()) / (cellLevels() - 1);
+    }
+};
+
+/**
+ * One physical crossbar: a rows x cols grid of Cells with program, SLC
+ * read/write, and analog/exact MVM operations.
+ */
+class Crossbar
+{
+  public:
+    explicit Crossbar(const CrossbarParams &params);
+
+    const CrossbarParams &params() const { return params_; }
+
+    /** Program one cell to an MLC level (computation mode). */
+    void programCell(int row, int col, int level, Rng *rng = nullptr);
+
+    /** Program a full matrix of levels; levels[r][c] in [0, 2^cellBits). */
+    void programLevels(const std::vector<std::vector<int>> &levels,
+                       Rng *rng = nullptr);
+
+    /** Level the write driver targeted for a cell. */
+    int storedLevel(int row, int col) const;
+
+    /** Actual programmed conductance of a cell. */
+    MicroSiemens conductance(int row, int col) const;
+
+    /**
+     * Ideal integer MVM: out[j] = sum_i input[i] * level[i][j].  This is
+     * the arithmetic the analog array implements when devices are perfect;
+     * the composing scheme's correctness proofs are stated in these units.
+     */
+    std::vector<std::int64_t>
+    mvmExact(std::span<const int> input_levels) const;
+
+    /**
+     * Analog MVM through programmed conductances: returns per-bitline
+     * current in uA, including programming variation (already baked into
+     * the conductances) and optional read noise when @p rng is non-null.
+     */
+    std::vector<double>
+    mvmAnalog(std::span<const int> input_levels, Rng *rng = nullptr) const;
+
+    /**
+     * Convert a differential bitline current (pos minus neg array) to
+     * "level units", i.e. the value mvmExact would produce; the Gmin
+     * offset is assumed cancelled by the subtraction unit.
+     */
+    double levelUnitsFromCurrent(double current_ua) const;
+
+    /** Memory mode: SLC-write a row of bits. */
+    void writeRowBits(int row, std::span<const std::uint8_t> bits,
+                      Rng *rng = nullptr);
+
+    /** Memory mode: SLC-read a row of bits. */
+    std::vector<std::uint8_t> readRowBits(int row) const;
+
+    /** Total writes absorbed by the most-worn cell (endurance proxy). */
+    std::uint64_t maxWear() const;
+
+    /** Sum of write events over all cells. */
+    std::uint64_t totalWear() const;
+
+  private:
+    const Cell &at(int row, int col) const;
+    Cell &at(int row, int col);
+
+    CrossbarParams params_;
+    std::vector<Cell> cells_;
+};
+
+/**
+ * A positive/negative crossbar pair implementing signed weights, as in
+ * paper Section III-E: the weight matrix is split into a positive-part
+ * array and a negative-part array and the subtraction unit outputs their
+ * difference.
+ */
+class DifferentialPair
+{
+  public:
+    explicit DifferentialPair(const CrossbarParams &params);
+
+    /**
+     * Program signed weight levels w in (-2^cellBits, 2^cellBits): the
+     * positive magnitude goes to the positive array, the negative
+     * magnitude to the negative array.
+     */
+    void programSigned(const std::vector<std::vector<int>> &weights,
+                       Rng *rng = nullptr);
+
+    /** Exact signed integer MVM (reference semantics). */
+    std::vector<std::int64_t>
+    mvmExact(std::span<const int> input_levels) const;
+
+    /**
+     * Analog signed MVM in level units: both arrays driven by the same
+     * input voltages, currents subtracted, then scaled to level units.
+     */
+    std::vector<double>
+    mvmAnalog(std::span<const int> input_levels, Rng *rng = nullptr) const;
+
+    const Crossbar &positive() const { return pos_; }
+    const Crossbar &negative() const { return neg_; }
+
+  private:
+    Crossbar pos_;
+    Crossbar neg_;
+};
+
+} // namespace prime::reram
+
+#endif // PRIME_RERAM_CROSSBAR_HH

@@ -1,0 +1,62 @@
+#include "reram/faults.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace prime::reram {
+
+std::vector<std::vector<int>>
+injectWeightFaults(const std::vector<std::vector<int>> &weights,
+                   const ComposingParams &p, const FaultModel &model,
+                   Rng &rng)
+{
+    PRIME_ASSERT(model.cellFaultRate >= 0.0 && model.cellFaultRate <= 1.0,
+                 "fault rate ", model.cellFaultRate);
+    const int max_level = (1 << p.cellBits) - 1;
+
+    auto stuck = [&](int nominal) {
+        if (!rng.bernoulli(model.cellFaultRate))
+            return nominal;
+        return rng.bernoulli(model.lrsFraction) ? max_level : 0;
+    };
+
+    std::vector<std::vector<int>> out(weights.size());
+    for (std::size_t r = 0; r < weights.size(); ++r) {
+        out[r].resize(weights[r].size());
+        for (std::size_t c = 0; c < weights[r].size(); ++c) {
+            const int w = weights[r][c];
+            const int mag = std::abs(w);
+            PRIME_ASSERT(mag < (1 << p.weightBits),
+                         "weight ", w, " out of range");
+            // Nominal cell levels under the composing layout.
+            int pos_hi = 0, pos_lo = 0, neg_hi = 0, neg_lo = 0;
+            if (w > 0) {
+                pos_hi = mag >> p.cellBits;
+                pos_lo = mag & max_level;
+            } else if (w < 0) {
+                neg_hi = mag >> p.cellBits;
+                neg_lo = mag & max_level;
+            }
+            // Independent stuck-at events on all four cells.
+            pos_hi = stuck(pos_hi);
+            pos_lo = stuck(pos_lo);
+            neg_hi = stuck(neg_hi);
+            neg_lo = stuck(neg_lo);
+            out[r][c] = (pos_hi << p.cellBits) + pos_lo -
+                        ((neg_hi << p.cellBits) + neg_lo);
+        }
+    }
+    return out;
+}
+
+long long
+expectedFaultyCells(long long logical_weights, const FaultModel &model)
+{
+    // Four physical cells per logical weight (composing + pos/neg).
+    return static_cast<long long>(
+        std::llround(4.0 * static_cast<double>(logical_weights) *
+                     model.cellFaultRate));
+}
+
+} // namespace prime::reram

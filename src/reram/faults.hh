@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ReRAM defect models for the reliability study.
+ *
+ * Fabricated crossbars suffer stuck-at faults: cells stuck at low
+ * resistance (SA-LRS, reads as the maximum level) from over-forming, or
+ * stuck at high resistance (SA-HRS, reads as level 0) from broken
+ * filaments -- a few tenths of a percent in mature processes, worse in
+ * research devices (the 12x12 prototype of Prezioso et al. [12] worked
+ * around such defects).  The composing scheme stores each logical
+ * weight in two cells of two arrays, so a single fault perturbs one
+ * 4-bit half of one polarity; this module computes the *effective*
+ * logical weight a faulty array realizes, so the NN-level impact can be
+ * measured without simulating every cell.
+ */
+
+#ifndef PRIME_RERAM_FAULTS_HH
+#define PRIME_RERAM_FAULTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "reram/composing.hh"
+
+namespace prime::reram {
+
+/** Kinds of stuck cells. */
+enum class FaultKind
+{
+    StuckAtHrs,  ///< broken filament: conductance floor (level 0)
+    StuckAtLrs,  ///< over-formed: conductance ceiling (max level)
+};
+
+/** Fault-injection configuration. */
+struct FaultModel
+{
+    /** Probability an individual cell is stuck. */
+    double cellFaultRate = 0.0;
+    /** Fraction of stuck cells that are SA-LRS (rest SA-HRS). */
+    double lrsFraction = 0.5;
+};
+
+/**
+ * Apply stuck-at faults to a logical signed weight matrix under the
+ * composing layout (per logical weight: high cell + low cell, in the
+ * positive array when w > 0, negative when w < 0; the opposite-polarity
+ * pair holds level 0 and can *also* get stuck, creating spurious
+ * contributions).  Returns the effective logical weights.
+ */
+std::vector<std::vector<int>>
+injectWeightFaults(const std::vector<std::vector<int>> &weights,
+                   const ComposingParams &p, const FaultModel &model,
+                   Rng &rng);
+
+/** Count how many cells the model would corrupt (for reporting). */
+long long expectedFaultyCells(long long logical_weights,
+                              const FaultModel &model);
+
+} // namespace prime::reram
+
+#endif // PRIME_RERAM_FAULTS_HH

@@ -1,0 +1,155 @@
+#include "reram/peripheral.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "reram/composing.hh"
+
+namespace prime::reram {
+
+WordlineDriver::WordlineDriver(int input_bits, Volt read_voltage,
+                               Volt write_voltage)
+    : inputBits_(input_bits), readVoltage_(read_voltage),
+      writeVoltage_(write_voltage)
+{
+    PRIME_ASSERT(input_bits >= 1 && input_bits <= 8,
+                 "inputBits=", input_bits);
+}
+
+void
+WordlineDriver::latchInput(int level)
+{
+    PRIME_ASSERT(level >= 0 && level < levelCount(),
+                 "latch level ", level, " of ", levelCount());
+    latchedLevel_ = level;
+}
+
+Volt
+WordlineDriver::computeVoltage() const
+{
+    PRIME_ASSERT(mode_ == FfMode::Computation,
+                 "compute voltage requested in memory mode");
+    return readVoltage_ * static_cast<double>(latchedLevel_) /
+           (levelCount() - 1);
+}
+
+double
+SubtractionUnit::apply(double pos_current, double neg_current) const
+{
+    return bypass_ ? pos_current : pos_current - neg_current;
+}
+
+double
+SigmoidUnit::apply(double x) const
+{
+    if (bypassed())
+        return x;
+    return 1.0 / (1.0 + std::exp(-x));
+}
+
+std::int64_t
+ReluUnit::apply(std::int64_t x) const
+{
+    if (bypass_)
+        return x;
+    return x < 0 ? 0 : x;
+}
+
+ReconfigurableSenseAmp::ReconfigurableSenseAmp(int max_bits)
+    : maxBits_(max_bits), bits_(max_bits)
+{
+    PRIME_ASSERT(max_bits >= 1 && max_bits <= 8, "Po=", max_bits);
+}
+
+void
+ReconfigurableSenseAmp::setPrecision(int bits)
+{
+    PRIME_ASSERT(bits >= 1 && bits <= maxBits_,
+                 "SA precision ", bits, " outside 1..", maxBits_);
+    bits_ = bits;
+}
+
+std::int64_t
+ReconfigurableSenseAmp::convert(std::int64_t full_value,
+                                int full_scale_bits) const
+{
+    PRIME_ASSERT(full_scale_bits >= bits_,
+                 "full scale ", full_scale_bits, " < precision ", bits_);
+    return takeHighBits(full_value, full_scale_bits - bits_);
+}
+
+const std::array<std::array<int, 4>, 6> MaxPoolUnit::kDifferenceWeights = {{
+    {{1, -1, 0, 0}},
+    {{1, 0, -1, 0}},
+    {{1, 0, 0, -1}},
+    {{0, 1, -1, 0}},
+    {{0, 1, 0, -1}},
+    {{0, 0, 1, -1}},
+}};
+
+std::int64_t
+MaxPoolUnit::pool4(const std::array<std::int64_t, 4> &inputs)
+{
+    // Six ReRAM dot products a.w for the difference-weight vectors; the
+    // sign bits land in the winner-code register.
+    winnerCode_ = 0;
+    for (std::size_t k = 0; k < kDifferenceWeights.size(); ++k) {
+        std::int64_t dot = 0;
+        for (int i = 0; i < 4; ++i)
+            dot += inputs[i] * kDifferenceWeights[k][i];
+        if (dot >= 0)
+            winnerCode_ |= static_cast<std::uint8_t>(1u << k);
+    }
+    // Decode: input i wins when it is >= every other input.  The three
+    // comparisons involving input i appear at fixed code positions.
+    // code bit k set means lhs >= rhs for comparison k:
+    //   k=0: a1>=a2, k=1: a1>=a3, k=2: a1>=a4,
+    //   k=3: a2>=a3, k=4: a2>=a4, k=5: a3>=a4.
+    auto ge = [&](int k) { return (winnerCode_ >> k) & 1; };
+    if (ge(0) && ge(1) && ge(2))
+        winnerIndex_ = 0;
+    else if (!ge(0) && ge(3) && ge(4))
+        winnerIndex_ = 1;
+    else if (!ge(1) && !ge(3) && ge(5))
+        winnerIndex_ = 2;
+    else
+        winnerIndex_ = 3;
+    return inputs[static_cast<std::size_t>(winnerIndex_)];
+}
+
+std::int64_t
+MaxPoolUnit::poolN(const std::vector<std::int64_t> &inputs)
+{
+    PRIME_ASSERT(!inputs.empty(), "poolN needs at least one input");
+    std::vector<std::int64_t> work = inputs;
+    while (work.size() > 1) {
+        std::vector<std::int64_t> next;
+        next.reserve((work.size() + 3) / 4);
+        for (std::size_t i = 0; i < work.size(); i += 4) {
+            std::array<std::int64_t, 4> group;
+            for (std::size_t j = 0; j < 4; ++j) {
+                // Pad short tail groups with the group's first element so
+                // padding can never win over a real value.
+                group[j] = (i + j < work.size()) ? work[i + j] : work[i];
+            }
+            next.push_back(pool4(group));
+        }
+        work.swap(next);
+    }
+    return work.front();
+}
+
+std::int64_t
+meanPool(const std::vector<std::int64_t> &inputs)
+{
+    PRIME_ASSERT(!inputs.empty(), "meanPool needs at least one input");
+    // Dot product with [1/n ... 1/n] realized in conductances; the analog
+    // result is digitized round-to-nearest by the SA.
+    double sum = 0.0;
+    for (std::int64_t v : inputs)
+        sum += static_cast<double>(v);
+    return static_cast<std::int64_t>(
+        std::llround(sum / static_cast<double>(inputs.size())));
+}
+
+} // namespace prime::reram

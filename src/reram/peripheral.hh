@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Behavioral models of the FF-subarray peripheral circuits that PRIME
+ * adds or modifies (paper Figure 4, blocks A-C):
+ *
+ *   A  Wordline decoder/driver: multi-level voltage sources with an input
+ *      latch and per-wordline current amplifier; a mux switches between
+ *      the two memory-mode voltages and the 2^Pin computation levels.
+ *   B  Column multiplexer: analog subtraction unit (positive minus
+ *      negative array) and analog sigmoid unit, both bypassable.
+ *   C  Reconfigurable sense amplifier: precision configurable from 1 to
+ *      Po bits via a counter; precision-control register + adder for the
+ *      composing scheme; ReLU unit; 4:1 max-pool unit with winner code.
+ *
+ * These models define the *functional* behavior; their area/energy/delay
+ * costs live in src/nvmodel.
+ */
+
+#ifndef PRIME_RERAM_PERIPHERAL_HH
+#define PRIME_RERAM_PERIPHERAL_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace prime::reram {
+
+/** Operating mode of a morphable FF structure. */
+enum class FfMode { Memory, Computation };
+
+/**
+ * Multi-level wordline voltage driver with input latch (Figure 4 A).
+ * In memory mode it supplies the fixed read or write voltage; in
+ * computation mode it converts a latched digital input level to one of
+ * 2^Pin analog voltages (the reused-DAC role).
+ */
+class WordlineDriver
+{
+  public:
+    WordlineDriver(int input_bits, Volt read_voltage, Volt write_voltage);
+
+    /** Latch a computation-mode input level. */
+    void latchInput(int level);
+
+    /** Select memory or computation mode (the mux in Figure 4 A). */
+    void setMode(FfMode mode) { mode_ = mode; }
+    FfMode mode() const { return mode_; }
+
+    /** Output voltage for a memory-mode read access. */
+    Volt memoryReadVoltage() const { return readVoltage_; }
+    /** Output voltage for a memory-mode write access. */
+    Volt memoryWriteVoltage() const { return writeVoltage_; }
+
+    /** Driven voltage in computation mode for the latched level. */
+    Volt computeVoltage() const;
+
+    /** Number of selectable computation voltage levels. */
+    int levelCount() const { return 1 << inputBits_; }
+    int latchedLevel() const { return latchedLevel_; }
+
+  private:
+    int inputBits_;
+    Volt readVoltage_;
+    Volt writeVoltage_;
+    FfMode mode_ = FfMode::Memory;
+    int latchedLevel_ = 0;
+};
+
+/**
+ * Analog subtraction unit (Figure 4 B): difference of the positive-array
+ * and negative-array bitline currents.  Bypassable in memory mode.
+ */
+class SubtractionUnit
+{
+  public:
+    void setBypass(bool bypass) { bypass_ = bypass; }
+    bool bypassed() const { return bypass_; }
+
+    /** pos - neg in computation mode; pos passes through when bypassed. */
+    double apply(double pos_current, double neg_current) const;
+
+  private:
+    bool bypass_ = false;
+};
+
+/**
+ * Analog sigmoid unit (Figure 4 B), after Li et al. [63].  Operates on a
+ * normalized activation value; bypassable when a large NN spans multiple
+ * crossbars and the non-linearity must wait for the merged sum.
+ */
+class SigmoidUnit
+{
+  public:
+    void setBypass(bool bypass) { bypass_ = bypass; }
+    bool bypassed() const { return bypass_; }
+
+    /** sigmoid(x) or identity when bypassed. */
+    double apply(double x) const;
+
+  private:
+    bool bypass_ = false;
+};
+
+/**
+ * ReLU unit (Figure 4 C): checks the sign bit, outputs zero for negative
+ * results and the value itself otherwise.
+ */
+class ReluUnit
+{
+  public:
+    void setBypass(bool bypass) { bypass_ = bypass; }
+    bool bypassed() const { return bypass_; }
+
+    std::int64_t apply(std::int64_t x) const;
+
+  private:
+    bool bypass_ = false;
+};
+
+/**
+ * Reconfigurable sense amplifier (Figure 4 C), after Li et al. [64]:
+ * converts an analog bitline value to a digital code at a precision
+ * configurable between 1 bit and Po bits (counter controlled).  In this
+ * behavioral model the analog value arrives in level units (see
+ * Crossbar::levelUnitsFromCurrent) together with the full-scale range.
+ */
+class ReconfigurableSenseAmp
+{
+  public:
+    /** @param max_bits hardware precision ceiling Po (paper: 6, <= 8). */
+    explicit ReconfigurableSenseAmp(int max_bits);
+
+    /** Configure conversion precision to 1..maxBits bits. */
+    void setPrecision(int bits);
+    int precision() const { return bits_; }
+    int maxBits() const { return maxBits_; }
+
+    /**
+     * Convert: keep the highest `precision` bits of a full-scale-bits wide
+     * non-negative component result (floor semantics; negative component
+     * values from the differential pair shift arithmetically).
+     */
+    std::int64_t convert(std::int64_t full_value, int full_scale_bits) const;
+
+    /** Conversion latency in SA clock cycles (successive approximation). */
+    int conversionCycles() const { return bits_; }
+
+  private:
+    int maxBits_;
+    int bits_;
+};
+
+/**
+ * Precision-control circuit (Figure 4 C): a register plus adder that
+ * accumulates the shifted partial results of the composing scheme so
+ * low-precision cells can realize a high-precision weight.
+ */
+class PrecisionControl
+{
+  public:
+    void clear() { acc_ = 0; }
+
+    /** Accumulate a partial result already truncated to target scale. */
+    void accumulate(std::int64_t partial) { acc_ += partial; }
+
+    std::int64_t value() const { return acc_; }
+
+  private:
+    std::int64_t acc_ = 0;
+};
+
+/**
+ * 4:1 max-pooling unit (Figure 4 C and Section III-E).  Hardware flow:
+ * the four inputs a1..a4 are latched in registers; ReRAM computes the six
+ * signed dot products with weight vectors [1,-1,0,0], [1,0,-1,0],
+ * [1,0,0,-1], [0,1,-1,0], [0,1,0,-1], [0,0,1,-1]; the six sign bits form
+ * the winner code from which the maximum is selected.  n:1 pooling for
+ * n > 4 runs in multiple passes.
+ */
+class MaxPoolUnit
+{
+  public:
+    /** The six difference-weight vectors burned into ReRAM. */
+    static const std::array<std::array<int, 4>, 6> kDifferenceWeights;
+
+    /** One 4:1 pooling step; fills the winner-code register. */
+    std::int64_t pool4(const std::array<std::int64_t, 4> &inputs);
+
+    /** n:1 pooling via repeated 4:1 passes (n need not be a multiple of 4). */
+    std::int64_t poolN(const std::vector<std::int64_t> &inputs);
+
+    /** Winner code of the last pool4 call (six sign bits). */
+    std::uint8_t winnerCode() const { return winnerCode_; }
+
+    /** Index (0-3) selected by the last pool4 call. */
+    int winnerIndex() const { return winnerIndex_; }
+
+  private:
+    std::uint8_t winnerCode_ = 0;
+    int winnerIndex_ = 0;
+};
+
+/**
+ * Mean pooling needs no extra hardware (Section III-E): weights
+ * [1/n, ..., 1/n] are pre-programmed and one dot product yields the mean.
+ * Provided here as the same-level behavioral helper.
+ */
+std::int64_t meanPool(const std::vector<std::int64_t> &inputs);
+
+} // namespace prime::reram
+
+#endif // PRIME_RERAM_PERIPHERAL_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Analytical CPU-only baseline (paper Table IV: 4 cores, 3 GHz,
+ * out-of-order, 32 KB L1, 2 MB L2, ReRAM main memory behind a 533 MHz
+ * channel).
+ *
+ * The model follows the paper's trace-based methodology at layer
+ * granularity: each weighted layer costs the maximum of its compute time
+ * (effective MAC throughput of compiled NN code) and its memory time
+ * (weight/activation streaming, latency-bound with limited miss-level
+ * parallelism when the working set exceeds the L2).
+ */
+
+#ifndef PRIME_SIM_CPU_MODEL_HH
+#define PRIME_SIM_CPU_MODEL_HH
+
+#include "nn/topology.hh"
+#include "nvmodel/energy_model.hh"
+#include "sim/platform.hh"
+
+namespace prime::sim {
+
+/** CPU configuration (defaults = Table IV + measured-code efficiencies). */
+struct CpuParams
+{
+    double clockGHz = 3.0;
+    int cores = 4;
+    /**
+     * Effective aggregate MAC throughput (MACs per cycle across the
+     * chip) for convolution loops.  Naive convolution nests achieve far
+     * below SIMD peak on OoO cores (poor locality, short trip counts).
+     */
+    double convMacsPerCycle = 0.5;
+    /** Effective aggregate MAC throughput for FC (streaming GEMV). */
+    double fcMacsPerCycle = 1.0;
+    /** Pooling/activation ops per cycle. */
+    double simpleOpsPerCycle = 2.0;
+    /** Bytes per weight/activation (float32). */
+    double bytesPerValue = 4.0;
+    /** L2 capacity; larger weight sets stream from memory every image. */
+    double l2Bytes = 2.0 * 1024 * 1024;
+    /** Average memory access latency for a streaming miss. */
+    Ns memLatency = 100.0;
+    /** Outstanding-miss parallelism the core sustains. */
+    double missParallelism = 4.0;
+    /** Cache line size. */
+    double lineBytes = 64.0;
+    /** Energy per arithmetic op including instruction overheads [1]. */
+    PicoJoule opEnergy = 70.0;
+    /** Cache hierarchy energy per byte moved. */
+    PicoJoule cacheEnergyPerByte = 1.0;
+};
+
+/** The CPU-only platform evaluator. */
+class CpuModel
+{
+  public:
+    CpuModel(const CpuParams &params, const nvmodel::TechParams &tech);
+
+    PlatformResult evaluate(const nn::Topology &topology) const;
+
+    const CpuParams &params() const { return params_; }
+
+    /** Effective streaming bandwidth (latency-bound). */
+    double effectiveStreamBandwidth() const;
+
+  private:
+    CpuParams params_;
+    nvmodel::EnergyModel energy_;
+};
+
+} // namespace prime::sim
+
+#endif // PRIME_SIM_CPU_MODEL_HH

@@ -1,0 +1,75 @@
+#include "sim/evaluator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace prime::sim {
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    PRIME_ASSERT(!values.empty(), "gmean of nothing");
+    double log_sum = 0.0;
+    for (double v : values) {
+        PRIME_ASSERT(v > 0.0, "gmean needs positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / values.size());
+}
+
+Evaluator::Evaluator(const nvmodel::TechParams &tech,
+                     const EvaluatorOptions &options)
+    : tech_(tech), options_(options)
+{
+}
+
+BenchmarkEvaluation
+Evaluator::evaluate(const nn::Topology &topology) const
+{
+    BenchmarkEvaluation e;
+    e.topology = topology;
+
+    mapping::Mapper mapper(tech_.geometry, options_.mapper);
+    e.plan = mapper.map(topology);
+
+    CpuModel cpu(options_.cpu, tech_);
+    e.cpu = cpu.evaluate(topology);
+
+    NpuModel co(options_.npu, tech_, NpuPlacement::CoProcessor, 1);
+    e.npuCo = co.evaluate(topology);
+
+    NpuModel pim1(options_.npu, tech_, NpuPlacement::PimSingle, 1);
+    e.npuPimX1 = pim1.evaluate(topology);
+
+    NpuModel pim64(options_.npu, tech_, NpuPlacement::PimPerBank,
+                   tech_.geometry.totalBanks());
+    e.npuPimX64 = pim64.evaluate(topology);
+
+    PrimeModel prime(tech_);
+    e.prime = prime.evaluate(topology, e.plan);
+
+    // Figure 9 variant: "PRIME without leveraging bank parallelism for
+    // computation" -- replication inside the bank stays on.
+    mapping::MapperOptions single = options_.mapper;
+    single.enableBankParallelism = false;
+    mapping::Mapper single_mapper(tech_.geometry, single);
+    mapping::MappingPlan single_plan = single_mapper.map(topology);
+    e.primeSingleBank = prime.evaluate(topology, single_plan);
+    e.primeSingleBank.platform = "PRIME-1bank";
+    return e;
+}
+
+std::vector<BenchmarkEvaluation>
+Evaluator::evaluateMlBench() const
+{
+    std::vector<BenchmarkEvaluation> out;
+    for (const nn::Topology &t : nn::mlBench()) {
+        if (!options_.includeVgg && t.name == "VGG-D")
+            continue;
+        out.push_back(evaluate(t));
+    }
+    return out;
+}
+
+} // namespace prime::sim

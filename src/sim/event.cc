@@ -1,0 +1,35 @@
+#include "sim/event.hh"
+
+#include "common/logging.hh"
+
+namespace prime::sim {
+
+void
+EventQueue::schedule(Ns when, EventFn fn)
+{
+    PRIME_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
+                 now_);
+    queue_.push(Entry{when, seq_++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (queue_.empty())
+        return false;
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.when;
+    ++processed_;
+    e.fn(now_);
+    return true;
+}
+
+void
+EventQueue::run(Ns until)
+{
+    while (!queue_.empty() && queue_.top().when <= until)
+        step();
+}
+
+} // namespace prime::sim

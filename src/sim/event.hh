@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A small discrete-event engine used by the functional memory/controller
+ * simulations and their tests.  Events are (time, sequence)-ordered so
+ * same-time events run in scheduling order (deterministic).
+ */
+
+#ifndef PRIME_SIM_EVENT_HH
+#define PRIME_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace prime::sim {
+
+/** Callback invoked at its scheduled time. */
+using EventFn = std::function<void(Ns now)>;
+
+/** Deterministic discrete-event queue. */
+class EventQueue
+{
+  public:
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    void schedule(Ns when, EventFn fn);
+
+    /** Schedule @p fn @p delay after now. */
+    void scheduleAfter(Ns delay, EventFn fn) { schedule(now_ + delay, fn); }
+
+    /** Run until empty or until the given horizon (inclusive). */
+    void run(Ns until = 1.0e18);
+
+    /** Execute exactly one event; returns false when empty. */
+    bool step();
+
+    Ns now() const { return now_; }
+    bool empty() const { return queue_.empty(); }
+    std::uint64_t processed() const { return processed_; }
+
+  private:
+    struct Entry
+    {
+        Ns when;
+        std::uint64_t seq;
+        EventFn fn;
+        bool operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+    Ns now_ = 0.0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace prime::sim
+
+#endif // PRIME_SIM_EVENT_HH

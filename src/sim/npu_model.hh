@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The comparative NPU designs of paper Table V:
+ *
+ *   pNPU-co      a DianNao-style parallel NPU [17] (16x16 multipliers +
+ *                256-1 adder tree, 2 KB in/out buffers, 32 KB weight
+ *                buffer) attached as a co-processor over the off-chip
+ *                DDR channel.
+ *   pNPU-pim-x1  the same NPU 3D-stacked on the memory, drawing from the
+ *                aggregated internal (TSV) bandwidth.
+ *   pNPU-pim-x64 one NPU stacked per bank; each instance sees only its
+ *                bank's internal bandwidth, but 64 images proceed in
+ *                parallel.
+ */
+
+#ifndef PRIME_SIM_NPU_MODEL_HH
+#define PRIME_SIM_NPU_MODEL_HH
+
+#include "nn/topology.hh"
+#include "nvmodel/energy_model.hh"
+#include "sim/platform.hh"
+
+namespace prime::sim {
+
+/** Where the NPU sits relative to the memory. */
+enum class NpuPlacement
+{
+    CoProcessor,   ///< off-chip channel (pNPU-co)
+    PimSingle,     ///< 3D-stacked, aggregated internal bandwidth
+    PimPerBank,    ///< 3D-stacked, one NPU per bank
+};
+
+/** NPU configuration (Table V + DianNao-series constants). */
+struct NpuParams
+{
+    double clockGHz = 1.0;
+    /** 16x16 multipliers feeding a 256-1 adder tree. */
+    int macsPerCycle = 256;
+    /** 16-bit fixed-point datapath. */
+    double bytesPerValue = 2.0;
+    /** Aggregated 3D-stacked internal bandwidth (GB/s = B/ns). [82] */
+    double pimAggregateBandwidth = 76.8;
+    /** Per-bank internal bandwidth for the x64 variant (GDL-bound). */
+    double perBankBandwidth = 16.0;
+    /** Energy per 16-bit MAC at 65 nm (DianNao-class). */
+    PicoJoule macEnergy = 1.0;
+    /** NBin/NBout/SB access energy per byte. */
+    PicoJoule bufferEnergyPerByte = 1.0;
+    /** Average buffer accesses per value moved through the datapath. */
+    double bufferAccessesPerValue = 3.0;
+    /** Internal (stacked) memory energy per byte: array + TSV/GDL. */
+    PicoJoule pimMemEnergyPerByte = 4.0;
+};
+
+/** Evaluator for the three NPU variants. */
+class NpuModel
+{
+  public:
+    NpuModel(const NpuParams &params, const nvmodel::TechParams &tech,
+             NpuPlacement placement, int instances = 1);
+
+    PlatformResult evaluate(const nn::Topology &topology) const;
+
+    const NpuParams &params() const { return params_; }
+    NpuPlacement placement() const { return placement_; }
+    int instances() const { return instances_; }
+
+    /** Memory bandwidth one NPU instance sees (B/ns). */
+    double memoryBandwidth() const;
+
+    /** Memory energy per byte for this placement. */
+    PicoJoule memEnergyPerByte() const;
+
+    /** Display name ("pNPU-co", "pNPU-pim-x1", "pNPU-pim-x64"). */
+    std::string name() const;
+
+  private:
+    NpuParams params_;
+    nvmodel::EnergyModel energy_;
+    NpuPlacement placement_;
+    int instances_;
+};
+
+} // namespace prime::sim
+
+#endif // PRIME_SIM_NPU_MODEL_HH

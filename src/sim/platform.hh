@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared result types of the platform evaluators (CPU-only, pNPU-co,
+ * pNPU-pim-x1/x64, PRIME).  All figures of the paper's evaluation are
+ * derived from these records.
+ */
+
+#ifndef PRIME_SIM_PLATFORM_HH
+#define PRIME_SIM_PLATFORM_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace prime::sim {
+
+/** Per-image execution-time breakdown (Figure 9 categories). */
+struct TimeBreakdown
+{
+    /** Computation time, including buffer management (paper's split). */
+    Ns compute = 0.0;
+    /** Exposed memory-access time. */
+    Ns memory = 0.0;
+
+    Ns total() const { return compute + memory; }
+};
+
+/** Per-image energy breakdown (Figure 11 categories). */
+struct EnergyBreakdown
+{
+    PicoJoule compute = 0.0;
+    PicoJoule buffer = 0.0;
+    PicoJoule memory = 0.0;
+
+    PicoJoule total() const { return compute + buffer + memory; }
+};
+
+/** Evaluation of one benchmark on one platform. */
+struct PlatformResult
+{
+    std::string platform;
+    std::string benchmark;
+    /** One-image latency on a single instance of the platform. */
+    Ns latency = 0.0;
+    /**
+     * Steady-state time per image with all available parallelism (bank
+     * parallelism / NPU count / pipelining); this is what Figure 8's
+     * speedups compare.
+     */
+    Ns timePerImage = 0.0;
+    TimeBreakdown time;
+    EnergyBreakdown energy;
+
+    double speedupOver(const PlatformResult &base) const
+    {
+        return base.timePerImage / timePerImage;
+    }
+    double energySavingOver(const PlatformResult &base) const
+    {
+        return base.energy.total() / energy.total();
+    }
+};
+
+} // namespace prime::sim
+
+#endif // PRIME_SIM_PLATFORM_HH

@@ -1,0 +1,178 @@
+#include "sim/prime_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prime::sim {
+
+PrimeModel::PrimeModel(const nvmodel::TechParams &tech)
+    : tech_(tech), latency_(tech), energy_(tech)
+{
+}
+
+double
+PrimeModel::valueBytes() const
+{
+    // Dynamic fixed-point activations move at Pin-bit granularity.
+    return tech_.inputBits / 8.0;
+}
+
+std::vector<PrimeLayerCost>
+PrimeModel::layerCosts(const mapping::MappingPlan &plan) const
+{
+    std::vector<PrimeLayerCost> costs;
+    const double vb = valueBytes();
+    for (const mapping::LayerMapping &m : plan.layers) {
+        PrimeLayerCost c;
+        c.layerIndex = m.info.layerIndex;
+        c.rounds = m.serialRounds();
+        // Every round fires all row/col tiles of every replica that has
+        // a position to process; in-mat replicas share a single pass.
+        const long long positions_per_pass = m.inMatReplicas;
+        const long long passes_per_tile =
+            (m.info.positions + positions_per_pass - 1) /
+            positions_per_pass;
+        c.matPasses = passes_per_tile * m.matsPerReplica();
+
+        c.mvmTime = static_cast<double>(c.rounds) *
+                    latency_.matMvm(m.info.sigmoidAfter);
+
+        // Buffer traffic: inputs loaded to wordline latches once per
+        // position, partial results stored per row tile, merged output
+        // written back.
+        const double in_bytes = static_cast<double>(m.info.positions) *
+                                m.info.rows * vb;
+        const double out_bytes = static_cast<double>(m.info.positions) *
+                                 m.info.cols * vb * m.rowTiles;
+        c.bufferTime = latency_.bufferTransfer(in_bytes + out_bytes);
+
+        c.computeEnergy = static_cast<double>(c.matPasses) *
+                          energy_.matMvm(m.info.sigmoidAfter);
+        c.bufferEnergy = energy_.bufferRead(in_bytes) +
+                         energy_.bufferWrite(out_bytes);
+        costs.push_back(c);
+    }
+    return costs;
+}
+
+PlatformResult
+PrimeModel::evaluate(const nn::Topology &topology,
+                     const mapping::MappingPlan &plan) const
+{
+    PlatformResult r;
+    r.platform = "PRIME";
+    r.benchmark = topology.name;
+
+    const std::vector<PrimeLayerCost> costs = layerCosts(plan);
+
+    Ns serial = 0.0;       // sum over layers (single-image latency)
+    Ns bottleneck = 0.0;   // slowest pipeline stage (large NNs)
+    for (const PrimeLayerCost &c : costs) {
+        const Ns layer_time = c.mvmTime +
+                              std::max(0.0, c.bufferTime - c.mvmTime);
+        serial += layer_time;
+        bottleneck = std::max(bottleneck, layer_time);
+        r.time.compute += c.mvmTime;
+        // Buffer traffic that compute cannot hide is the only exposed
+        // "memory" time; the CPU-visible channel is untouched.
+        r.time.memory += std::max(0.0, c.bufferTime - c.mvmTime);
+        r.energy.compute += c.computeEnergy;
+        r.energy.buffer += c.bufferEnergy;
+    }
+
+    // Initial image fetch into the Buffer subarray (Mem -> global row
+    // buffer -> Buffer) and final result commit.
+    const nn::LayerSpec &first = topology.layers.front();
+    const nn::LayerSpec &last = topology.layers.back();
+    const double io_bytes =
+        static_cast<double>(first.inputCount() + last.outputCount()) *
+        valueBytes();
+    serial += latency_.gdlTransfer(io_bytes);
+    r.time.memory += latency_.gdlTransfer(io_bytes);
+    r.energy.memory += energy_.memRead(io_bytes) +
+                       energy_.gdlTransfer(io_bytes) +
+                       energy_.memWrite(
+                           static_cast<double>(last.outputCount()) *
+                           valueBytes());
+
+    // Inter-bank pipeline communication for large-scale NNs: every
+    // stage boundary moves its activations over the internal bus shared
+    // by all banks (buffer -> mem -> next bank's buffer, so the bytes
+    // cross the bus twice).  The shared bus serializes across stages,
+    // flooring the pipeline's per-image throughput -- this is why VGG-D
+    // shows the paper's smallest PRIME speedup.
+    if (plan.scale == mapping::NnScale::Large) {
+        double boundary_bytes = 0.0;
+        for (const mapping::LayerMapping &m : plan.layers) {
+            const nn::LayerSpec &spec = topology.layers[
+                static_cast<std::size_t>(m.info.layerIndex)];
+            boundary_bytes +=
+                static_cast<double>(spec.outputCount()) * valueBytes();
+        }
+        const double bus_bytes = 2.0 * boundary_bytes;
+        const Ns bus_time =
+            bus_bytes / tech_.timing.internalBusBytesPerNs;
+        serial += bus_time;
+        r.time.memory += bus_time;
+        r.energy.memory += energy_.gdlTransfer(bus_bytes) +
+                           energy_.bufferWrite(boundary_bytes) +
+                           energy_.bufferRead(boundary_bytes);
+        bottleneck = std::max(bottleneck, bus_time);
+    }
+
+    // Controller command stream energy: one load/store pair per round
+    // plus configuration-phase commands amortized away (paper excludes
+    // configuration, Section V-B).
+    long long commands = 0;
+    for (const PrimeLayerCost &c : costs)
+        commands += 2 * c.rounds + 2;
+    r.energy.buffer += energy_.controller(commands);
+
+    r.latency = serial;
+    if (plan.scale == mapping::NnScale::Large) {
+        // Layer-granular pipeline across banks.
+        r.timePerImage = bottleneck / plan.bankReplicas;
+    } else {
+        r.timePerImage =
+            serial / (static_cast<double>(plan.bankReplicas) *
+                      plan.copiesPerBank);
+    }
+    // Input images stream into the banks over the off-chip channel;
+    // bank-level parallelism cannot outrun input delivery.
+    const double in_bytes =
+        static_cast<double>(first.inputCount()) * valueBytes();
+    r.timePerImage = std::max(
+        r.timePerImage, in_bytes / tech_.timing.channelBandwidth());
+    return r;
+}
+
+Ns
+PrimeModel::configurationTime(const mapping::MappingPlan &plan) const
+{
+    // Morphing: migrate resident data out, program weights row by row,
+    // reconfigure peripheral circuits.
+    long long rows = 0;
+    for (const mapping::LayerMapping &m : plan.layers)
+        rows += m.matsUsed() * tech_.geometry.matRows;
+    const Ns program = latency_.weightProgramming(rows);
+    const double migrate_bytes =
+        static_cast<double>(plan.totalMats()) *
+        tech_.geometry.matRows * tech_.geometry.matCols *
+        tech_.geometry.arraysPerFfMat / 8.0;
+    return program + latency_.gdlTransfer(migrate_bytes);
+}
+
+PicoJoule
+PrimeModel::configurationEnergy(const mapping::MappingPlan &plan) const
+{
+    long long cells = 0;
+    for (const mapping::LayerMapping &m : plan.layers)
+        for (const mapping::MatTile &t : m.tiles)
+            cells += static_cast<long long>(t.rowsUsed) * t.colsUsed *
+                     2 /* composing: two cells per weight */ *
+                     m.inMatReplicas;
+    return energy_.weightProgramming(cells);
+}
+
+} // namespace prime::sim

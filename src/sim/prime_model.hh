@@ -1,0 +1,78 @@
+/**
+ * @file
+ * PRIME platform evaluator: turns a compile-time MappingPlan into
+ * per-image latency, throughput and energy, using the nvmodel component
+ * models for the FF datapath (Section V methodology).
+ *
+ * Timing structure per weighted layer:
+ *   rounds  = ceil(positions / (inMatReplicas * crossMatReplicas))
+ *   time    = rounds * matMvm latency  (all tiles of a replica set and
+ *             all col/row tiles fire in parallel inside their mats)
+ *   merge   = split-merge partial accumulation + activation movement,
+ *             streamed through the Buffer subarray connection unit; the
+ *             Buffer hides this under compute when it fits (Figure 9's
+ *             "PRIME memory time ~ 0").
+ *
+ * Large-scale NNs run as an inter-bank pipeline: throughput is set by
+ * the slowest layer stage, latency by the sum plus inter-bank hops.
+ */
+
+#ifndef PRIME_SIM_PRIME_MODEL_HH
+#define PRIME_SIM_PRIME_MODEL_HH
+
+#include "mapping/mapper.hh"
+#include "nvmodel/energy_model.hh"
+#include "nvmodel/latency_model.hh"
+#include "sim/platform.hh"
+
+namespace prime::sim {
+
+/** Per-layer PRIME cost (exposed for tests and the breakdown bench). */
+struct PrimeLayerCost
+{
+    int layerIndex = 0;
+    long long rounds = 0;
+    long long matPasses = 0;
+    Ns mvmTime = 0.0;
+    Ns bufferTime = 0.0;
+    PicoJoule computeEnergy = 0.0;
+    PicoJoule bufferEnergy = 0.0;
+};
+
+/** The PRIME evaluator. */
+class PrimeModel
+{
+  public:
+    explicit PrimeModel(const nvmodel::TechParams &tech);
+
+    /** Evaluate a benchmark given its mapping plan. */
+    PlatformResult evaluate(const nn::Topology &topology,
+                            const mapping::MappingPlan &plan) const;
+
+    /** Per-layer costs (same traversal as evaluate()). */
+    std::vector<PrimeLayerCost>
+    layerCosts(const mapping::MappingPlan &plan) const;
+
+    /** Latency of one full logical mat MVM. */
+    Ns matMvmLatency(bool with_sigmoid) const
+    {
+        return latency_.matMvm(with_sigmoid);
+    }
+
+    /** One-time reconfiguration cost (excluded from per-image numbers,
+     *  reported separately as in the paper). */
+    Ns configurationTime(const mapping::MappingPlan &plan) const;
+    PicoJoule configurationEnergy(const mapping::MappingPlan &plan) const;
+
+  private:
+    /** Bytes per activation value on the 6-bit datapath. */
+    double valueBytes() const;
+
+    nvmodel::TechParams tech_;
+    nvmodel::LatencyModel latency_;
+    nvmodel::EnergyModel energy_;
+};
+
+} // namespace prime::sim
+
+#endif // PRIME_SIM_PRIME_MODEL_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * ReRAM device model tests (Section II-A behavior).
+ */
+
+#include <gtest/gtest.h>
+
+#include "reram/cell.hh"
+
+namespace prime::reram {
+namespace {
+
+TEST(DeviceParams, ConductanceEndpoints)
+{
+    DeviceParams p;  // 1k / 20k Ohm
+    EXPECT_DOUBLE_EQ(p.gMax(), 1000.0);  // 1 kOhm -> 1000 uS
+    EXPECT_DOUBLE_EQ(p.gMin(), 50.0);    // 20 kOhm -> 50 uS
+}
+
+TEST(Cell, IdealConductanceEndpointsAndMonotonicity)
+{
+    DeviceParams p;
+    EXPECT_DOUBLE_EQ(Cell::idealConductance(p, 0, 4), p.gMin());
+    EXPECT_DOUBLE_EQ(Cell::idealConductance(p, 15, 4), p.gMax());
+    for (int l = 1; l < 16; ++l)
+        EXPECT_GT(Cell::idealConductance(p, l, 4),
+                  Cell::idealConductance(p, l - 1, 4));
+}
+
+TEST(Cell, ProgramStoresLevelIdeally)
+{
+    DeviceParams p;
+    Cell c;
+    c.program(p, 9, 4);
+    EXPECT_EQ(c.level(), 9);
+    EXPECT_EQ(c.levelCount(), 16);
+    EXPECT_DOUBLE_EQ(c.conductance(), Cell::idealConductance(p, 9, 4));
+}
+
+TEST(Cell, ProgramVariationBoundedAndNonzero)
+{
+    DeviceParams p;
+    p.programVariation = 0.03;
+    Rng rng(3);
+    double max_rel = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        Cell c;
+        c.program(p, 8, 4, &rng);
+        const double ideal = Cell::idealConductance(p, 8, 4);
+        max_rel = std::max(max_rel,
+                           std::abs(c.conductance() - ideal) / ideal);
+        EXPECT_GE(c.conductance(), p.gMin());
+        EXPECT_LE(c.conductance(), p.gMax());
+    }
+    EXPECT_GT(max_rel, 0.0);
+    EXPECT_LT(max_rel, 0.2);  // ~3% sigma: 6-sigma tail bound
+}
+
+TEST(Cell, SlcSetResetAndReadBit)
+{
+    DeviceParams p;
+    Cell c;
+    c.set(p);
+    EXPECT_TRUE(c.readBit(p));
+    c.reset(p);
+    EXPECT_FALSE(c.readBit(p));
+}
+
+TEST(Cell, WearCountsOnlyChanges)
+{
+    DeviceParams p;
+    Cell c;
+    c.set(p);
+    const auto w1 = c.wear();
+    c.set(p);  // same state: write-verify skips the pulse
+    EXPECT_EQ(c.wear(), w1);
+    c.reset(p);
+    EXPECT_EQ(c.wear(), w1 + 1);
+}
+
+TEST(Cell, EnduranceThresholdDetected)
+{
+    DeviceParams p;
+    p.endurance = 3;
+    Cell c;
+    for (int i = 0; i < 4; ++i) {
+        c.set(p);
+        c.reset(p);
+    }
+    EXPECT_TRUE(c.wornOut(p));
+}
+
+TEST(Cell, RejectsOutOfRangeLevel)
+{
+    DeviceParams p;
+    Cell c;
+    EXPECT_DEATH(c.program(p, 16, 4), "level");
+    EXPECT_DEATH(c.program(p, -1, 4), "level");
+}
+
+/** MLC level sweep: every level distinguishes from its neighbors. */
+class MlcBitsSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MlcBitsSweep, AllLevelsDistinct)
+{
+    const int bits = GetParam();
+    DeviceParams p;
+    const int levels = 1 << bits;
+    double prev = -1.0;
+    for (int l = 0; l < levels; ++l) {
+        const double g = Cell::idealConductance(p, l, bits);
+        EXPECT_GT(g, prev);
+        prev = g;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, MlcBitsSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+} // namespace
+} // namespace prime::reram

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Table I command encoding/decoding tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mapping/commands.hh"
+
+namespace prime::mapping {
+namespace {
+
+TEST(Commands, DatapathConfigClassification)
+{
+    Command c;
+    c.op = CommandOp::SetMatFunction;
+    EXPECT_TRUE(c.isDatapathConfig());
+    c.op = CommandOp::Fetch;
+    EXPECT_FALSE(c.isDatapathConfig());
+}
+
+TEST(Commands, EncodeDecodeConfigRoundTrip)
+{
+    Command c;
+    c.op = CommandOp::BypassSigmoid;
+    c.matAddr = 42;
+    c.flag = 1;
+    EXPECT_EQ(decodeCommand(encodeCommand(c)), c);
+}
+
+TEST(Commands, EncodeDecodeDataFlowRoundTrip)
+{
+    Command c;
+    c.op = CommandOp::Fetch;
+    c.src = 0x123456789abcull;
+    c.dst = 0xfeedull;
+    c.bytes = 4096;
+    EXPECT_EQ(decodeCommand(encodeCommand(c)), c);
+}
+
+TEST(Commands, RejectsMalformed)
+{
+    std::vector<std::uint8_t> short_buf(3, 0);
+    EXPECT_THROW(decodeCommand(short_buf), std::runtime_error);
+
+    Command c;
+    c.op = CommandOp::SetMatFunction;
+    c.flag = 1;
+    auto bytes = encodeCommand(c);
+    bytes[0] = 99;  // bad opcode
+    EXPECT_THROW(decodeCommand(bytes), std::runtime_error);
+
+    auto bad_flag = encodeCommand(c);
+    bad_flag[1] = 3;  // mat function flag must be 0/1/2
+    EXPECT_THROW(decodeCommand(bad_flag), std::runtime_error);
+}
+
+TEST(Commands, ToStringReadable)
+{
+    Command c;
+    c.op = CommandOp::SetMatFunction;
+    c.matAddr = 7;
+    c.flag = static_cast<std::uint8_t>(MatFunction::Compute);
+    EXPECT_EQ(toString(c), "comp mat 7");
+
+    Command load;
+    load.op = CommandOp::Load;
+    load.src = 0x40;
+    load.dst = 0x1000;
+    load.bytes = 64;
+    const std::string s = toString(load);
+    EXPECT_NE(s.find("load"), std::string::npos);
+    EXPECT_NE(s.find("buf:0x40"), std::string::npos);
+    EXPECT_NE(s.find("ff:0x1000"), std::string::npos);
+}
+
+/** Round-trip sweep over every opcode. */
+class CommandOpSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CommandOpSweep, RoundTrips)
+{
+    Command c;
+    c.op = static_cast<CommandOp>(GetParam());
+    if (c.isDatapathConfig()) {
+        c.matAddr = 1234;
+        c.flag = c.op == CommandOp::SetMatFunction ? 2 : 1;
+    } else {
+        c.src = 77;
+        c.dst = 88;
+        c.bytes = 99;
+    }
+    EXPECT_EQ(decodeCommand(encodeCommand(c)), c);
+    EXPECT_FALSE(toString(c).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, CommandOpSweep,
+                         ::testing::Range(0, 8));
+
+} // namespace
+} // namespace prime::mapping

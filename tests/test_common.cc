@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for logging, stats, tables and the RNG utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace prime {
+namespace {
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(PRIME_FATAL("bad config value ", 42), std::runtime_error);
+}
+
+TEST(Logging, FatalIfConditional)
+{
+    EXPECT_THROW(PRIME_FATAL_IF(1 + 1 == 2, "always"), std::runtime_error);
+    EXPECT_NO_THROW(PRIME_FATAL_IF(false, "never"));
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    LogLevel prev = setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(prev);
+}
+
+TEST(Stats, SampleTracksMoments)
+{
+    Stat s;
+    s.sample(2.0);
+    s.sample(4.0);
+    s.sample(6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(Stats, AddAndIncrementSeparateConcerns)
+{
+    Stat s;
+    s.add(10.0);
+    s.increment(5);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(Stats, GroupCreatesOnDemandAndSorts)
+{
+    StatGroup g;
+    g.get("b.two").increment();
+    g.get("a.one").increment();
+    EXPECT_NE(g.find("a.one"), nullptr);
+    EXPECT_EQ(g.find("missing"), nullptr);
+    const auto names = g.names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a.one");
+    EXPECT_EQ(names[1], "b.two");
+}
+
+TEST(Stats, ResetAllClears)
+{
+    StatGroup g;
+    g.get("x").sample(3.0);
+    g.resetAll();
+    EXPECT_EQ(g.get("x").count(), 0u);
+}
+
+TEST(Stats, DumpContainsNames)
+{
+    StatGroup g;
+    g.get("mem.reads").increment(7);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("mem.reads"), std::string::npos);
+}
+
+TEST(Table, AlignsColumnsAndCounts)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").cell(1.5);
+    t.row().cell("b").cell(22.25, 2);
+    EXPECT_EQ(t.rowCount(), 2u);
+    std::ostringstream os;
+    t.print(os, "demo");
+    const std::string s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22.25"), std::string::npos);
+}
+
+TEST(Table, SpeedupAndPercentFormats)
+{
+    Table t({"a", "b"});
+    t.row().speedupCell(1234.7).percentCell(0.123);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("1235x"), std::string::npos);
+    EXPECT_NE(os.str().find("12.3%"), std::string::npos);
+}
+
+TEST(Table, RejectsOverfullRow)
+{
+    Table t({"only"});
+    t.row().cell("x");
+    EXPECT_DEATH(t.cell("y"), "more cells");
+}
+
+TEST(FormatCompact, SwitchesToScientific)
+{
+    EXPECT_EQ(formatCompact(12.5, 1), "12.5");
+    EXPECT_NE(formatCompact(1.0e9, 2).find("e"), std::string::npos);
+    EXPECT_EQ(formatCompact(0.0, 1), "0.0");
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(-3, 7);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng rng(9);
+    auto p = rng.permutation(50);
+    std::vector<bool> seen(50, false);
+    for (std::size_t i : p) {
+        ASSERT_LT(i, 50u);
+        EXPECT_FALSE(seen[i]);
+        seen[i] = true;
+    }
+}
+
+TEST(Rng, ForkDiverges)
+{
+    Rng a(7);
+    Rng child = a.fork();
+    // The fork and the parent should produce different streams.
+    bool differs = false;
+    Rng b(7);
+    Rng child_b = b.fork();
+    for (int i = 0; i < 10; ++i) {
+        // Forks of identical parents agree with each other...
+        EXPECT_DOUBLE_EQ(child.uniform(), child_b.uniform());
+    }
+    Rng c(7);
+    for (int i = 0; i < 10; ++i)
+        if (c.uniform() != child.uniform())
+            differs = true;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect)
+{
+    Rng rng(31);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.gaussian(1.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 1.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+} // namespace
+} // namespace prime
+
+namespace prime {
+namespace {
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.row().cell("x,y").cell(1.5);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n\"x,y\",1.50\n");
+}
+
+} // namespace
+} // namespace prime

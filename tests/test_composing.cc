@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Input & synapse composing scheme tests (Section III-D): splitting,
+ * SA truncation, the bounded-error property of the HH/HL/LH assembly,
+ * and the crossbar-backed engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "reram/composing.hh"
+
+namespace prime::reram {
+namespace {
+
+TEST(PnForInputCount, PowersOfTwo)
+{
+    EXPECT_EQ(pnForInputCount(1), 0);
+    EXPECT_EQ(pnForInputCount(2), 1);
+    EXPECT_EQ(pnForInputCount(3), 2);
+    EXPECT_EQ(pnForInputCount(256), 8);
+    EXPECT_EQ(pnForInputCount(257), 9);
+}
+
+TEST(SplitInput, RecomposesExactly)
+{
+    ComposingParams p;
+    for (int v = 0; v < 64; ++v) {
+        auto [hi, lo] = splitInput(v, p);
+        EXPECT_EQ((hi << p.inputPhaseBits) + lo, v);
+        EXPECT_LT(hi, 8);
+        EXPECT_LT(lo, 8);
+    }
+}
+
+TEST(SplitWeight, RecomposesWithSign)
+{
+    ComposingParams p;
+    for (int v = -255; v <= 255; ++v) {
+        auto [hi, lo] = splitWeight(v, p);
+        EXPECT_EQ(hi * (1 << p.cellBits) + lo, v) << v;
+        EXPECT_LE(std::abs(hi), 15);
+        EXPECT_LE(std::abs(lo), 15);
+        // Both parts carry the sign so each can live in the pos or neg
+        // crossbar consistently.
+        if (v > 0) {
+            EXPECT_GE(hi, 0);
+            EXPECT_GE(lo, 0);
+        }
+        if (v < 0) {
+            EXPECT_LE(hi, 0);
+            EXPECT_LE(lo, 0);
+        }
+    }
+}
+
+TEST(TakeHighBits, FloorSemantics)
+{
+    EXPECT_EQ(takeHighBits(255, 4), 15);
+    EXPECT_EQ(takeHighBits(-1, 4), -1);   // floor(-1/16) = -1
+    EXPECT_EQ(takeHighBits(-16, 4), -1);
+    EXPECT_EQ(takeHighBits(-17, 4), -2);
+    EXPECT_EQ(takeHighBits(5, 0), 5);
+    EXPECT_EQ(takeHighBits(5, -2), 20);  // negative shift = scale up
+}
+
+TEST(ComposedTarget, MatchesDirectComputation)
+{
+    ComposingParams p;
+    std::vector<int> in = {63, 0, 17, 44};
+    std::vector<int> w = {255, -255, 100, -3};
+    std::int64_t full = 0;
+    for (int i = 0; i < 4; ++i)
+        full += static_cast<std::int64_t>(in[i]) * w[i];
+    // PN for 4 inputs is 2; shift = 6 + 8 + 2 - 6 = 10.
+    EXPECT_EQ(composedTargetExact(in, w, p), full >> 10);
+}
+
+/** The paper's key property: composed output within a few ULP of the
+ *  exact shifted result. */
+TEST(ComposedApprox, BoundedError)
+{
+    ComposingParams p;
+    Rng rng(77);
+    for (int trial = 0; trial < 500; ++trial) {
+        const int n = static_cast<int>(rng.uniformInt(1, 256));
+        std::vector<int> in(n), w(n);
+        for (int i = 0; i < n; ++i) {
+            in[i] = static_cast<int>(rng.uniformInt(0, 63));
+            w[i] = static_cast<int>(rng.uniformInt(-255, 255));
+        }
+        const std::int64_t target = composedTargetExact(in, w, p);
+        const std::int64_t approx = composedApprox(in, w, p);
+        EXPECT_LE(std::llabs(approx - target), 4);
+    }
+}
+
+TEST(ComposedApprox, ExactWhenLowPartsVanish)
+{
+    ComposingParams p;
+    // Inputs and weights that are multiples of the phase granularity
+    // have empty low parts, so HH alone carries everything: the only
+    // error is the shared floor.
+    std::vector<int> in = {8, 16, 56, 0};
+    std::vector<int> w = {16, -240, 32, 0};
+    EXPECT_NEAR(static_cast<double>(composedApprox(in, w, p)),
+                static_cast<double>(composedTargetExact(in, w, p)), 1.0);
+}
+
+TEST(ComposingParams, ConsistencyChecks)
+{
+    ComposingParams p;
+    EXPECT_TRUE(p.consistent());
+    p.inputPhaseBits = 2;  // 2*2 != 6
+    EXPECT_FALSE(p.consistent());
+}
+
+TEST(ComposedMatrixEngine, MatchesIntegerModel)
+{
+    ComposingParams cp;
+    CrossbarParams xp;
+    Rng rng(5);
+    const int rows = 48, cols = 12;
+    ComposedMatrixEngine engine(rows, cols, cp, xp);
+    std::vector<std::vector<int>> w(rows, std::vector<int>(cols));
+    for (auto &r : w)
+        for (int &v : r)
+            v = static_cast<int>(rng.uniformInt(-255, 255));
+    engine.programWeights(w);
+
+    std::vector<int> in(rows);
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 63));
+
+    auto hw = engine.mvmExact(in);
+    for (int c = 0; c < cols; ++c) {
+        std::vector<int> col(rows);
+        for (int r = 0; r < rows; ++r)
+            col[r] = w[r][c];
+        EXPECT_EQ(hw[c], composedApprox(in, col, cp)) << "col " << c;
+    }
+}
+
+TEST(ComposedMatrixEngine, TargetWithinBound)
+{
+    ComposingParams cp;
+    CrossbarParams xp;
+    Rng rng(6);
+    ComposedMatrixEngine engine(100, 8, cp, xp);
+    std::vector<std::vector<int>> w(100, std::vector<int>(8));
+    for (auto &r : w)
+        for (int &v : r)
+            v = static_cast<int>(rng.uniformInt(-255, 255));
+    engine.programWeights(w);
+    std::vector<int> in(100);
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 63));
+
+    auto hw = engine.mvmExact(in);
+    auto target = engine.targetExact(in);
+    for (int c = 0; c < 8; ++c)
+        EXPECT_LE(std::llabs(hw[c] - target[c]), 4);
+}
+
+TEST(ComposedMatrixEngine, AnalogTracksExactWithIdealDevices)
+{
+    ComposingParams cp;
+    CrossbarParams xp;
+    Rng rng(7);
+    ComposedMatrixEngine engine(64, 6, cp, xp);
+    std::vector<std::vector<int>> w(64, std::vector<int>(6));
+    for (auto &r : w)
+        for (int &v : r)
+            v = static_cast<int>(rng.uniformInt(-255, 255));
+    engine.programWeights(w);  // ideal
+    std::vector<int> in(64);
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 63));
+    EXPECT_EQ(engine.mvmAnalog(in), engine.mvmExact(in));
+}
+
+TEST(ComposedMatrixEngine, ProgrammingVariationStaysClose)
+{
+    ComposingParams cp;
+    CrossbarParams xp;
+    xp.device.programVariation = 0.01;
+    Rng rng(8);
+    ComposedMatrixEngine engine(128, 4, cp, xp);
+    std::vector<std::vector<int>> w(128, std::vector<int>(4));
+    for (auto &r : w)
+        for (int &v : r)
+            v = static_cast<int>(rng.uniformInt(-255, 255));
+    engine.programWeights(w, &rng);  // noisy programming
+    std::vector<int> in(128);
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 63));
+    auto noisy = engine.mvmAnalog(in, nullptr);
+    auto ideal = engine.mvmExact(in);
+    for (int c = 0; c < 4; ++c)
+        EXPECT_NEAR(static_cast<double>(noisy[c]),
+                    static_cast<double>(ideal[c]),
+                    std::max<double>(4.0,
+                                     0.1 * std::abs(ideal[c]) + 4.0));
+}
+
+/** Bit-width sweep: the error bound holds for other configurations. */
+struct ComposingConfig
+{
+    int in, phase, w, cell, out;
+};
+
+class ComposingSweep : public ::testing::TestWithParam<ComposingConfig>
+{
+};
+
+TEST_P(ComposingSweep, BoundHolds)
+{
+    const ComposingConfig cfg = GetParam();
+    ComposingParams p;
+    p.inputBits = cfg.in;
+    p.inputPhaseBits = cfg.phase;
+    p.weightBits = cfg.w;
+    p.cellBits = cfg.cell;
+    p.outputBits = cfg.out;
+    ASSERT_TRUE(p.consistent());
+
+    Rng rng(cfg.in * 100 + cfg.w);
+    for (int trial = 0; trial < 100; ++trial) {
+        const int n = static_cast<int>(rng.uniformInt(1, 64));
+        std::vector<int> in(n), w(n);
+        for (int i = 0; i < n; ++i) {
+            in[i] = static_cast<int>(
+                rng.uniformInt(0, (1 << p.inputBits) - 1));
+            w[i] = static_cast<int>(
+                rng.uniformInt(-((1 << p.weightBits) - 1),
+                               (1 << p.weightBits) - 1));
+        }
+        const std::int64_t target = composedTargetExact(in, w, p);
+        const std::int64_t approx = composedApprox(in, w, p);
+        EXPECT_LE(std::llabs(approx - target), 4);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ComposingSweep,
+    ::testing::Values(ComposingConfig{6, 3, 8, 4, 6},
+                      ComposingConfig{4, 2, 8, 4, 6},
+                      ComposingConfig{6, 3, 6, 3, 6},
+                      ComposingConfig{8, 4, 8, 4, 8},
+                      ComposingConfig{2, 1, 2, 1, 2},
+                      ComposingConfig{4, 2, 4, 2, 4}));
+
+} // namespace
+} // namespace prime::reram

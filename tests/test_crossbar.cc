@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Crossbar MVM tests: exact integer semantics, analog fidelity, the
+ * differential pos/neg pair, and SLC memory mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "reram/crossbar.hh"
+
+namespace prime::reram {
+namespace {
+
+CrossbarParams
+smallParams(int rows, int cols)
+{
+    CrossbarParams p;
+    p.rows = rows;
+    p.cols = cols;
+    p.cellBits = 4;
+    p.inputBits = 3;
+    return p;
+}
+
+std::vector<std::vector<int>>
+randomLevels(int rows, int cols, int max_level, Rng &rng)
+{
+    std::vector<std::vector<int>> levels(rows, std::vector<int>(cols));
+    for (auto &row : levels)
+        for (int &v : row)
+            v = static_cast<int>(rng.uniformInt(0, max_level));
+    return levels;
+}
+
+TEST(Crossbar, MvmExactMatchesReference)
+{
+    Rng rng(1);
+    Crossbar xbar(smallParams(16, 8));
+    auto levels = randomLevels(16, 8, 15, rng);
+    xbar.programLevels(levels);
+    std::vector<int> in(16);
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 7));
+
+    auto out = xbar.mvmExact(in);
+    for (int c = 0; c < 8; ++c) {
+        std::int64_t expect = 0;
+        for (int r = 0; r < 16; ++r)
+            expect += static_cast<std::int64_t>(in[r]) * levels[r][c];
+        EXPECT_EQ(out[c], expect) << "col " << c;
+    }
+}
+
+TEST(Crossbar, AnalogMatchesExactWithIdealDevices)
+{
+    Rng rng(2);
+    CrossbarParams p = smallParams(32, 16);
+    Crossbar pos(p), neg(p);
+    auto levels = randomLevels(32, 16, 15, rng);
+    pos.programLevels(levels);  // no rng: ideal programming
+    // A zero-programmed negative array cancels the Gmin offsets.
+    std::vector<std::vector<int>> zeros(32, std::vector<int>(16, 0));
+    neg.programLevels(zeros);
+
+    std::vector<int> in(32);
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 7));
+    auto exact = pos.mvmExact(in);
+    auto ip = pos.mvmAnalog(in);
+    auto in_ = neg.mvmAnalog(in);
+    for (int c = 0; c < 16; ++c) {
+        const double level_units =
+            pos.levelUnitsFromCurrent(ip[c] - in_[c]);
+        EXPECT_NEAR(level_units, static_cast<double>(exact[c]), 1e-6);
+    }
+}
+
+TEST(Crossbar, ReadNoisePerturbsOutput)
+{
+    Rng rng(3);
+    CrossbarParams p = smallParams(32, 4);
+    p.readNoiseSigma = 0.01;
+    Crossbar xbar(p);
+    xbar.programLevels(randomLevels(32, 4, 15, rng));
+    std::vector<int> in(32, 5);
+    auto clean = xbar.mvmAnalog(in, nullptr);
+    auto noisy = xbar.mvmAnalog(in, &rng);
+    bool different = false;
+    for (int c = 0; c < 4; ++c)
+        if (clean[c] != noisy[c])
+            different = true;
+    EXPECT_TRUE(different);
+}
+
+TEST(Crossbar, MemoryModeRoundTrip)
+{
+    Crossbar xbar(smallParams(8, 16));
+    std::vector<std::uint8_t> bits = {1, 0, 1, 1, 0, 0, 1, 0,
+                                      1, 1, 1, 0, 0, 1, 0, 1};
+    xbar.writeRowBits(3, bits);
+    EXPECT_EQ(xbar.readRowBits(3), bits);
+}
+
+TEST(Crossbar, WearTracked)
+{
+    Crossbar xbar(smallParams(4, 4));
+    std::vector<std::uint8_t> a(4, 1), b(4, 0);
+    xbar.writeRowBits(0, a);
+    xbar.writeRowBits(0, b);
+    EXPECT_GE(xbar.maxWear(), 2u);
+}
+
+TEST(Crossbar, RejectsBadInputs)
+{
+    Crossbar xbar(smallParams(4, 4));
+    std::vector<int> wrong_size(3, 0);
+    EXPECT_DEATH(xbar.mvmExact(wrong_size), "inputs");
+    std::vector<int> too_big(4, 8);  // inputBits=3 -> max 7
+    EXPECT_DEATH(xbar.mvmExact(too_big), "input level");
+}
+
+TEST(DifferentialPair, SignedWeightsSplitCorrectly)
+{
+    CrossbarParams p = smallParams(2, 3);
+    DifferentialPair pair(p);
+    pair.programSigned({{5, -7, 0}, {-15, 3, 9}});
+    EXPECT_EQ(pair.positive().storedLevel(0, 0), 5);
+    EXPECT_EQ(pair.negative().storedLevel(0, 0), 0);
+    EXPECT_EQ(pair.positive().storedLevel(0, 1), 0);
+    EXPECT_EQ(pair.negative().storedLevel(0, 1), 7);
+    EXPECT_EQ(pair.positive().storedLevel(1, 0), 0);
+    EXPECT_EQ(pair.negative().storedLevel(1, 0), 15);
+}
+
+TEST(DifferentialPair, ExactSignedMvm)
+{
+    CrossbarParams p = smallParams(3, 2);
+    DifferentialPair pair(p);
+    pair.programSigned({{5, -5}, {-3, 3}, {0, 15}});
+    std::vector<int> in = {7, 2, 1};
+    auto out = pair.mvmExact(in);
+    EXPECT_EQ(out[0], 7 * 5 + 2 * -3 + 1 * 0);
+    EXPECT_EQ(out[1], 7 * -5 + 2 * 3 + 1 * 15);
+}
+
+TEST(DifferentialPair, AnalogCancelsOffset)
+{
+    Rng rng(4);
+    CrossbarParams p = smallParams(64, 8);
+    DifferentialPair pair(p);
+    std::vector<std::vector<int>> w(64, std::vector<int>(8));
+    for (auto &row : w)
+        for (int &v : row)
+            v = static_cast<int>(rng.uniformInt(-15, 15));
+    pair.programSigned(w);  // ideal programming
+    std::vector<int> in(64);
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 7));
+    auto exact = pair.mvmExact(in);
+    auto analog = pair.mvmAnalog(in);
+    for (int c = 0; c < 8; ++c)
+        EXPECT_NEAR(analog[c], static_cast<double>(exact[c]), 1e-6);
+}
+
+TEST(DifferentialPair, RejectsOverRangeWeight)
+{
+    DifferentialPair pair(smallParams(1, 1));
+    EXPECT_DEATH(pair.programSigned({{16}}), "weight");
+}
+
+/** Geometry sweep: exact/analog agreement holds across shapes. */
+class CrossbarShapeSweep
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(CrossbarShapeSweep, AnalogAgreesWithExact)
+{
+    auto [rows, cols] = GetParam();
+    Rng rng(rows * 1000 + cols);
+    DifferentialPair pair(smallParams(rows, cols));
+    std::vector<std::vector<int>> w(rows, std::vector<int>(cols));
+    for (auto &row : w)
+        for (int &v : row)
+            v = static_cast<int>(rng.uniformInt(-15, 15));
+    pair.programSigned(w);
+    std::vector<int> in(rows);
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 7));
+    auto exact = pair.mvmExact(in);
+    auto analog = pair.mvmAnalog(in);
+    for (int c = 0; c < cols; ++c)
+        EXPECT_NEAR(analog[c], static_cast<double>(exact[c]), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CrossbarShapeSweep,
+    ::testing::Values(std::pair{1, 1}, std::pair{7, 3}, std::pair{64, 64},
+                      std::pair{256, 16}, std::pair{33, 129}));
+
+} // namespace
+} // namespace prime::reram

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the paper's declared future-work features, implemented here
+ * as extensions: spiking-neural-network support (rate-coded LIF) and
+ * in-situ training on the crossbar engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/dataset.hh"
+#include "nn/snn.hh"
+#include "prime/training.hh"
+
+namespace prime {
+namespace {
+
+/** Small ReLU MLP trained on downsampled synthetic digits. */
+struct SnnSetup
+{
+    nn::Topology topology;
+    nn::Network net;
+    std::vector<nn::Sample> train;
+    std::vector<nn::Sample> test;
+    double floatAccuracy = 0.0;
+
+    SnnSetup()
+        : topology(nn::parseTopology("snn-mlp", "196-64-10", 1, 14, 14,
+                                     nn::LayerKind::Relu))
+    {
+        nn::SyntheticMnistOptions o;
+        o.seed = 77;
+        nn::SyntheticMnist gen(o);
+        auto shrink = [](const nn::Sample &s) {
+            nn::Tensor img({1, 14, 14});
+            for (int y = 0; y < 14; ++y)
+                for (int x = 0; x < 14; ++x)
+                    img.at3(0, y, x) =
+                        0.25 * (s.input.at3(0, 2 * y, 2 * x) +
+                                s.input.at3(0, 2 * y + 1, 2 * x) +
+                                s.input.at3(0, 2 * y, 2 * x + 1) +
+                                s.input.at3(0, 2 * y + 1, 2 * x + 1));
+            return nn::Sample{img, s.label};
+        };
+        for (const nn::Sample &s : gen.generate(600))
+            train.push_back(shrink(s));
+        for (const nn::Sample &s : gen.generate(150))
+            test.push_back(shrink(s));
+        Rng rng(41);
+        net = nn::buildNetwork(topology, rng);
+        nn::Trainer::Options opt;
+        opt.epochs = 6;
+        opt.learningRate = 0.1;
+        nn::Trainer::train(net, train, opt);
+        floatAccuracy = nn::Trainer::evaluate(net, test);
+    }
+};
+
+SnnSetup &
+snn()
+{
+    static SnnSetup instance;
+    return instance;
+}
+
+TEST(SpikingNetwork, FloatBaselineLearns)
+{
+    EXPECT_GT(snn().floatAccuracy, 0.85);
+}
+
+TEST(SpikingNetwork, RejectsConvTopologies)
+{
+    nn::Topology conv =
+        nn::parseTopology("c", "conv5x5-pool-720-10", 1, 28, 28);
+    Rng rng(1);
+    nn::Network net = nn::buildNetwork(conv, rng);
+    std::vector<nn::Sample> cal = {snn().train.front()};
+    EXPECT_THROW(nn::SpikingNetwork(conv, net, cal),
+                 std::runtime_error);
+}
+
+TEST(SpikingNetwork, ApproachesAnnAccuracyWithTimesteps)
+{
+    std::vector<nn::Sample> cal(snn().train.begin(),
+                                snn().train.begin() + 100);
+    nn::SpikingNetwork spiking(snn().topology, snn().net, cal);
+    Rng rng(5);
+    const double acc = spiking.accuracy(snn().test, 64, rng);
+    // Rate coding approaches (not matches) the ANN accuracy.
+    EXPECT_GT(acc, snn().floatAccuracy - 0.15);
+}
+
+TEST(SpikingNetwork, MoreTimestepsHelp)
+{
+    std::vector<nn::Sample> cal(snn().train.begin(),
+                                snn().train.begin() + 100);
+    nn::SpikingNetwork spiking(snn().topology, snn().net, cal);
+    Rng rng1(5), rng2(5);
+    const double short_run = spiking.accuracy(snn().test, 4, rng1);
+    const double long_run = spiking.accuracy(snn().test, 64, rng2);
+    EXPECT_GE(long_run, short_run - 0.02);
+    EXPECT_GT(long_run, 0.5);
+}
+
+TEST(SpikingNetwork, SpikeCountsBounded)
+{
+    std::vector<nn::Sample> cal(snn().train.begin(),
+                                snn().train.begin() + 50);
+    nn::SpikingNetwork spiking(snn().topology, snn().net, cal);
+    Rng rng(6);
+    nn::Tensor flat = snn().test.front().input.reshaped({196});
+    const int timesteps = 32;
+    auto counts = spiking.simulate(flat, timesteps, rng);
+    ASSERT_EQ(counts.size(), 10u);
+    for (int c : counts) {
+        EXPECT_GE(c, 0);
+        EXPECT_LE(c, timesteps);
+    }
+}
+
+TEST(SpikingNetwork, CostModelScalesWithTimesteps)
+{
+    std::vector<nn::Sample> cal(snn().train.begin(),
+                                snn().train.begin() + 10);
+    nn::SpikingNetwork spiking(snn().topology, snn().net, cal);
+    nvmodel::TechParams tech = nvmodel::defaultTechParams();
+    nvmodel::LatencyModel lat(tech);
+    nvmodel::EnergyModel energy(tech);
+    EXPECT_DOUBLE_EQ(spiking.modeledLatency(lat, 20),
+                     2.0 * spiking.modeledLatency(lat, 10));
+    // Binary spikes save the second input phase.
+    EXPECT_LT(spiking.modeledLatency(lat, 1),
+              spiking.layerCount() * lat.matMvm(false));
+    EXPECT_GT(spiking.modeledEnergy(energy, 1), 0.0);
+}
+
+TEST(InSituTrainer, LossDecreasesOverEpochs)
+{
+    nn::Topology topo = nn::parseTopology("insitu", "196-32-10", 1, 14,
+                                          14, nn::LayerKind::Relu);
+    Rng rng(9);
+    core::InSituOptions opt;
+    opt.learningRate = 0.05;
+    opt.reprogramBatch = 16;
+    core::InSituTrainer trainer(topo, nvmodel::defaultTechParams(), opt,
+                                rng);
+
+    const std::vector<nn::Sample> &data = snn().train;
+    const double loss0 = trainer.trainEpoch(data);
+    trainer.trainEpoch(data);
+    trainer.trainEpoch(data);
+    const double loss3 = trainer.trainEpoch(data);
+    EXPECT_LT(loss3, loss0);
+    EXPECT_GT(trainer.evaluate(snn().test), 0.5);
+}
+
+TEST(InSituTrainer, AccountsForProgrammingCosts)
+{
+    nn::Topology topo = nn::parseTopology("insitu2", "196-16-10", 1, 14,
+                                          14, nn::LayerKind::Relu);
+    Rng rng(10);
+    core::InSituOptions opt;
+    opt.reprogramBatch = 4;
+    core::InSituTrainer trainer(topo, nvmodel::defaultTechParams(), opt,
+                                rng);
+    const auto cells0 = trainer.cellsReprogrammed();
+    EXPECT_GT(cells0, 0u);  // initial programming
+    std::vector<nn::Sample> data(snn().train.begin(),
+                                 snn().train.begin() + 40);
+    trainer.trainEpoch(data);
+    EXPECT_GT(trainer.cellsReprogrammed(), cells0);
+    EXPECT_GT(trainer.reprogramEvents(), 2u);
+    EXPECT_GT(trainer.programmingEnergy(), 0.0);
+    EXPECT_GT(trainer.programmingTime(), 0.0);
+    EXPECT_GT(trainer.maxCellWear(), 0u);
+}
+
+TEST(InSituTrainer, BatchedUpdatesWearLessThanPerSample)
+{
+    nn::Topology topo = nn::parseTopology("insitu3", "196-16-10", 1, 14,
+                                          14, nn::LayerKind::Relu);
+    std::vector<nn::Sample> data(snn().train.begin(),
+                                 snn().train.begin() + 64);
+
+    Rng rng1(11);
+    core::InSituOptions frequent;
+    frequent.reprogramBatch = 1;
+    core::InSituTrainer every(topo, nvmodel::defaultTechParams(),
+                              frequent, rng1);
+    every.trainEpoch(data);
+
+    Rng rng2(11);
+    core::InSituOptions batched;
+    batched.reprogramBatch = 16;
+    core::InSituTrainer sparse(topo, nvmodel::defaultTechParams(),
+                               batched, rng2);
+    sparse.trainEpoch(data);
+
+    EXPECT_LT(sparse.cellsReprogrammed(), every.cellsReprogrammed());
+    EXPECT_LT(sparse.reprogramEvents(), every.reprogramEvents());
+}
+
+TEST(InSituTrainer, RejectsConvTopologies)
+{
+    nn::Topology conv =
+        nn::parseTopology("c", "conv5x5-pool-720-10", 1, 28, 28);
+    Rng rng(12);
+    EXPECT_THROW(core::InSituTrainer(conv, nvmodel::defaultTechParams(),
+                                     core::InSituOptions{}, rng),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace prime

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Fault-model tests: stuck-at injection under the composing layout and
+ * its NN-level hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/dataset.hh"
+#include "nn/quantized.hh"
+#include "reram/faults.hh"
+
+namespace prime::reram {
+namespace {
+
+std::vector<std::vector<int>>
+matrix(std::initializer_list<std::initializer_list<int>> rows)
+{
+    std::vector<std::vector<int>> m;
+    for (const auto &r : rows)
+        m.emplace_back(r);
+    return m;
+}
+
+TEST(FaultModel, ZeroRateIsIdentity)
+{
+    ComposingParams p;
+    Rng rng(1);
+    auto w = matrix({{100, -255, 0}, {17, -1, 255}});
+    EXPECT_EQ(injectWeightFaults(w, p, FaultModel{}, rng), w);
+}
+
+TEST(FaultModel, FullLrsRateSaturatesBothArrays)
+{
+    ComposingParams p;
+    FaultModel model;
+    model.cellFaultRate = 1.0;
+    model.lrsFraction = 1.0;  // every cell stuck at the max level
+    Rng rng(2);
+    auto out = injectWeightFaults(matrix({{100}}), p, model, rng);
+    // pos = neg = (15<<4)+15 = 255 -> effective weight 0.
+    EXPECT_EQ(out[0][0], 0);
+}
+
+TEST(FaultModel, FullHrsRateZeroesWeights)
+{
+    ComposingParams p;
+    FaultModel model;
+    model.cellFaultRate = 1.0;
+    model.lrsFraction = 0.0;  // every cell stuck at level 0
+    Rng rng(3);
+    auto out = injectWeightFaults(matrix({{100, -200, 31}}), p, model,
+                                  rng);
+    for (int v : out[0])
+        EXPECT_EQ(v, 0);
+}
+
+TEST(FaultModel, EffectiveWeightsStayInSignedRange)
+{
+    ComposingParams p;
+    FaultModel model;
+    model.cellFaultRate = 0.3;
+    Rng rng(4);
+    std::vector<std::vector<int>> w(8, std::vector<int>(8));
+    for (auto &row : w)
+        for (int &v : row)
+            v = static_cast<int>(rng.uniformInt(-255, 255));
+    auto out = injectWeightFaults(w, p, model, rng);
+    for (const auto &row : out)
+        for (int v : row) {
+            EXPECT_GE(v, -255);
+            EXPECT_LE(v, 255);
+        }
+}
+
+TEST(FaultModel, LowRateChangesFewWeights)
+{
+    ComposingParams p;
+    FaultModel model;
+    model.cellFaultRate = 0.001;
+    Rng rng(5);
+    std::vector<std::vector<int>> w(64, std::vector<int>(64, 37));
+    auto out = injectWeightFaults(w, p, model, rng);
+    int changed = 0;
+    for (std::size_t r = 0; r < w.size(); ++r)
+        for (std::size_t c = 0; c < w[r].size(); ++c)
+            if (out[r][c] != w[r][c])
+                ++changed;
+    // 4096 weights x 4 cells x 0.1% ~ 16 hits.
+    EXPECT_GT(changed, 0);
+    EXPECT_LT(changed, 64);
+}
+
+TEST(FaultModel, ExpectedCountFormula)
+{
+    FaultModel model;
+    model.cellFaultRate = 0.01;
+    EXPECT_EQ(expectedFaultyCells(1000, model), 40);
+    EXPECT_EQ(expectedFaultyCells(1000, FaultModel{}), 0);
+}
+
+TEST(FaultModel, AccuracyDegradesMonotonically)
+{
+    // Train once; inject increasing fault rates.
+    nn::Topology topo =
+        nn::parseTopology("f", "196-32-10", 1, 14, 14);
+    nn::SyntheticMnistOptions o;
+    o.seed = 12;
+    nn::SyntheticMnist gen(o);
+    std::vector<nn::Sample> train, test;
+    auto shrink = [](const nn::Sample &s) {
+        nn::Tensor img({1, 14, 14});
+        for (int y = 0; y < 14; ++y)
+            for (int x = 0; x < 14; ++x)
+                img.at3(0, y, x) = s.input.at3(0, 2 * y, 2 * x);
+        return nn::Sample{img, s.label};
+    };
+    for (const auto &s : gen.generate(500))
+        train.push_back(shrink(s));
+    for (const auto &s : gen.generate(150))
+        test.push_back(shrink(s));
+    Rng rng(6);
+    nn::Network net = nn::buildNetwork(topo, rng);
+    nn::Trainer::Options opt;
+    opt.epochs = 6;
+    opt.learningRate = 0.3;
+    nn::Trainer::train(net, train, opt);
+
+    nn::QuantizedOptions qopt;
+    nn::QuantizedNetwork clean(topo, net, qopt);
+    const double base = clean.accuracy(test);
+
+    nn::QuantizedNetwork mild(topo, net, qopt);
+    reram::FaultModel low;
+    low.cellFaultRate = 1e-4;
+    Rng r1(7);
+    mild.injectCellFaults(low, r1);
+    EXPECT_GT(mild.accuracy(test), base - 0.05);
+
+    nn::QuantizedNetwork broken(topo, net, qopt);
+    reram::FaultModel high;
+    high.cellFaultRate = 0.25;
+    Rng r2(8);
+    broken.injectCellFaults(high, r2);
+    EXPECT_LT(broken.accuracy(test), base - 0.1);
+}
+
+TEST(FaultModel, VariationHookPerturbsButPreservesSign)
+{
+    nn::Topology topo = nn::parseTopology("v", "4-2", 1, 1, 4);
+    Rng rng(9);
+    nn::Network net = nn::buildNetwork(topo, rng);
+    nn::QuantizedOptions qopt;
+    nn::QuantizedNetwork q(topo, net, qopt);
+    nn::QuantizedNetwork pert(topo, net, qopt);
+    Rng vr(10);
+    pert.applyProgrammingVariation(0.05, vr);
+    // Same input, slightly different logits.
+    nn::Tensor in = nn::Tensor::vector1d({0.5, 0.25, 0.75, 0.1});
+    nn::Tensor a = q.forward(in.reshaped({1, 1, 4}));
+    nn::Tensor b = pert.forward(in.reshaped({1, 1, 4}));
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i])
+            differs = true;
+        // Lognormal perturbation cannot flip signs of the MVM terms;
+        // logits remain in a sane range.
+        EXPECT_NEAR(b[i], a[i], std::fabs(a[i]) * 0.5 + 0.5);
+    }
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace prime::reram

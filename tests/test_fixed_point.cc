@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit and property tests for dynamic fixed point (Courbariaux-style).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "common/rng.hh"
+
+namespace prime {
+namespace {
+
+TEST(DfxFormat, StepIsPowerOfTwo)
+{
+    DfxFormat fmt{8, 4};
+    EXPECT_DOUBLE_EQ(fmt.step(), 1.0 / 16.0);
+    fmt.fracLength = -2;
+    EXPECT_DOUBLE_EQ(fmt.step(), 4.0);
+}
+
+TEST(DfxFormat, MantissaRange)
+{
+    DfxFormat fmt{8, 0};
+    EXPECT_EQ(fmt.maxMantissa(), 127);
+    EXPECT_EQ(fmt.minMantissa(), -128);
+    DfxFormat narrow{3, 0};
+    EXPECT_EQ(narrow.maxMantissa(), 3);
+    EXPECT_EQ(narrow.minMantissa(), -4);
+}
+
+TEST(DfxFormat, ChooseCoversMaxValue)
+{
+    std::vector<double> data = {0.1, -0.75, 0.5};
+    DfxFormat fmt = DfxFormat::choose(data, 8);
+    // 0.75 must be representable without saturation.
+    EXPECT_GE(fmt.maxValue(), 0.75);
+    // And the format should not waste more than one integer bit.
+    EXPECT_LE(fmt.maxValue(), 0.75 * 4.0);
+}
+
+TEST(DfxFormat, ChooseAllZeros)
+{
+    std::vector<double> data = {0.0, 0.0};
+    DfxFormat fmt = DfxFormat::choose(data, 8);
+    EXPECT_EQ(fmt.fracLength, 7);
+}
+
+TEST(DfxFormat, ChooseLargeValues)
+{
+    std::vector<double> data = {1000.0};
+    DfxFormat fmt = DfxFormat::choose(data, 8);
+    EXPECT_GE(fmt.maxValue(), 1000.0);
+    EXPECT_LT(fmt.fracLength, 0);  // needs integer scaling
+}
+
+TEST(DfxQuantize, ExactValuesRoundTrip)
+{
+    DfxFormat fmt{8, 4};
+    for (int m = -128; m <= 127; ++m) {
+        const double x = m / 16.0;
+        EXPECT_EQ(dfxQuantize(x, fmt), m) << x;
+        EXPECT_DOUBLE_EQ(dfxRound(x, fmt), x);
+    }
+}
+
+TEST(DfxQuantize, Saturates)
+{
+    DfxFormat fmt{4, 0};
+    EXPECT_EQ(dfxQuantize(100.0, fmt), 7);
+    EXPECT_EQ(dfxQuantize(-100.0, fmt), -8);
+}
+
+TEST(DfxQuantize, RoundsToNearest)
+{
+    DfxFormat fmt{8, 0};
+    EXPECT_EQ(dfxQuantize(2.4, fmt), 2);
+    EXPECT_EQ(dfxQuantize(2.6, fmt), 3);
+    EXPECT_EQ(dfxQuantize(-2.6, fmt), -3);
+}
+
+TEST(DfxRoundVector, ErrorBoundedByHalfStep)
+{
+    Rng rng(11);
+    std::vector<double> data(256);
+    for (double &x : data)
+        x = rng.gaussian(0.0, 2.0);
+    std::vector<double> orig = data;
+    DfxFormat fmt = dfxRoundVector(data, 8);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        // Saturation can only clip the very largest magnitudes; all
+        // in-range values round within half a step.
+        if (std::fabs(orig[i]) <= fmt.maxValue()) {
+            EXPECT_LE(std::fabs(data[i] - orig[i]),
+                      fmt.step() / 2 + 1e-12);
+        }
+    }
+}
+
+/** Property sweep: quantization error shrinks as bits grow. */
+class DfxBitsSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DfxBitsSweep, ErrorWithinOneStep)
+{
+    const int bits = GetParam();
+    Rng rng(bits);
+    std::vector<double> data(512);
+    for (double &x : data)
+        x = rng.uniform(-1.0, 1.0);
+    std::vector<double> rounded = data;
+    DfxFormat fmt = dfxRoundVector(rounded, bits);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        worst = std::max(worst, std::fabs(data[i] - rounded[i]));
+    EXPECT_LE(worst, fmt.step());
+}
+
+TEST_P(DfxBitsSweep, MonotoneImprovement)
+{
+    const int bits = GetParam();
+    if (bits >= 16)
+        return;
+    Rng rng(99);
+    std::vector<double> data(512);
+    for (double &x : data)
+        x = rng.uniform(-3.0, 3.0);
+
+    auto rms = [&](int b) {
+        std::vector<double> r = data;
+        dfxRoundVector(r, b);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < data.size(); ++i)
+            acc += (data[i] - r[i]) * (data[i] - r[i]);
+        return std::sqrt(acc / data.size());
+    };
+    EXPECT_LE(rms(bits + 1), rms(bits) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, DfxBitsSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 12, 16));
+
+} // namespace
+} // namespace prime

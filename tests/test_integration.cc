@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Cross-module integration scenarios: the full inference lifecycle with
+ * re-deployment, analog-device end-to-end accuracy, and the OS runtime
+ * interacting with a resident NN.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/dataset.hh"
+#include "nn/quantized.hh"
+#include "prime/prime_system.hh"
+#include "prime/runtime.hh"
+
+namespace prime {
+namespace {
+
+struct Trained
+{
+    nn::Topology topology;
+    nn::Network net;
+    std::vector<nn::Sample> train;
+    std::vector<nn::Sample> test;
+    double floatAcc = 0.0;
+
+    Trained()
+        : topology(nn::parseTopology("int-mlp", "784-48-10", 1, 28, 28))
+    {
+        nn::SyntheticMnistOptions o;
+        o.seed = 123;
+        nn::SyntheticMnist gen(o);
+        train = gen.generate(500);
+        test = gen.generate(120);
+        Rng rng(3);
+        net = nn::buildNetwork(topology, rng);
+        nn::Trainer::Options opt;
+        opt.epochs = 5;
+        opt.learningRate = 0.3;
+        nn::Trainer::train(net, train, opt);
+        floatAcc = nn::Trainer::evaluate(net, test);
+    }
+};
+
+Trained &
+setup()
+{
+    static Trained instance;
+    return instance;
+}
+
+double
+primeAccuracy(core::PrimeSystem &prime, const std::vector<nn::Sample> &set)
+{
+    std::size_t correct = 0;
+    for (const nn::Sample &s : set)
+        if (static_cast<int>(prime.run(s.input).argmax()) == s.label)
+            ++correct;
+    return static_cast<double>(correct) / set.size();
+}
+
+TEST(Integration, RedeployAfterRelease)
+{
+    // Deploy NN A, release, deploy NN B on the same FF subarrays.
+    core::PrimeSystem prime;
+    prime.mapTopology(setup().topology);
+    prime.programWeight(setup().net);
+    prime.configDatapath();
+    prime.calibrate({setup().train.begin(), setup().train.begin() + 30});
+    const double acc_a = primeAccuracy(prime, setup().test);
+    EXPECT_GT(acc_a, setup().floatAcc - 0.12);
+
+    prime.release();
+
+    // A different topology trained on the same data.
+    nn::Topology topo_b =
+        nn::parseTopology("int-mlp-b", "784-32-16-10", 1, 28, 28);
+    Rng rng(5);
+    nn::Network net_b = nn::buildNetwork(topo_b, rng);
+    nn::Trainer::Options opt;
+    opt.epochs = 5;
+    opt.learningRate = 0.3;
+    nn::Trainer::train(net_b, setup().train, opt);
+
+    prime.mapTopology(topo_b);
+    prime.programWeight(net_b);
+    prime.configDatapath();
+    prime.calibrate({setup().train.begin(), setup().train.begin() + 30});
+    const double acc_b = primeAccuracy(prime, setup().test);
+    EXPECT_GT(acc_b, 0.6);
+}
+
+TEST(Integration, AnalogDevicesEndToEnd)
+{
+    // Program with 1% conductance variation, compute through the analog
+    // path: classification survives (the Section III-D practicality
+    // claim, closed end to end through mats + controller + buffer).
+    nvmodel::TechParams tech = nvmodel::defaultTechParams();
+    tech.device.programVariation = 0.01;
+    core::PrimeSystem prime(tech);
+    prime.mapTopology(setup().topology);
+    Rng program_rng(7);
+    prime.programWeight(setup().net, &program_rng);
+    prime.configDatapath();
+    prime.calibrate({setup().train.begin(), setup().train.begin() + 30});
+
+    Rng noise_rng(8);
+    prime.setAnalogCompute(true, &noise_rng);
+    const double analog_acc = primeAccuracy(prime, setup().test);
+    EXPECT_GT(analog_acc, setup().floatAcc - 0.15);
+
+    // The ideal path on the same (noisy-programmed) cells agrees with
+    // the analog path on most predictions.
+    prime.setAnalogCompute(false);
+    const double ideal_acc = primeAccuracy(prime, setup().test);
+    EXPECT_NEAR(analog_acc, ideal_acc, 0.1);
+}
+
+TEST(Integration, MorphingAccountsWear)
+{
+    core::PrimeSystem prime;
+    prime.mapTopology(setup().topology);
+    prime.programWeight(setup().net);
+    prime.configDatapath();
+    prime.release();
+    // Second deployment reprograms the same physical mats.
+    prime.mapTopology(setup().topology);
+    prime.programWeight(setup().net);
+    // 784-48-10 maps to 5 mats (4 row tiles + 1); two deployments.
+    EXPECT_EQ(prime.stats().get("morph.mats_to_compute").count(), 10u);
+    EXPECT_EQ(prime.stats().get("morph.mats_to_memory").count(), 5u);
+}
+
+TEST(Integration, RuntimeDrivesMorphing)
+{
+    // The OS runtime's decisions translate into actual FF mode changes.
+    nvmodel::TechParams tech = nvmodel::defaultTechParams();
+    StatGroup stats;
+    core::RuntimeOptions opt;
+    opt.window = 256;
+    opt.matsPerStep = 4;
+    core::OsRuntime runtime(tech, opt, &stats);
+    core::PrimeSystem prime(tech);
+
+    // Memory pressure with no NN: runtime releases; mirror the decision
+    // by leaving the FF subarrays in memory mode (they start there).
+    Rng rng(11);
+    for (int i = 0; i < 256; ++i)
+        runtime.recordPageAccess(rng.bernoulli(0.2));
+    EXPECT_EQ(runtime.step(), core::RuntimeAction::ReleaseMats);
+    const std::size_t all_memory = prime.availableFfMemoryBytes();
+
+    // NN arrives: reclaim, deploy.
+    runtime.setFfBusy(true);
+    while (runtime.matsServingMemory() > 0)
+        runtime.step();
+    prime.mapTopology(setup().topology);
+    prime.programWeight(setup().net);
+    EXPECT_LT(prime.availableFfMemoryBytes(), all_memory);
+    EXPECT_EQ(runtime.matsServingCompute(), 64);
+}
+
+TEST(Integration, BufferTrafficMatchesCommandAccounting)
+{
+    core::PrimeSystem prime;
+    prime.mapTopology(setup().topology);
+    prime.programWeight(setup().net);
+    prime.configDatapath();
+    const auto traffic_before = prime.buffer().trafficBytes();
+    prime.run(setup().test.front().input);
+    const auto traffic = prime.buffer().trafficBytes() - traffic_before;
+    // Layer 1: 784-code input staged + 4 row tiles x (784-ish loads +
+    // 2x48 stores); layer 2: 48 + 2x10.  Just bound it sanely and check
+    // the controller counted the same loads.
+    EXPECT_GT(traffic, 1000u);
+    const double loads =
+        prime.stats().get("controller.load_bytes").sum();
+    EXPECT_GT(loads, 0.0);
+    EXPECT_LT(loads, static_cast<double>(traffic));
+}
+
+} // namespace
+} // namespace prime
+
+namespace prime {
+namespace {
+
+TEST(Integration, PrimeSystemAgreesWithQuantizedEmulation)
+{
+    // Two independent implementations of the composed datapath -- the
+    // tile-level PrimeSystem and the layer-level QuantizedNetwork --
+    // should classify (nearly) identically.
+    nn::QuantizedOptions hw;
+    hw.fidelity = nn::Fidelity::ComposedHardware;
+    nn::QuantizedNetwork qnet(setup().topology, setup().net, hw);
+    qnet.calibrate({setup().train.begin(), setup().train.begin() + 30});
+
+    core::PrimeSystem prime;
+    prime.mapTopology(setup().topology);
+    prime.programWeight(setup().net);
+    prime.configDatapath();
+    prime.calibrate({setup().train.begin(), setup().train.begin() + 30});
+
+    int agree = 0;
+    for (const nn::Sample &s : setup().test)
+        if (qnet.predict(s.input) ==
+            static_cast<int>(prime.run(s.input).argmax()))
+            ++agree;
+    EXPECT_GT(static_cast<double>(agree) / setup().test.size(), 0.8);
+}
+
+} // namespace
+} // namespace prime

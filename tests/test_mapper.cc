@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Compile-time mapper tests (Section IV-B): tiling invariants,
+ * replication, scale classification, utilization, and capacity checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mapping/mapper.hh"
+
+namespace prime::mapping {
+namespace {
+
+nvmodel::Geometry
+geometry()
+{
+    return nvmodel::defaultTechParams().geometry;
+}
+
+MappingPlan
+mapBenchmark(const std::string &name, MapperOptions opt = {})
+{
+    Mapper mapper(geometry(), opt);
+    return mapper.map(nn::mlBenchByName(name));
+}
+
+TEST(WeightedLayers, ExtractsMvmView)
+{
+    auto layers = Mapper::weightedLayers(nn::mlBenchByName("CNN-1"));
+    ASSERT_EQ(layers.size(), 3u);
+    // conv5x5 on 1 channel: 25-input, 5-output MVM, 24*24 positions.
+    EXPECT_EQ(layers[0].rows, 25);
+    EXPECT_EQ(layers[0].cols, 5);
+    EXPECT_EQ(layers[0].positions, 24ll * 24);
+    EXPECT_TRUE(layers[0].reluAfter);
+    EXPECT_FALSE(layers[0].sigmoidAfter);
+    // fc 720-70 runs once per inference, sigmoid after.
+    EXPECT_EQ(layers[1].rows, 720);
+    EXPECT_EQ(layers[1].positions, 1);
+    EXPECT_TRUE(layers[1].sigmoidAfter);
+    // final fc 70-10: no activation.
+    EXPECT_FALSE(layers[2].sigmoidAfter);
+    EXPECT_FALSE(layers[2].reluAfter);
+}
+
+TEST(Mapper, TilesPartitionEachLayerExactly)
+{
+    MappingPlan plan = mapBenchmark("MLP-M");
+    for (const LayerMapping &m : plan.layers) {
+        // Every logical weight cell covered by exactly one replica-0
+        // tile: check tile grid structure and edge sizes.
+        long long covered = 0;
+        for (const MatTile &t : m.tiles) {
+            if (t.replica != 0)
+                continue;
+            EXPECT_EQ(t.rowsUsed,
+                      std::min(256, m.info.rows - t.rowTile * 256));
+            EXPECT_EQ(t.colsUsed,
+                      std::min(256, m.info.cols - t.colTile * 256));
+            covered += static_cast<long long>(t.rowsUsed) * t.colsUsed;
+        }
+        EXPECT_EQ(covered,
+                  static_cast<long long>(m.info.rows) * m.info.cols);
+    }
+}
+
+TEST(Mapper, NoMatHostsTwoTiles)
+{
+    MappingPlan plan = mapBenchmark("MLP-L");
+    std::set<std::tuple<int, int, int>> seen;
+    for (const LayerMapping &m : plan.layers)
+        for (const MatTile &t : m.tiles) {
+            auto key = std::make_tuple(t.bank, t.subarray, t.mat);
+            EXPECT_TRUE(seen.insert(key).second)
+                << "mat reused: bank " << t.bank << " sub " << t.subarray
+                << " mat " << t.mat;
+        }
+}
+
+TEST(Mapper, PlacementWithinGeometry)
+{
+    MappingPlan plan = mapBenchmark("MLP-L");
+    const nvmodel::Geometry g = geometry();
+    for (const LayerMapping &m : plan.layers)
+        for (const MatTile &t : m.tiles) {
+            EXPECT_GE(t.subarray, 0);
+            EXPECT_LT(t.subarray, g.ffSubarraysPerBank);
+            EXPECT_GE(t.mat, 0);
+            EXPECT_LT(t.mat, g.matsPerSubarray);
+        }
+}
+
+TEST(Mapper, MlpBaseMatCounts)
+{
+    MapperOptions no_rep;
+    no_rep.enableReplication = false;
+    // MLP-L: 784x1500 -> 4x6=24, 1500x1000 -> 6x4=24, 1000x500 -> 4x2=8,
+    // 500x10 -> 2x1=2; total 58 mats.
+    MappingPlan plan = mapBenchmark("MLP-L", no_rep);
+    EXPECT_EQ(plan.totalMats(), 58);
+    EXPECT_EQ(plan.scale, NnScale::Medium);
+    EXPECT_EQ(plan.banksUsed, 1);
+    EXPECT_NEAR(plan.utilizationBefore, 58.0 / 64.0, 1e-9);
+}
+
+TEST(Mapper, Cnn1BaseAndReplication)
+{
+    MapperOptions no_rep;
+    no_rep.enableReplication = false;
+    MappingPlan base = mapBenchmark("CNN-1", no_rep);
+    // conv 1 mat + fc 720x70 (3x1) + fc 70x10 (1) = 5 mats.
+    EXPECT_EQ(base.totalMats(), 5);
+    EXPECT_EQ(base.copiesPerBank, 1);
+
+    MappingPlan rep = mapBenchmark("CNN-1");
+    EXPECT_GT(rep.utilizationAfter, base.utilizationBefore);
+    // Conv layer got cross-mat replicas.
+    bool conv_replicated = false;
+    for (const LayerMapping &m : rep.layers)
+        if (m.info.kind == nn::LayerKind::Convolution &&
+            m.crossMatReplicas > 1)
+            conv_replicated = true;
+    EXPECT_TRUE(conv_replicated);
+    EXPECT_GT(rep.copiesPerBank, 1);
+}
+
+TEST(Mapper, SmallLayerInMatReplication)
+{
+    // A 128-1 NN duplicates inside one mat (the paper's example).
+    nn::Topology tiny = nn::parseTopology("tiny", "128-1", 1, 8, 16);
+    Mapper mapper(geometry(), MapperOptions{});
+    MappingPlan plan = mapper.map(tiny);
+    ASSERT_EQ(plan.layers.size(), 1u);
+    EXPECT_EQ(plan.layers[0].matsPerReplica(), 1);
+    EXPECT_GE(plan.layers[0].inMatReplicas, 2);
+}
+
+TEST(Mapper, VggIsLargeScaleAcrossBanks)
+{
+    MappingPlan plan = mapBenchmark("VGG-D");
+    EXPECT_EQ(plan.scale, NnScale::Large);
+    EXPECT_GT(plan.banksUsed, 1);
+    // ~2137 mats before replication: 52-54% of the 4096 FF mats,
+    // matching the paper's 53.9% pre-replication utilization.
+    EXPECT_NEAR(plan.utilizationBefore, 0.53, 0.03);
+    // Post-replication utilization approaches the paper's 73.6%.
+    EXPECT_GT(plan.utilizationAfter, 0.60);
+    EXPECT_LT(plan.utilizationAfter, 0.90);
+}
+
+TEST(Mapper, UtilizationAverageNearPaper)
+{
+    // Paper: 39.8% -> 75.9% average across MlBench (ex VGG).
+    double before = 0.0, after = 0.0;
+    const std::vector<std::string> names = {"CNN-1", "CNN-2", "MLP-S",
+                                            "MLP-M", "MLP-L"};
+    for (const std::string &n : names) {
+        MappingPlan p = mapBenchmark(n);
+        before += p.utilizationBefore;
+        after += p.utilizationAfter;
+    }
+    before /= names.size();
+    after /= names.size();
+    // Paper values: 39.8% before, 75.9% after.  Our replication policy
+    // is bandwidth-capped, so the post-replication average lands lower;
+    // the shape (roughly half the mats busy before, a substantial jump
+    // after) is what we assert.
+    EXPECT_NEAR(before, 0.398, 0.15);
+    EXPECT_GT(after, 0.40);
+    EXPECT_LT(after, 0.95);
+    EXPECT_GT(after, 1.4 * before);
+}
+
+TEST(Mapper, BankParallelismTogglable)
+{
+    MapperOptions serial;
+    serial.enableBankParallelism = false;
+    EXPECT_EQ(mapBenchmark("MLP-S", serial).bankReplicas, 1);
+    EXPECT_EQ(mapBenchmark("MLP-S").bankReplicas, 64);
+}
+
+TEST(Mapper, RejectsOversizedNn)
+{
+    // An FC layer beyond the whole-memory FF capacity (~2.7e8 synapses).
+    nn::Topology huge =
+        nn::parseTopology("huge", "20000-20000-20000", 1, 1, 20000);
+    Mapper mapper(geometry(), MapperOptions{});
+    EXPECT_THROW(mapper.map(huge), std::runtime_error);
+}
+
+TEST(Mapper, SerialRoundsShrinkWithReplication)
+{
+    MapperOptions no_rep;
+    no_rep.enableReplication = false;
+    MappingPlan base = mapBenchmark("CNN-2", no_rep);
+    MappingPlan rep = mapBenchmark("CNN-2");
+    long long base_rounds = 0, rep_rounds = 0;
+    for (const LayerMapping &m : base.layers)
+        base_rounds += m.serialRounds();
+    for (const LayerMapping &m : rep.layers)
+        rep_rounds += m.serialRounds();
+    EXPECT_LT(rep_rounds, base_rounds);
+}
+
+TEST(MappingPlan, SynapseCellCount)
+{
+    MapperOptions no_rep;
+    no_rep.enableReplication = false;
+    MappingPlan plan = mapBenchmark("MLP-S", no_rep);
+    // Cells = synapses without bias (bias lives in extra rows/digital).
+    const long long expect = 784ll * 500 + 500ll * 250 + 250ll * 10;
+    EXPECT_EQ(plan.totalSynapseCells(), expect);
+}
+
+} // namespace
+} // namespace prime::mapping
+
+namespace prime::mapping {
+namespace {
+
+/** Option-combination sweep: relations hold under every mapper mode. */
+struct MapperCombo
+{
+    bool replication;
+    bool bankParallelism;
+};
+
+class MapperOptionSweep : public ::testing::TestWithParam<MapperCombo>
+{
+};
+
+TEST_P(MapperOptionSweep, PlanStaysConsistent)
+{
+    const MapperCombo combo = GetParam();
+    MapperOptions opt;
+    opt.enableReplication = combo.replication;
+    opt.enableBankParallelism = combo.bankParallelism;
+    Mapper mapper(geometry(), opt);
+
+    for (const char *name : {"CNN-1", "MLP-M", "VGG-D"}) {
+        MappingPlan plan = mapper.map(nn::mlBenchByName(name));
+        // Utilization is a valid fraction and replication never
+        // shrinks it.
+        EXPECT_GT(plan.utilizationBefore, 0.0) << name;
+        EXPECT_LE(plan.utilizationAfter, 1.0 + 1e-9) << name;
+        EXPECT_GE(plan.utilizationAfter,
+                  plan.utilizationBefore - 1e-9)
+            << name;
+        // Parallelism switches behave.
+        if (!combo.bankParallelism)
+            EXPECT_EQ(plan.bankReplicas, 1) << name;
+        if (!combo.replication) {
+            EXPECT_EQ(plan.copiesPerBank, 1) << name;
+            for (const LayerMapping &m : plan.layers)
+                EXPECT_EQ(m.crossMatReplicas, 1) << name;
+        }
+        // Rounds are always positive and bounded by positions.
+        for (const LayerMapping &m : plan.layers) {
+            EXPECT_GE(m.serialRounds(), 1) << name;
+            EXPECT_LE(m.serialRounds(), m.info.positions) << name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, MapperOptionSweep,
+                         ::testing::Values(MapperCombo{true, true},
+                                           MapperCombo{true, false},
+                                           MapperCombo{false, true},
+                                           MapperCombo{false, false}));
+
+} // namespace
+} // namespace prime::mapping

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * ReRAM main-memory tests: address mapping round trips, bank timing,
+ * FR-FCFS scheduling and the functional backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/main_memory.hh"
+#include "sim/event.hh"
+
+namespace prime::memory {
+namespace {
+
+nvmodel::TechParams
+tech()
+{
+    return nvmodel::defaultTechParams();
+}
+
+TEST(AddressMapper, GeometryDerivedSizes)
+{
+    AddressMapper m(tech().geometry);
+    // 256 cols x 4 arrays = 1024 bits = 128 B per mat row.
+    EXPECT_EQ(m.bytesPerMatRow(), 128u);
+    EXPECT_EQ(m.bytesPerMat(), 128u * 256);
+    EXPECT_EQ(m.bytesPerSubarray(), m.bytesPerMat() * 32);
+    EXPECT_EQ(m.bytesPerBank(), m.bytesPerSubarray() * 24);
+    EXPECT_EQ(m.capacityBytes(), m.bytesPerBank() * 64);
+}
+
+TEST(AddressMapper, EncodeDecodeRoundTrip)
+{
+    AddressMapper m(tech().geometry);
+    const std::vector<std::uint64_t> addrs = {
+        0, 1, 127, 128, 4096, 1234567, m.capacityBytes() - 1};
+    for (std::uint64_t addr : addrs) {
+        Location loc = m.decode(addr);
+        EXPECT_EQ(m.encode(loc), addr) << addr;
+    }
+}
+
+TEST(AddressMapper, DecodedFieldsInRange)
+{
+    AddressMapper m(tech().geometry);
+    const nvmodel::Geometry &g = tech().geometry;
+    for (std::uint64_t addr = 0; addr < m.capacityBytes();
+         addr += m.capacityBytes() / 997) {
+        Location loc = m.decode(addr);
+        EXPECT_LT(loc.chip, g.chipsPerRank);
+        EXPECT_LT(loc.bank, g.banksPerChip);
+        EXPECT_LT(loc.subarray, g.subarraysPerBank);
+        EXPECT_LT(loc.mat, g.matsPerSubarray);
+        EXPECT_LT(loc.column, static_cast<int>(m.bytesPerMatRow()));
+        EXPECT_EQ(loc.globalBank,
+                  loc.chip * g.banksPerChip + loc.bank);
+    }
+}
+
+TEST(AddressMapper, PageStaysInOneBank)
+{
+    AddressMapper m(tech().geometry);
+    // All cache lines of a 4 KiB page decode to the same bank
+    // (Section IV-B2 bank-aware placement).
+    for (std::uint64_t page = 0; page < 64; ++page) {
+        const int bank = m.pageBank(page);
+        for (std::uint64_t off = 0; off < 4096; off += 64) {
+            EXPECT_EQ(m.decode(page * 4096 + off).globalBank, bank);
+        }
+    }
+}
+
+TEST(AddressMapper, RejectsOutOfRange)
+{
+    AddressMapper m(tech().geometry);
+    EXPECT_DEATH(m.decode(m.capacityBytes()), "capacity");
+}
+
+TEST(BankModel, RowMissThenHitLatencies)
+{
+    nvmodel::TimingParams t;
+    BankModel bank(t);
+    BankAccess miss = bank.access(0.0, 10, false);
+    EXPECT_FALSE(miss.rowHit);
+    EXPECT_DOUBLE_EQ(miss.complete, t.tRcd + t.tCl);
+
+    BankAccess hit = bank.access(miss.bankFree, 10, false);
+    EXPECT_TRUE(hit.rowHit);
+    EXPECT_DOUBLE_EQ(hit.complete - hit.start, t.tCl);
+}
+
+TEST(BankModel, ConflictAddsPrecharge)
+{
+    nvmodel::TimingParams t;
+    BankModel bank(t);
+    bank.access(0.0, 1, false);
+    BankAccess conflict = bank.access(100.0, 2, false);
+    EXPECT_FALSE(conflict.rowHit);
+    EXPECT_DOUBLE_EQ(conflict.complete - conflict.start,
+                     t.tRp + t.tRcd + t.tCl);
+}
+
+TEST(BankModel, WriteRecoveryOccupiesBank)
+{
+    nvmodel::TimingParams t;
+    BankModel bank(t);
+    BankAccess w = bank.access(0.0, 0, true);
+    EXPECT_DOUBLE_EQ(w.bankFree - w.complete, t.tWr);
+    // The next access cannot start before write recovery finishes.
+    BankAccess next = bank.access(0.0, 0, false);
+    EXPECT_GE(next.start, w.bankFree);
+}
+
+TEST(BankModel, QueueingDelaysAccesses)
+{
+    nvmodel::TimingParams t;
+    BankModel bank(t);
+    BankAccess first = bank.access(0.0, 0, false);
+    BankAccess second = bank.access(0.0, 0, false);
+    EXPECT_GE(second.start, first.bankFree);
+    EXPECT_EQ(bank.rowHits(), 1u);
+    EXPECT_EQ(bank.rowMisses(), 1u);
+}
+
+TEST(MainMemory, ChannelSerializesTransfers)
+{
+    MainMemory mem(tech());
+    // Two reads to different banks: banks work in parallel but the
+    // shared channel serializes the data bursts.
+    const nvmodel::Geometry &g = mem.params().geometry;
+    const std::uint64_t bank_stride =
+        mem.mapper().bytesPerMatRow() *
+        static_cast<std::uint64_t>(g.matsPerSubarray) * g.subarraysPerBank;
+    Request a{0, 64, false, 0.0};
+    Request b{bank_stride, 64, false, 0.0};
+    RequestResult ra = mem.access(a);
+    RequestResult rb = mem.access(b);
+    EXPECT_NE(ra.location.globalBank, rb.location.globalBank);
+    EXPECT_GE(rb.dataReady, ra.dataReady);
+}
+
+TEST(MainMemory, RowHitRateImprovesWithFrFcfs)
+{
+    // Interleave two row streams; FCFS ping-pongs rows while FR-FCFS
+    // batches row hits.
+    auto make_requests = [&](MainMemory &mem) {
+        // Stride that increments only the row field: one full sweep of
+        // (banks x subarrays x mats x mat-row bytes).
+        const nvmodel::Geometry &g = mem.params().geometry;
+        const std::uint64_t row_stride =
+            mem.mapper().bytesPerMatRow() *
+            static_cast<std::uint64_t>(g.matsPerSubarray) *
+            g.subarraysPerBank * g.totalBanks();
+        std::vector<Request> reqs;
+        for (int i = 0; i < 16; ++i) {
+            // Same bank and mat, alternating wordlines, distinct columns.
+            const std::uint64_t row = static_cast<std::uint64_t>(i % 2);
+            const std::uint64_t addr =
+                row * row_stride + static_cast<std::uint64_t>(i / 2) * 8;
+            reqs.push_back(Request{addr, 8, false, 0.0});
+        }
+        return reqs;
+    };
+
+    MainMemory fcfs(tech());
+    for (const Request &r : make_requests(fcfs))
+        fcfs.access(r);
+
+    MainMemory frfcfs(tech());
+    frfcfs.scheduleBatch(make_requests(frfcfs), 16);
+
+    EXPECT_GT(frfcfs.rowHitRate(), fcfs.rowHitRate());
+}
+
+TEST(MainMemory, FunctionalStoreRoundTrip)
+{
+    MainMemory mem(tech());
+    std::vector<std::uint8_t> data = {1, 2, 3, 250, 0, 9};
+    mem.writeData(12345, data);
+    EXPECT_EQ(mem.readData(12345, 6), data);
+    // Unwritten bytes read as zero.
+    EXPECT_EQ(mem.readData(999999, 2),
+              (std::vector<std::uint8_t>{0, 0}));
+}
+
+TEST(MainMemory, StatsAccumulate)
+{
+    MainMemory mem(tech());
+    mem.access(Request{0, 64, false, 0.0});
+    mem.access(Request{64, 64, true, 0.0});
+    EXPECT_EQ(mem.stats().get("mem.reads").count(), 1u);
+    EXPECT_EQ(mem.stats().get("mem.writes").count(), 1u);
+    EXPECT_DOUBLE_EQ(mem.stats().get("mem.bytes").sum(), 128.0);
+}
+
+} // namespace
+} // namespace prime::memory
+
+namespace prime::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30.0, [&](Ns) { order.push_back(3); });
+    q.schedule(10.0, [&](Ns) { order.push_back(1); });
+    q.schedule(20.0, [&](Ns) { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 30.0);
+    EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, SameTimeIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1.0, [&, i](Ns) { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1.0, [&](Ns now) {
+        q.schedule(now + 1.0, [&](Ns) { ++fired; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, HorizonStopsExecution)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1.0, [&](Ns) { ++fired; });
+    q.schedule(100.0, [&](Ns) { ++fired; });
+    q.run(50.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, RejectsPast)
+{
+    EventQueue q;
+    q.schedule(10.0, [](Ns) {});
+    q.run();
+    EXPECT_DEATH(q.schedule(5.0, [](Ns) {}), "past");
+}
+
+} // namespace
+} // namespace prime::sim
+
+namespace prime::memory {
+namespace {
+
+TEST(PagePolicy, ClosedWinsOnRandomRows)
+{
+    nvmodel::TimingParams t;
+    BankModel open_bank(t, PagePolicy::Open);
+    BankModel closed_bank(t, PagePolicy::Closed);
+    // Spaced accesses to alternating rows: the closed policy hides the
+    // precharge in the idle gap, the open policy pays it on the
+    // critical path of every conflicting access.
+    Ns open_latency = 0.0, closed_latency = 0.0;
+    for (int i = 0; i < 32; ++i) {
+        const Ns when = i * 200.0;
+        BankAccess o = open_bank.access(when, i % 2, false);
+        BankAccess c = closed_bank.access(when, i % 2, false);
+        open_latency += o.complete - o.start;
+        closed_latency += c.complete - c.start;
+    }
+    EXPECT_LT(closed_latency, open_latency);
+}
+
+TEST(PagePolicy, OpenWinsOnRowLocality)
+{
+    nvmodel::TimingParams t;
+    BankModel open_bank(t, PagePolicy::Open);
+    BankModel closed_bank(t, PagePolicy::Closed);
+    Ns open_done = 0.0, closed_done = 0.0;
+    // Same row every time: open hits, closed re-activates.
+    for (int i = 0; i < 32; ++i) {
+        open_done = open_bank.access(open_done, 7, false).complete;
+        closed_done = closed_bank.access(closed_done, 7, false).complete;
+    }
+    EXPECT_LT(open_done, closed_done);
+    EXPECT_EQ(open_bank.rowHits(), 31u);
+    EXPECT_EQ(closed_bank.rowHits(), 0u);
+}
+
+TEST(PagePolicy, WriteToReadTurnaroundCharged)
+{
+    nvmodel::TimingParams t;
+    BankModel bank(t, PagePolicy::Open);
+    BankAccess w = bank.access(0.0, 0, true);
+    // Read-after-write to the open row: tWTR + tCL.
+    BankAccess r = bank.access(w.bankFree, 0, false);
+    EXPECT_DOUBLE_EQ(r.complete - r.start, t.tWtr + t.tCl);
+    // Read-after-read: tCL only.
+    BankAccess r2 = bank.access(r.bankFree, 0, false);
+    EXPECT_DOUBLE_EQ(r2.complete - r2.start, t.tCl);
+}
+
+TEST(PagePolicy, MainMemoryHonorsPolicy)
+{
+    nvmodel::TechParams tech = nvmodel::defaultTechParams();
+    MainMemory closed(tech, PagePolicy::Closed);
+    closed.access(Request{0, 64, false, 0.0});
+    closed.access(Request{0, 64, false, 0.0});
+    // Closed page never leaves a row open, so no hits.
+    EXPECT_DOUBLE_EQ(closed.rowHitRate(), 0.0);
+}
+
+} // namespace
+} // namespace prime::memory

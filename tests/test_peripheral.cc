@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Peripheral circuit model tests (Figure 4 blocks A-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "reram/peripheral.hh"
+
+namespace prime::reram {
+namespace {
+
+TEST(WordlineDriver, MemoryModeVoltages)
+{
+    WordlineDriver d(3, 0.3, 2.0);
+    EXPECT_DOUBLE_EQ(d.memoryReadVoltage(), 0.3);
+    EXPECT_DOUBLE_EQ(d.memoryWriteVoltage(), 2.0);
+    EXPECT_EQ(d.levelCount(), 8);
+}
+
+TEST(WordlineDriver, ComputeVoltageScalesWithLevel)
+{
+    WordlineDriver d(3, 0.7, 2.0);
+    d.setMode(FfMode::Computation);
+    d.latchInput(0);
+    EXPECT_DOUBLE_EQ(d.computeVoltage(), 0.0);
+    d.latchInput(7);
+    EXPECT_DOUBLE_EQ(d.computeVoltage(), 0.7);
+    d.latchInput(3);
+    EXPECT_NEAR(d.computeVoltage(), 0.3, 1e-12);
+}
+
+TEST(WordlineDriver, GuardsModeAndRange)
+{
+    WordlineDriver d(3, 0.3, 2.0);
+    EXPECT_DEATH(d.computeVoltage(), "memory mode");
+    EXPECT_DEATH(d.latchInput(8), "latch level");
+}
+
+TEST(SubtractionUnit, DifferenceAndBypass)
+{
+    SubtractionUnit u;
+    EXPECT_DOUBLE_EQ(u.apply(5.0, 2.0), 3.0);
+    u.setBypass(true);
+    EXPECT_DOUBLE_EQ(u.apply(5.0, 2.0), 5.0);
+}
+
+TEST(SigmoidUnit, SaturatesAndBypasses)
+{
+    SigmoidUnit u;
+    EXPECT_NEAR(u.apply(0.0), 0.5, 1e-12);
+    EXPECT_GT(u.apply(10.0), 0.9999);
+    EXPECT_LT(u.apply(-10.0), 0.0001);
+    u.setBypass(true);
+    EXPECT_DOUBLE_EQ(u.apply(3.25), 3.25);
+}
+
+TEST(ReluUnit, ClampsNegativeAndBypasses)
+{
+    ReluUnit u;
+    EXPECT_EQ(u.apply(-5), 0);
+    EXPECT_EQ(u.apply(9), 9);
+    u.setBypass(true);
+    EXPECT_EQ(u.apply(-5), -5);
+}
+
+TEST(ReconfigurableSenseAmp, PrecisionConfiguration)
+{
+    ReconfigurableSenseAmp sa(6);
+    EXPECT_EQ(sa.precision(), 6);
+    sa.setPrecision(3);
+    EXPECT_EQ(sa.precision(), 3);
+    EXPECT_EQ(sa.conversionCycles(), 3);
+    EXPECT_DEATH(sa.setPrecision(7), "precision");
+    EXPECT_DEATH(sa.setPrecision(0), "precision");
+}
+
+TEST(ReconfigurableSenseAmp, ConvertKeepsHighestBits)
+{
+    ReconfigurableSenseAmp sa(6);
+    // 12-bit full scale -> keep highest 6: shift by 6.
+    EXPECT_EQ(sa.convert(0xFFF, 12), 0x3F);
+    EXPECT_EQ(sa.convert(64, 12), 1);
+    EXPECT_EQ(sa.convert(63, 12), 0);
+    sa.setPrecision(1);
+    EXPECT_EQ(sa.convert(0x800, 12), 1);
+    EXPECT_EQ(sa.convert(0x7FF, 12), 0);
+}
+
+TEST(PrecisionControl, AccumulatesPartials)
+{
+    PrecisionControl pc;
+    pc.accumulate(10);
+    pc.accumulate(-3);
+    EXPECT_EQ(pc.value(), 7);
+    pc.clear();
+    EXPECT_EQ(pc.value(), 0);
+}
+
+TEST(MaxPoolUnit, SelectsMaximumAllPositions)
+{
+    MaxPoolUnit unit;
+    for (int winner = 0; winner < 4; ++winner) {
+        std::array<std::int64_t, 4> in = {1, 2, 3, 4};
+        in[static_cast<std::size_t>(winner)] = 100;
+        EXPECT_EQ(unit.pool4(in), 100);
+        EXPECT_EQ(unit.winnerIndex(), winner);
+    }
+}
+
+TEST(MaxPoolUnit, WinnerCodeMatchesComparisons)
+{
+    MaxPoolUnit unit;
+    unit.pool4({5, 1, 9, 9});
+    const std::uint8_t code = unit.winnerCode();
+    // k=0: a1>=a2 (5>=1) -> set; k=1: a1>=a3 (5>=9) -> clear;
+    // k=5: a3>=a4 (9>=9) -> set.
+    EXPECT_TRUE(code & 0x01);
+    EXPECT_FALSE(code & 0x02);
+    EXPECT_TRUE(code & 0x20);
+}
+
+TEST(MaxPoolUnit, TiesPreferEarlierInput)
+{
+    MaxPoolUnit unit;
+    EXPECT_EQ(unit.pool4({7, 7, 7, 7}), 7);
+    EXPECT_EQ(unit.winnerIndex(), 0);
+}
+
+TEST(MaxPoolUnit, NegativeValues)
+{
+    MaxPoolUnit unit;
+    EXPECT_EQ(unit.pool4({-10, -3, -7, -4}), -3);
+    EXPECT_EQ(unit.winnerIndex(), 1);
+}
+
+TEST(MaxPoolUnit, PoolNMatchesStdMax)
+{
+    MaxPoolUnit unit;
+    std::vector<std::int64_t> in = {3, -2, 8, 0, 5, 5, 7, -9, 8, 1, 2};
+    EXPECT_EQ(unit.poolN(in),
+              *std::max_element(in.begin(), in.end()));
+    EXPECT_EQ(unit.poolN({42}), 42);
+}
+
+TEST(MeanPool, RoundsToNearest)
+{
+    EXPECT_EQ(meanPool({1, 2, 3, 4}), 3);  // 2.5 rounds away from zero
+    EXPECT_EQ(meanPool({2, 2, 2, 2}), 2);
+    EXPECT_EQ(meanPool({-3, -3, 0, 0}), -2);  // -1.5 -> -2
+}
+
+/** Exhaustive 4:1 pooling over a dense value grid. */
+class MaxPoolSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MaxPoolSweep, AgreesWithStdMax)
+{
+    const int seed = GetParam();
+    MaxPoolUnit unit;
+    // Deterministic pseudo-random pattern from the seed.
+    std::int64_t state = seed;
+    auto next = [&]() {
+        state = state * 6364136223846793005LL + 1442695040888963407LL;
+        return (state >> 33) % 1000 - 500;
+    };
+    for (int trial = 0; trial < 200; ++trial) {
+        std::array<std::int64_t, 4> in = {next(), next(), next(), next()};
+        EXPECT_EQ(unit.pool4(in),
+                  *std::max_element(in.begin(), in.end()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxPoolSweep, ::testing::Values(1, 2, 3));
+
+} // namespace
+} // namespace prime::reram

@@ -1,0 +1,407 @@
+/**
+ * @file
+ * PRIME core structure tests: FF mats and morphing, the Buffer
+ * subarray, the Table-I controller, and the OS runtime policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prime/buffer_subarray.hh"
+#include "prime/controller.hh"
+#include "prime/ff_subarray.hh"
+#include "prime/runtime.hh"
+
+namespace prime::core {
+namespace {
+
+nvmodel::TechParams
+tech()
+{
+    return nvmodel::defaultTechParams();
+}
+
+TEST(FfMat, StartsInMemoryModeWithFullCapacity)
+{
+    FfMat mat(tech());
+    EXPECT_EQ(mat.mode(), reram::FfMode::Memory);
+    // 256x256x4 SLC bits = 32 KiB.
+    EXPECT_EQ(mat.memoryBytes(), 32u * 1024);
+}
+
+TEST(FfMat, MemoryModeRoundTrip)
+{
+    FfMat mat(tech());
+    std::vector<std::uint8_t> data = {9, 8, 7, 6};
+    mat.writeMemory(100, data);
+    EXPECT_EQ(mat.readMemory(100, 4), data);
+    EXPECT_DEATH(mat.writeMemory(mat.memoryBytes(), data), "beyond");
+}
+
+TEST(FfMat, MorphingProtocol)
+{
+    FfMat mat(tech());
+    std::vector<std::uint8_t> resident = {1, 2, 3};
+    mat.writeMemory(0, resident);
+
+    // Step 1+2: migrate resident data and program weights.
+    std::vector<std::vector<int>> weights = {{10, -20}, {-5, 30}};
+    std::vector<std::uint8_t> migrated = mat.morphToCompute(weights);
+    EXPECT_EQ(mat.mode(), reram::FfMode::Computation);
+    ASSERT_GE(migrated.size(), 3u);
+    EXPECT_EQ(migrated[0], 1);
+    EXPECT_EQ(migrated[2], 3);
+
+    // The engine computes on the programmed weights.
+    std::vector<int> in = {3, 2};
+    auto full = mat.engine().mvmFull(in);
+    EXPECT_EQ(full[0], 3 * 10 + 2 * -5);
+    EXPECT_EQ(full[1], 3 * -20 + 2 * 30);
+
+    // Memory access is illegal in computation mode.
+    EXPECT_DEATH(mat.readMemory(0, 1), "computation mode");
+
+    // Wrap-up: back to memory mode, zeroed.
+    mat.morphToMemory();
+    EXPECT_EQ(mat.mode(), reram::FfMode::Memory);
+    EXPECT_EQ(mat.readMemory(0, 1)[0], 0);
+    EXPECT_DEATH(mat.engine(), "not in computation mode");
+}
+
+TEST(FfMat, RejectsDoubleMorphAndOversizedTile)
+{
+    FfMat mat(tech());
+    mat.morphToCompute({{1}});
+    EXPECT_DEATH(mat.morphToCompute({{1}}), "already");
+    FfMat mat2(tech());
+    std::vector<std::vector<int>> too_big(
+        257, std::vector<int>(1, 0));
+    EXPECT_DEATH(mat2.morphToCompute(too_big), "exceeds mat geometry");
+}
+
+TEST(FfSubarray, TracksModesAndCapacity)
+{
+    StatGroup stats;
+    FfSubarray sub(tech(), &stats);
+    EXPECT_EQ(sub.matCount(), 32);
+    EXPECT_EQ(sub.computeMats(), 0);
+    EXPECT_EQ(sub.memoryModeBytes(), 32u * 32 * 1024);
+    sub.mat(3).morphToCompute({{1, 2}, {3, 4}});
+    EXPECT_EQ(sub.computeMats(), 1);
+    EXPECT_EQ(sub.memoryModeBytes(), 31u * 32 * 1024);
+}
+
+TEST(BufferSubarray, ReadWriteAndTraffic)
+{
+    StatGroup stats;
+    BufferSubarray buf(tech(), &stats);
+    // One subarray of 32 mats x 32 KiB = 1 MiB.
+    EXPECT_EQ(buf.capacity(), 1024u * 1024);
+    buf.write(64, {5, 6, 7});
+    EXPECT_EQ(buf.read(64, 3), (std::vector<std::uint8_t>{5, 6, 7}));
+    EXPECT_EQ(buf.trafficBytes(), 6u);
+    EXPECT_DOUBLE_EQ(stats.get("buffer.write_bytes").sum(), 3.0);
+    EXPECT_DEATH(buf.read(buf.capacity(), 1), "out of range");
+}
+
+TEST(BufferSubarray, ValueHelpers)
+{
+    StatGroup stats;
+    BufferSubarray buf(tech(), &stats);
+    buf.writeValues(0, {1.5, -2.25});
+    auto vals = buf.readValues(0, 2);
+    EXPECT_DOUBLE_EQ(vals[0], 1.5);
+    EXPECT_DOUBLE_EQ(vals[1], -2.25);
+}
+
+/** Fixture wiring a controller to memory, FF subarrays and a buffer. */
+class ControllerTest : public ::testing::Test
+{
+  protected:
+    ControllerTest()
+        : tech_(tech()), mem_(tech_),
+          buffer_(tech_, &stats_)
+    {
+        for (int i = 0; i < tech_.geometry.ffSubarraysPerBank; ++i)
+            ff_.emplace_back(tech_, &stats_);
+        controller_ = std::make_unique<PrimeController>(
+            tech_, &mem_, &ff_, &buffer_, &stats_);
+    }
+
+    nvmodel::TechParams tech_;
+    StatGroup stats_;
+    memory::MainMemory mem_;
+    std::vector<FfSubarray> ff_;
+    BufferSubarray buffer_;
+    std::unique_ptr<PrimeController> controller_;
+};
+
+TEST_F(ControllerTest, FetchAndCommitMoveData)
+{
+    mem_.writeData(0x1000, {11, 22, 33});
+    mapping::Command fetch;
+    fetch.op = mapping::CommandOp::Fetch;
+    fetch.src = 0x1000;
+    fetch.dst = 0x40;
+    fetch.bytes = 3;
+    controller_->execute(fetch);
+    EXPECT_EQ(buffer_.read(0x40, 3),
+              (std::vector<std::uint8_t>{11, 22, 33}));
+
+    mapping::Command commit;
+    commit.op = mapping::CommandOp::Commit;
+    commit.src = 0x40;
+    commit.dst = 0x2000;
+    commit.bytes = 3;
+    controller_->execute(commit);
+    EXPECT_EQ(mem_.readData(0x2000, 3),
+              (std::vector<std::uint8_t>{11, 22, 33}));
+    EXPECT_EQ(controller_->commandCount(), 2u);
+}
+
+TEST_F(ControllerTest, LoadComputeStoreRoundTrip)
+{
+    // Program mat 0 with a tiny weight matrix.
+    controller_->mat(0).morphToCompute({{100, -100}, {50, 25}});
+    controller_->mat(0).engine().setOutputShift(0);
+
+    // Stage input codes 3, 2 in the buffer and load them.
+    buffer_.write(0, {3, 2});
+    mapping::Command load;
+    load.op = mapping::CommandOp::Load;
+    load.src = 0;
+    load.dst = 0;  // mat 0, offset 0
+    load.bytes = 2;
+    controller_->execute(load);
+    EXPECT_EQ(controller_->latch(0),
+              (std::vector<std::uint8_t>{3, 2}));
+
+    controller_->computeMat(0);
+    auto out = controller_->outputCodes(0);
+    ASSERT_EQ(out.size(), 2u);
+    // With shift 0 the composed result equals the exact dot product
+    // (inputs are multiples of nothing here, so allow the bounded
+    // composing error).
+    EXPECT_NEAR(static_cast<double>(out[0]), 3 * 100 + 2 * 50, 4.0);
+    EXPECT_NEAR(static_cast<double>(out[1]), 3 * -100 + 2 * 25, 4.0);
+
+    mapping::Command store;
+    store.op = mapping::CommandOp::Store;
+    store.src = 0;
+    store.dst = 0x100;
+    store.bytes = 4;
+    controller_->execute(store);
+    auto raw = buffer_.read(0x100, 4);
+    const std::int16_t c0 = static_cast<std::int16_t>(
+        raw[0] | (raw[1] << 8));
+    EXPECT_EQ(c0, out[0]);
+}
+
+TEST_F(ControllerTest, DatapathConfigReachesMats)
+{
+    mapping::Command cmd;
+    cmd.op = mapping::CommandOp::BypassSigmoid;
+    cmd.matAddr = 5;
+    cmd.flag = 1;
+    controller_->execute(cmd);
+    EXPECT_TRUE(controller_->mat(5).bypassSigmoid());
+    cmd.flag = 0;
+    controller_->execute(cmd);
+    EXPECT_FALSE(controller_->mat(5).bypassSigmoid());
+
+    cmd.op = mapping::CommandOp::InputSource;
+    cmd.flag = static_cast<std::uint8_t>(
+        mapping::InputSource::PreviousLayer);
+    controller_->execute(cmd);
+    EXPECT_FALSE(controller_->mat(5).inputFromBuffer());
+}
+
+TEST_F(ControllerTest, ComputeOnMemoryModeMatDies)
+{
+    buffer_.write(0, {1});
+    mapping::Command load;
+    load.op = mapping::CommandOp::Load;
+    load.bytes = 1;
+    controller_->execute(load);
+    EXPECT_DEATH(controller_->computeMat(0), "memory-mode");
+}
+
+TEST(PageMissTracker, WindowedRate)
+{
+    PageMissTracker t(4);
+    t.record(true);
+    t.record(false);
+    EXPECT_DOUBLE_EQ(t.missRate(), 0.5);
+    // Fill the window with hits; the early miss ages out.
+    for (int i = 0; i < 4; ++i)
+        t.record(false);
+    EXPECT_DOUBLE_EQ(t.missRate(), 0.0);
+    EXPECT_EQ(t.samples(), 6u);
+}
+
+TEST(OsRuntime, ReleasesUnderPressureWhenIdle)
+{
+    RuntimeOptions opt;
+    opt.window = 16;
+    StatGroup stats;
+    OsRuntime rt(tech(), opt, &stats);
+    rt.setFfBusy(false);
+    for (int i = 0; i < 16; ++i)
+        rt.recordPageAccess(true);  // 100% miss rate
+    EXPECT_EQ(rt.step(), RuntimeAction::ReleaseMats);
+    EXPECT_EQ(rt.matsServingMemory(), opt.matsPerStep);
+    EXPECT_GT(rt.releasedBytes(), 0u);
+}
+
+TEST(OsRuntime, DoesNotReleaseWhileBusy)
+{
+    RuntimeOptions opt;
+    opt.window = 16;
+    StatGroup stats;
+    OsRuntime rt(tech(), opt, &stats);
+    rt.setFfBusy(true);
+    for (int i = 0; i < 16; ++i)
+        rt.recordPageAccess(true);
+    EXPECT_NE(rt.step(), RuntimeAction::ReleaseMats);
+}
+
+TEST(OsRuntime, ReclaimsWhenPressureSubsides)
+{
+    RuntimeOptions opt;
+    opt.window = 16;
+    StatGroup stats;
+    OsRuntime rt(tech(), opt, &stats);
+    for (int i = 0; i < 16; ++i)
+        rt.recordPageAccess(true);
+    rt.step();  // release
+    ASSERT_GT(rt.matsServingMemory(), 0);
+    for (int i = 0; i < 64; ++i)
+        rt.recordPageAccess(false);  // pressure gone
+    EXPECT_EQ(rt.step(), RuntimeAction::ReclaimMats);
+}
+
+TEST(OsRuntime, BusyFfForcesReclaim)
+{
+    RuntimeOptions opt;
+    opt.window = 16;
+    StatGroup stats;
+    OsRuntime rt(tech(), opt, &stats);
+    for (int i = 0; i < 16; ++i)
+        rt.recordPageAccess(true);
+    rt.step();
+    rt.setFfBusy(true);
+    // Even under pressure, queued NN work reclaims the mats.
+    EXPECT_EQ(rt.step(), RuntimeAction::ReclaimMats);
+}
+
+TEST(OsRuntime, HysteresisHoldsInBetween)
+{
+    RuntimeOptions opt;
+    opt.window = 100;
+    StatGroup stats;
+    OsRuntime rt(tech(), opt, &stats);
+    // ~3% miss rate: between reclaim (1%) and release (5%) thresholds.
+    for (int i = 0; i < 100; ++i)
+        rt.recordPageAccess(i % 32 == 0);
+    EXPECT_EQ(rt.step(), RuntimeAction::None);
+}
+
+TEST(OsRuntime, RejectsInvertedThresholds)
+{
+    RuntimeOptions opt;
+    opt.releaseThreshold = 0.01;
+    opt.reclaimThreshold = 0.05;
+    StatGroup stats;
+    EXPECT_DEATH(OsRuntime(tech(), opt, &stats), "threshold");
+}
+
+} // namespace
+} // namespace prime::core
+
+namespace prime::core {
+namespace {
+
+/** Fuzz: random valid command sequences preserve controller invariants. */
+TEST(ControllerFuzz, RandomCommandStreamsKeepInvariants)
+{
+    nvmodel::TechParams tech = nvmodel::defaultTechParams();
+    StatGroup stats;
+    memory::MainMemory mem(tech);
+    std::vector<FfSubarray> ff;
+    for (int i = 0; i < tech.geometry.ffSubarraysPerBank; ++i)
+        ff.emplace_back(tech, &stats);
+    BufferSubarray buffer(tech, &stats);
+    PrimeController ctrl(tech, &mem, &ff, &buffer, &stats);
+
+    Rng rng(2024);
+    const int mats = tech.geometry.ffSubarraysPerBank *
+                     tech.geometry.matsPerSubarray;
+    std::uint64_t expected_commands = 0;
+    for (int step = 0; step < 2000; ++step) {
+        mapping::Command c;
+        switch (rng.uniformInt(0, 5)) {
+          case 0:
+            c.op = mapping::CommandOp::BypassSigmoid;
+            c.matAddr = static_cast<std::uint32_t>(
+                rng.uniformInt(0, mats - 1));
+            c.flag = static_cast<std::uint8_t>(rng.uniformInt(0, 1));
+            break;
+          case 1:
+            c.op = mapping::CommandOp::BypassSa;
+            c.matAddr = static_cast<std::uint32_t>(
+                rng.uniformInt(0, mats - 1));
+            c.flag = static_cast<std::uint8_t>(rng.uniformInt(0, 1));
+            break;
+          case 2:
+            c.op = mapping::CommandOp::InputSource;
+            c.matAddr = static_cast<std::uint32_t>(
+                rng.uniformInt(0, mats - 1));
+            c.flag = static_cast<std::uint8_t>(rng.uniformInt(0, 1));
+            break;
+          case 3: {
+            c.op = mapping::CommandOp::Fetch;
+            c.src = static_cast<std::uint64_t>(
+                rng.uniformInt(0, 1 << 20));
+            c.dst = static_cast<std::uint64_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(
+                                      buffer.capacity() - 256)));
+            c.bytes = static_cast<std::uint32_t>(
+                rng.uniformInt(1, 256));
+            break;
+          }
+          case 4: {
+            c.op = mapping::CommandOp::Commit;
+            c.src = static_cast<std::uint64_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(
+                                      buffer.capacity() - 256)));
+            c.dst = static_cast<std::uint64_t>(
+                rng.uniformInt(0, 1 << 20));
+            c.bytes = static_cast<std::uint32_t>(
+                rng.uniformInt(1, 256));
+            break;
+          }
+          default: {
+            c.op = mapping::CommandOp::Load;
+            c.src = static_cast<std::uint64_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(
+                                      buffer.capacity() - 256)));
+            const std::uint64_t mat = static_cast<std::uint64_t>(
+                rng.uniformInt(0, mats - 1));
+            c.dst = mat * PrimeController::kFfMatStride +
+                    static_cast<std::uint64_t>(rng.uniformInt(0, 1024));
+            c.bytes = static_cast<std::uint32_t>(
+                rng.uniformInt(1, 256));
+            break;
+          }
+        }
+        // Encode/decode round trip on the way in, as hardware would.
+        ctrl.execute(mapping::decodeCommand(mapping::encodeCommand(c)));
+        ++expected_commands;
+    }
+    EXPECT_EQ(ctrl.commandCount(), expected_commands);
+    // Controller never flipped a mat out of memory mode by itself.
+    for (auto &sub : ff)
+        EXPECT_EQ(sub.computeMats(), 0);
+}
+
+} // namespace
+} // namespace prime::core

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * End-to-end PrimeSystem tests: the Figure 7 API flow on trained
+ * networks, split-merge fidelity, morphing/release, and accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/dataset.hh"
+#include "prime/prime_system.hh"
+
+namespace prime::core {
+namespace {
+
+/** Shared trained MLP whose first layer splits across row tiles. */
+struct TrainedSetup
+{
+    nn::Topology topology;
+    nn::Network net;
+    std::vector<nn::Sample> train;
+    std::vector<nn::Sample> test;
+
+    TrainedSetup()
+        // 784 inputs -> first FC layer spans 4 row tiles (784 > 256).
+        : topology(nn::parseTopology("mlp-784-64-10", "784-64-10",
+                                     1, 28, 28))
+    {
+        nn::SyntheticMnistOptions o;
+        o.seed = 21;
+        nn::SyntheticMnist gen(o);
+        train = gen.generate(600);
+        test = gen.generate(200);
+        Rng rng(33);
+        net = nn::buildNetwork(topology, rng);
+        nn::Trainer::Options opt;
+        opt.epochs = 5;
+        opt.learningRate = 0.3;
+        nn::Trainer::train(net, train, opt);
+    }
+};
+
+TrainedSetup &
+setup()
+{
+    static TrainedSetup instance;
+    return instance;
+}
+
+TEST(PrimeSystem, ApiOrderEnforced)
+{
+    PrimeSystem prime;
+    nn::Tensor input({1, 28, 28});
+    EXPECT_DEATH(prime.run(input), "programWeight");
+    prime.mapTopology(setup().topology);
+    EXPECT_DEATH(prime.run(input), "programWeight");
+    prime.programWeight(setup().net);
+    EXPECT_DEATH(prime.run(input), "configDatapath");
+}
+
+TEST(PrimeSystem, MappingReservesAndMorphs)
+{
+    PrimeSystem prime;
+    const std::size_t before = prime.availableFfMemoryBytes();
+    prime.mapTopology(setup().topology);
+    prime.programWeight(setup().net);
+    // Morphed mats no longer serve as memory...
+    EXPECT_LT(prime.availableFfMemoryBytes(), before);
+    // ...and their resident data was migrated (counted in stats).
+    EXPECT_GT(prime.stats().get("morph.mats_to_compute").count(), 0u);
+    // Release restores the full FF memory capacity.
+    prime.release();
+    EXPECT_EQ(prime.availableFfMemoryBytes(), before);
+    EXPECT_EQ(prime.stats().get("morph.mats_to_memory").count(),
+              prime.stats().get("morph.mats_to_compute").count());
+}
+
+TEST(PrimeSystem, ConfigCommandsCoverEveryTileMat)
+{
+    PrimeSystem prime;
+    prime.mapTopology(setup().topology);
+    prime.programWeight(setup().net);
+    // 4 config commands per replica-0 tile mat (Table I left half).
+    long long tiles = 0;
+    for (const auto &m : prime.plan().layers)
+        tiles += m.matsPerReplica();
+    EXPECT_EQ(prime.configCommands().size(),
+              static_cast<std::size_t>(4 * tiles));
+    prime.configDatapath();
+    EXPECT_GE(prime.controller().commandCount(),
+              prime.configCommands().size());
+}
+
+TEST(PrimeSystem, EndToEndClassificationMatchesFloat)
+{
+    PrimeSystem prime;
+    prime.mapTopology(setup().topology);
+    prime.programWeight(setup().net);
+    prime.configDatapath();
+    prime.calibrate(std::vector<nn::Sample>(setup().train.begin(),
+                                            setup().train.begin() + 50));
+
+    const double float_acc =
+        nn::Trainer::evaluate(setup().net, setup().test);
+    std::size_t correct = 0, agree = 0;
+    for (const nn::Sample &s : setup().test) {
+        const int hw = static_cast<int>(prime.run(s.input).argmax());
+        if (hw == s.label)
+            ++correct;
+        if (hw == setup().net.predict(s.input))
+            ++agree;
+    }
+    const double hw_acc =
+        static_cast<double>(correct) / setup().test.size();
+    // 6-bit inputs / 8-bit composed weights keep classification close
+    // to the float baseline (the Section III-D claim).
+    EXPECT_GT(hw_acc, float_acc - 0.1);
+    EXPECT_GT(static_cast<double>(agree) / setup().test.size(), 0.8);
+}
+
+TEST(PrimeSystem, PostProcIsSoftmax)
+{
+    PrimeSystem prime;
+    nn::Tensor logits = nn::Tensor::vector1d({1.0, 2.0, 3.0});
+    auto p = prime.postProc(logits);
+    ASSERT_EQ(p.size(), 3u);
+    double sum = 0.0;
+    for (double v : p)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GT(p[2], p[1]);
+}
+
+TEST(PrimeSystem, SplitMergeMatchesWholeLayerMvm)
+{
+    // The 784-row layer spans 4 row tiles; the merged result must be
+    // close to a direct quantized MVM over the whole layer.
+    PrimeSystem prime;
+    prime.mapTopology(setup().topology);
+    prime.programWeight(setup().net);
+    prime.configDatapath();
+    prime.calibrate(std::vector<nn::Sample>(setup().train.begin(),
+                                            setup().train.begin() + 50));
+
+    const nn::Sample &s = setup().test.front();
+    nn::Tensor hw_logits = prime.run(s.input);
+    nn::Tensor float_logits = setup().net.forward(s.input);
+    ASSERT_EQ(hw_logits.size(), float_logits.size());
+    // Logits agree to quantization tolerance: each of the 4 row tiles
+    // contributes up to ~2 codes of composing/rounding error at the
+    // 6-bit SA window, on top of the 6-bit activation quantization.
+    for (std::size_t i = 0; i < hw_logits.size(); ++i)
+        EXPECT_NEAR(hw_logits[i], float_logits[i],
+                    0.25 * std::max(1.0, std::fabs(float_logits[i])) +
+                        1.0)
+            << "logit " << i;
+}
+
+TEST(PrimeSystem, PerformanceAccountingAvailable)
+{
+    PrimeSystem prime;
+    prime.mapTopology(setup().topology);
+    auto perf = prime.estimatePerformance();
+    EXPECT_GT(perf.latency, 0.0);
+    EXPECT_GT(perf.energy.total(), 0.0);
+    EXPECT_GT(prime.configurationTime(), 0.0);
+    EXPECT_GT(prime.configurationEnergy(), 0.0);
+}
+
+TEST(PrimeSystem, RunStatsAccumulate)
+{
+    PrimeSystem prime;
+    prime.mapTopology(setup().topology);
+    prime.programWeight(setup().net);
+    prime.configDatapath();
+    prime.run(setup().test.front().input);
+    EXPECT_EQ(prime.stats().get("run.inferences").count(), 1u);
+    EXPECT_GT(prime.stats().get("run.tiled_mvms").count(), 0u);
+    EXPECT_GT(prime.buffer().trafficBytes(), 0u);
+}
+
+TEST(PrimeSystem, LargeScalePlansRefuseFunctionalRun)
+{
+    PrimeSystem prime;
+    prime.mapTopology(nn::mlBenchByName("VGG-D"));
+    Rng rng(1);
+    nn::Network dummy;  // never reached: banksUsed > 1 is fatal first
+    EXPECT_THROW(prime.programWeight(dummy), std::runtime_error);
+}
+
+TEST(PrimeSystem, CnnEndToEnd)
+{
+    // A small CNN exercises the conv lowering path on hardware.
+    nn::Topology topo =
+        nn::parseTopology("cnn-tiny", "conv5x5-pool-720-10", 1, 28, 28);
+    nn::SyntheticMnistOptions o;
+    o.seed = 55;
+    nn::SyntheticMnist gen(o);
+    auto train = gen.generate(300);
+    auto test = gen.generate(60);
+    Rng rng(5);
+    nn::Network net = nn::buildNetwork(topo, rng);
+    nn::Trainer::Options opt;
+    opt.epochs = 4;
+    opt.learningRate = 0.1;
+    nn::Trainer::train(net, train, opt);
+    const double float_acc = nn::Trainer::evaluate(net, test);
+
+    PrimeSystem prime;
+    prime.mapTopology(topo);
+    prime.programWeight(net);
+    prime.configDatapath();
+    prime.calibrate(std::vector<nn::Sample>(train.begin(),
+                                            train.begin() + 20));
+    std::size_t correct = 0;
+    for (const nn::Sample &s : test)
+        if (static_cast<int>(prime.run(s.input).argmax()) == s.label)
+            ++correct;
+    EXPECT_GT(static_cast<double>(correct) / test.size(),
+              float_acc - 0.15);
+}
+
+} // namespace
+} // namespace prime::core

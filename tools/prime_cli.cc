@@ -1,0 +1,183 @@
+/**
+ * @file
+ * prime_cli: command-line front end to the PRIME model.
+ *
+ *   prime_cli map <spec> [CxHxW]    compile-time mapping plan for a
+ *                                   topology string (e.g. 784-500-10,
+ *                                   conv5x5-pool-720-70-10)
+ *   prime_cli bench <name>          evaluate one MlBench benchmark on
+ *                                   every platform (CNN-1, MLP-S, ...)
+ *   prime_cli suite                 the full Figure 8/10 matrix
+ *   prime_cli area                  the Figure 12 area report
+ *   prime_cli help
+ *
+ * All commands accept `--set key=value` TechParams overrides (see
+ * nvmodel::applyConfig for the key list), e.g.
+ *   prime_cli bench MLP-S --set geometry.ff_subarrays=4
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/table.hh"
+#include "nvmodel/area_model.hh"
+#include "sim/evaluator.hh"
+
+using namespace prime;
+
+namespace {
+
+/** Parsed --set overrides applied to the default TechParams. */
+nvmodel::TechParams
+techFromArgs(int argc, char **argv)
+{
+    Config config;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--set") == 0 && i + 1 < argc)
+            config.set(argv[++i]);
+    }
+    nvmodel::TechParams tech = nvmodel::defaultTechParams();
+    applyConfig(config, tech);
+    return tech;
+}
+
+int
+usage()
+{
+    std::printf(
+        "usage:\n"
+        "  prime_cli map <spec> [CxHxW]   mapping plan for a topology\n"
+        "  prime_cli bench <name>         one MlBench benchmark\n"
+        "  prime_cli suite                full platform matrix\n"
+        "  prime_cli area                 Figure 12 area report\n"
+        "options: --set key=value         override TechParams\n");
+    return 2;
+}
+
+void
+printPlan(const nn::Topology &topo, const mapping::MappingPlan &plan)
+{
+    std::printf("%s: %lld synapses, %lld MACs/image\n",
+                topo.name.c_str(), topo.totalSynapses(),
+                topo.totalMacs());
+    std::printf("scale %s | %lld mats | %d bank(s) | %d bank replicas | "
+                "%d copies/bank | util %.1f%% -> %.1f%%\n\n",
+                mapping::nnScaleName(plan.scale), plan.totalMats(),
+                plan.banksUsed, plan.bankReplicas, plan.copiesPerBank,
+                100.0 * plan.utilizationBefore,
+                100.0 * plan.utilizationAfter);
+    Table t({"layer", "mvm", "tiles", "in-mat", "replicas", "rounds"});
+    for (const mapping::LayerMapping &m : plan.layers) {
+        std::ostringstream mvm, tiles;
+        mvm << m.info.rows << "x" << m.info.cols;
+        tiles << m.rowTiles << "x" << m.colTiles;
+        t.row()
+            .cell(topo.layers[static_cast<std::size_t>(m.info.layerIndex)]
+                      .describe())
+            .cell(mvm.str())
+            .cell(tiles.str())
+            .cell(static_cast<long long>(m.inMatReplicas))
+            .cell(static_cast<long long>(m.crossMatReplicas))
+            .cell(m.serialRounds());
+    }
+    t.print(std::cout);
+}
+
+int
+cmdMap(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    int c = 1, h = 28, w = 28;
+    if (argc >= 4) {
+        if (std::sscanf(argv[3], "%dx%dx%d", &c, &h, &w) != 3) {
+            std::fprintf(stderr, "bad input shape '%s' (want CxHxW)\n",
+                         argv[3]);
+            return 2;
+        }
+    }
+    nn::Topology topo = nn::parseTopology("cli", argv[2], c, h, w);
+    mapping::Mapper mapper(techFromArgs(argc, argv).geometry,
+                           mapping::MapperOptions{});
+    printPlan(topo, mapper.map(topo));
+    return 0;
+}
+
+void
+printEvaluation(const sim::BenchmarkEvaluation &e)
+{
+    std::printf("%s:\n", e.topology.name.c_str());
+    Table t({"platform", "time/image", "speedup", "energy/image",
+             "energy saving"});
+    for (const sim::PlatformResult *r :
+         {&e.cpu, &e.npuCo, &e.npuPimX1, &e.npuPimX64, &e.prime}) {
+        t.row()
+            .cell(r->platform)
+            .cell(formatCompact(r->timePerImage / 1e3, 3) + " us")
+            .speedupCell(r->speedupOver(e.cpu))
+            .cell(formatCompact(r->energy.total() / 1e3, 3) + " nJ")
+            .speedupCell(r->energySavingOver(e.cpu));
+    }
+    t.print(std::cout);
+}
+
+int
+cmdBench(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    sim::Evaluator ev(techFromArgs(argc, argv));
+    printEvaluation(ev.evaluate(nn::mlBenchByName(argv[2])));
+    return 0;
+}
+
+int
+cmdSuite(int argc, char **argv)
+{
+    sim::Evaluator ev(techFromArgs(argc, argv));
+    for (const auto &e : ev.evaluateMlBench()) {
+        printEvaluation(e);
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmdArea(int argc, char **argv)
+{
+    nvmodel::AreaModel model(techFromArgs(argc, argv));
+    auto r = model.report();
+    Table t({"addition", "% of standard mat"});
+    for (const auto &item : r.ffAdditions)
+        t.row().cell(item.name).percentCell(item.fractionOfReference);
+    t.print(std::cout, "FF-mat additions");
+    std::printf("FF mat increase: %.1f%%, chip overhead: %.2f%%\n",
+                100.0 * r.ffMatIncrease, 100.0 * r.chipOverhead);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    try {
+        if (std::strcmp(argv[1], "map") == 0)
+            return cmdMap(argc, argv);
+        if (std::strcmp(argv[1], "bench") == 0)
+            return cmdBench(argc, argv);
+        if (std::strcmp(argv[1], "suite") == 0)
+            return cmdSuite(argc, argv);
+        if (std::strcmp(argv[1], "area") == 0)
+            return cmdArea(argc, argv);
+        return usage();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
