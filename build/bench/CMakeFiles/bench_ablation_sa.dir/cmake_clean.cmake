@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sa.dir/bench_ablation_sa.cc.o"
+  "CMakeFiles/bench_ablation_sa.dir/bench_ablation_sa.cc.o.d"
+  "bench_ablation_sa"
+  "bench_ablation_sa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

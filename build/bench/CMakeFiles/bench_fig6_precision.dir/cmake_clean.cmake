@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_precision.dir/bench_fig6_precision.cc.o"
+  "CMakeFiles/bench_fig6_precision.dir/bench_fig6_precision.cc.o.d"
+  "bench_fig6_precision"
+  "bench_fig6_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

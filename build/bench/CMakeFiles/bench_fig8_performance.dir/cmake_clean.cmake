@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_performance.dir/bench_fig8_performance.cc.o"
+  "CMakeFiles/bench_fig8_performance.dir/bench_fig8_performance.cc.o.d"
+  "bench_fig8_performance"
+  "bench_fig8_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_gap.dir/bench_memory_gap.cc.o"
+  "CMakeFiles/bench_memory_gap.dir/bench_memory_gap.cc.o.d"
+  "bench_memory_gap"
+  "bench_memory_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

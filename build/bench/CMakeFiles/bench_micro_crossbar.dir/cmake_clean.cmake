@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_crossbar.dir/bench_micro_crossbar.cc.o"
+  "CMakeFiles/bench_micro_crossbar.dir/bench_micro_crossbar.cc.o.d"
+  "bench_micro_crossbar"
+  "bench_micro_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_memory.dir/bench_micro_memory.cc.o"
+  "CMakeFiles/bench_micro_memory.dir/bench_micro_memory.cc.o.d"
+  "bench_micro_memory"
+  "bench_micro_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_sweep.dir/bench_scale_sweep.cc.o"
+  "CMakeFiles/bench_scale_sweep.dir/bench_scale_sweep.cc.o.d"
+  "bench_scale_sweep"
+  "bench_scale_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

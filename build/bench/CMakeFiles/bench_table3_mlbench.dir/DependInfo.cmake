@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_mlbench.cc" "bench/CMakeFiles/bench_table3_mlbench.dir/bench_table3_mlbench.cc.o" "gcc" "bench/CMakeFiles/bench_table3_mlbench.dir/bench_table3_mlbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prime/CMakeFiles/prime_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prime_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/prime_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/prime_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/prime_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvmodel/CMakeFiles/prime_nvmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/reram/CMakeFiles/prime_reram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prime_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_mlbench.dir/bench_table3_mlbench.cc.o"
+  "CMakeFiles/bench_table3_mlbench.dir/bench_table3_mlbench.cc.o.d"
+  "bench_table3_mlbench"
+  "bench_table3_mlbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_mlbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_computing.dir/approximate_computing.cpp.o"
+  "CMakeFiles/approximate_computing.dir/approximate_computing.cpp.o.d"
+  "approximate_computing"
+  "approximate_computing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_computing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digit_recognition.dir/digit_recognition.cpp.o"
+  "CMakeFiles/digit_recognition.dir/digit_recognition.cpp.o.d"
+  "digit_recognition"
+  "digit_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digit_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphable_memory.dir/morphable_memory.cpp.o"
+  "CMakeFiles/morphable_memory.dir/morphable_memory.cpp.o.d"
+  "morphable_memory"
+  "morphable_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphable_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgg_pipeline.dir/vgg_pipeline.cpp.o"
+  "CMakeFiles/vgg_pipeline.dir/vgg_pipeline.cpp.o.d"
+  "vgg_pipeline"
+  "vgg_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgg_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

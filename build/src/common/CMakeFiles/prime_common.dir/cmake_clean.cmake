@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_common.dir/config.cc.o"
+  "CMakeFiles/prime_common.dir/config.cc.o.d"
+  "CMakeFiles/prime_common.dir/fixed_point.cc.o"
+  "CMakeFiles/prime_common.dir/fixed_point.cc.o.d"
+  "CMakeFiles/prime_common.dir/logging.cc.o"
+  "CMakeFiles/prime_common.dir/logging.cc.o.d"
+  "CMakeFiles/prime_common.dir/stats.cc.o"
+  "CMakeFiles/prime_common.dir/stats.cc.o.d"
+  "CMakeFiles/prime_common.dir/table.cc.o"
+  "CMakeFiles/prime_common.dir/table.cc.o.d"
+  "libprime_common.a"
+  "libprime_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

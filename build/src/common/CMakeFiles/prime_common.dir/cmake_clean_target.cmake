@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprime_common.a"
+)

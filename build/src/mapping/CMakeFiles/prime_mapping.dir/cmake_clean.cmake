@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_mapping.dir/commands.cc.o"
+  "CMakeFiles/prime_mapping.dir/commands.cc.o.d"
+  "CMakeFiles/prime_mapping.dir/mapper.cc.o"
+  "CMakeFiles/prime_mapping.dir/mapper.cc.o.d"
+  "libprime_mapping.a"
+  "libprime_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

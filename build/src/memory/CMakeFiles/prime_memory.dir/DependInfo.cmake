@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/address.cc" "src/memory/CMakeFiles/prime_memory.dir/address.cc.o" "gcc" "src/memory/CMakeFiles/prime_memory.dir/address.cc.o.d"
+  "/root/repo/src/memory/bank.cc" "src/memory/CMakeFiles/prime_memory.dir/bank.cc.o" "gcc" "src/memory/CMakeFiles/prime_memory.dir/bank.cc.o.d"
+  "/root/repo/src/memory/main_memory.cc" "src/memory/CMakeFiles/prime_memory.dir/main_memory.cc.o" "gcc" "src/memory/CMakeFiles/prime_memory.dir/main_memory.cc.o.d"
+  "/root/repo/src/memory/wear_leveling.cc" "src/memory/CMakeFiles/prime_memory.dir/wear_leveling.cc.o" "gcc" "src/memory/CMakeFiles/prime_memory.dir/wear_leveling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvmodel/CMakeFiles/prime_nvmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/reram/CMakeFiles/prime_reram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

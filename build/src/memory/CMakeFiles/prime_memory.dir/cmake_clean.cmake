@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_memory.dir/address.cc.o"
+  "CMakeFiles/prime_memory.dir/address.cc.o.d"
+  "CMakeFiles/prime_memory.dir/bank.cc.o"
+  "CMakeFiles/prime_memory.dir/bank.cc.o.d"
+  "CMakeFiles/prime_memory.dir/main_memory.cc.o"
+  "CMakeFiles/prime_memory.dir/main_memory.cc.o.d"
+  "CMakeFiles/prime_memory.dir/wear_leveling.cc.o"
+  "CMakeFiles/prime_memory.dir/wear_leveling.cc.o.d"
+  "libprime_memory.a"
+  "libprime_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

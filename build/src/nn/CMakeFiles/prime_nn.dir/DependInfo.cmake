@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/dataset.cc" "src/nn/CMakeFiles/prime_nn.dir/dataset.cc.o" "gcc" "src/nn/CMakeFiles/prime_nn.dir/dataset.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/prime_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/prime_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/prime_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/prime_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/quantized.cc" "src/nn/CMakeFiles/prime_nn.dir/quantized.cc.o" "gcc" "src/nn/CMakeFiles/prime_nn.dir/quantized.cc.o.d"
+  "/root/repo/src/nn/snn.cc" "src/nn/CMakeFiles/prime_nn.dir/snn.cc.o" "gcc" "src/nn/CMakeFiles/prime_nn.dir/snn.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/prime_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/prime_nn.dir/tensor.cc.o.d"
+  "/root/repo/src/nn/topology.cc" "src/nn/CMakeFiles/prime_nn.dir/topology.cc.o" "gcc" "src/nn/CMakeFiles/prime_nn.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/reram/CMakeFiles/prime_reram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

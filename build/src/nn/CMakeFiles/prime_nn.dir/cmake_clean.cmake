@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_nn.dir/dataset.cc.o"
+  "CMakeFiles/prime_nn.dir/dataset.cc.o.d"
+  "CMakeFiles/prime_nn.dir/layers.cc.o"
+  "CMakeFiles/prime_nn.dir/layers.cc.o.d"
+  "CMakeFiles/prime_nn.dir/network.cc.o"
+  "CMakeFiles/prime_nn.dir/network.cc.o.d"
+  "CMakeFiles/prime_nn.dir/quantized.cc.o"
+  "CMakeFiles/prime_nn.dir/quantized.cc.o.d"
+  "CMakeFiles/prime_nn.dir/snn.cc.o"
+  "CMakeFiles/prime_nn.dir/snn.cc.o.d"
+  "CMakeFiles/prime_nn.dir/tensor.cc.o"
+  "CMakeFiles/prime_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/prime_nn.dir/topology.cc.o"
+  "CMakeFiles/prime_nn.dir/topology.cc.o.d"
+  "libprime_nn.a"
+  "libprime_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvmodel/area_model.cc" "src/nvmodel/CMakeFiles/prime_nvmodel.dir/area_model.cc.o" "gcc" "src/nvmodel/CMakeFiles/prime_nvmodel.dir/area_model.cc.o.d"
+  "/root/repo/src/nvmodel/energy_model.cc" "src/nvmodel/CMakeFiles/prime_nvmodel.dir/energy_model.cc.o" "gcc" "src/nvmodel/CMakeFiles/prime_nvmodel.dir/energy_model.cc.o.d"
+  "/root/repo/src/nvmodel/latency_model.cc" "src/nvmodel/CMakeFiles/prime_nvmodel.dir/latency_model.cc.o" "gcc" "src/nvmodel/CMakeFiles/prime_nvmodel.dir/latency_model.cc.o.d"
+  "/root/repo/src/nvmodel/tech_params.cc" "src/nvmodel/CMakeFiles/prime_nvmodel.dir/tech_params.cc.o" "gcc" "src/nvmodel/CMakeFiles/prime_nvmodel.dir/tech_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/reram/CMakeFiles/prime_reram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

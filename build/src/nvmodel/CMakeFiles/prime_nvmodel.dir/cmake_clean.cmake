@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_nvmodel.dir/area_model.cc.o"
+  "CMakeFiles/prime_nvmodel.dir/area_model.cc.o.d"
+  "CMakeFiles/prime_nvmodel.dir/energy_model.cc.o"
+  "CMakeFiles/prime_nvmodel.dir/energy_model.cc.o.d"
+  "CMakeFiles/prime_nvmodel.dir/latency_model.cc.o"
+  "CMakeFiles/prime_nvmodel.dir/latency_model.cc.o.d"
+  "CMakeFiles/prime_nvmodel.dir/tech_params.cc.o"
+  "CMakeFiles/prime_nvmodel.dir/tech_params.cc.o.d"
+  "libprime_nvmodel.a"
+  "libprime_nvmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_nvmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

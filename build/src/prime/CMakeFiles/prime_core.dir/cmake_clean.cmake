@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_core.dir/buffer_subarray.cc.o"
+  "CMakeFiles/prime_core.dir/buffer_subarray.cc.o.d"
+  "CMakeFiles/prime_core.dir/controller.cc.o"
+  "CMakeFiles/prime_core.dir/controller.cc.o.d"
+  "CMakeFiles/prime_core.dir/ff_subarray.cc.o"
+  "CMakeFiles/prime_core.dir/ff_subarray.cc.o.d"
+  "CMakeFiles/prime_core.dir/prime_system.cc.o"
+  "CMakeFiles/prime_core.dir/prime_system.cc.o.d"
+  "CMakeFiles/prime_core.dir/runtime.cc.o"
+  "CMakeFiles/prime_core.dir/runtime.cc.o.d"
+  "CMakeFiles/prime_core.dir/training.cc.o"
+  "CMakeFiles/prime_core.dir/training.cc.o.d"
+  "libprime_core.a"
+  "libprime_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

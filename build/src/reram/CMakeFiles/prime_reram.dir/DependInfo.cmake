@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reram/cell.cc" "src/reram/CMakeFiles/prime_reram.dir/cell.cc.o" "gcc" "src/reram/CMakeFiles/prime_reram.dir/cell.cc.o.d"
+  "/root/repo/src/reram/composing.cc" "src/reram/CMakeFiles/prime_reram.dir/composing.cc.o" "gcc" "src/reram/CMakeFiles/prime_reram.dir/composing.cc.o.d"
+  "/root/repo/src/reram/crossbar.cc" "src/reram/CMakeFiles/prime_reram.dir/crossbar.cc.o" "gcc" "src/reram/CMakeFiles/prime_reram.dir/crossbar.cc.o.d"
+  "/root/repo/src/reram/faults.cc" "src/reram/CMakeFiles/prime_reram.dir/faults.cc.o" "gcc" "src/reram/CMakeFiles/prime_reram.dir/faults.cc.o.d"
+  "/root/repo/src/reram/peripheral.cc" "src/reram/CMakeFiles/prime_reram.dir/peripheral.cc.o" "gcc" "src/reram/CMakeFiles/prime_reram.dir/peripheral.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prime_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

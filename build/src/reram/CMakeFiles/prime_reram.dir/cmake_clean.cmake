@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_reram.dir/cell.cc.o"
+  "CMakeFiles/prime_reram.dir/cell.cc.o.d"
+  "CMakeFiles/prime_reram.dir/composing.cc.o"
+  "CMakeFiles/prime_reram.dir/composing.cc.o.d"
+  "CMakeFiles/prime_reram.dir/crossbar.cc.o"
+  "CMakeFiles/prime_reram.dir/crossbar.cc.o.d"
+  "CMakeFiles/prime_reram.dir/faults.cc.o"
+  "CMakeFiles/prime_reram.dir/faults.cc.o.d"
+  "CMakeFiles/prime_reram.dir/peripheral.cc.o"
+  "CMakeFiles/prime_reram.dir/peripheral.cc.o.d"
+  "libprime_reram.a"
+  "libprime_reram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_reram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for prime_reram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu_model.cc" "src/sim/CMakeFiles/prime_sim.dir/cpu_model.cc.o" "gcc" "src/sim/CMakeFiles/prime_sim.dir/cpu_model.cc.o.d"
+  "/root/repo/src/sim/evaluator.cc" "src/sim/CMakeFiles/prime_sim.dir/evaluator.cc.o" "gcc" "src/sim/CMakeFiles/prime_sim.dir/evaluator.cc.o.d"
+  "/root/repo/src/sim/event.cc" "src/sim/CMakeFiles/prime_sim.dir/event.cc.o" "gcc" "src/sim/CMakeFiles/prime_sim.dir/event.cc.o.d"
+  "/root/repo/src/sim/npu_model.cc" "src/sim/CMakeFiles/prime_sim.dir/npu_model.cc.o" "gcc" "src/sim/CMakeFiles/prime_sim.dir/npu_model.cc.o.d"
+  "/root/repo/src/sim/prime_model.cc" "src/sim/CMakeFiles/prime_sim.dir/prime_model.cc.o" "gcc" "src/sim/CMakeFiles/prime_sim.dir/prime_model.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/prime_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/prime_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/prime_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvmodel/CMakeFiles/prime_nvmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/prime_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/reram/CMakeFiles/prime_reram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

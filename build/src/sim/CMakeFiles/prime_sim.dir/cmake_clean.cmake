@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_sim.dir/cpu_model.cc.o"
+  "CMakeFiles/prime_sim.dir/cpu_model.cc.o.d"
+  "CMakeFiles/prime_sim.dir/evaluator.cc.o"
+  "CMakeFiles/prime_sim.dir/evaluator.cc.o.d"
+  "CMakeFiles/prime_sim.dir/event.cc.o"
+  "CMakeFiles/prime_sim.dir/event.cc.o.d"
+  "CMakeFiles/prime_sim.dir/npu_model.cc.o"
+  "CMakeFiles/prime_sim.dir/npu_model.cc.o.d"
+  "CMakeFiles/prime_sim.dir/prime_model.cc.o"
+  "CMakeFiles/prime_sim.dir/prime_model.cc.o.d"
+  "CMakeFiles/prime_sim.dir/trace.cc.o"
+  "CMakeFiles/prime_sim.dir/trace.cc.o.d"
+  "libprime_sim.a"
+  "libprime_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_composing.dir/test_composing.cc.o"
+  "CMakeFiles/test_composing.dir/test_composing.cc.o.d"
+  "test_composing"
+  "test_composing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_composing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

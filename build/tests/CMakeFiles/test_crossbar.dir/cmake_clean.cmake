@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossbar.dir/test_crossbar.cc.o"
+  "CMakeFiles/test_crossbar.dir/test_crossbar.cc.o.d"
+  "test_crossbar"
+  "test_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

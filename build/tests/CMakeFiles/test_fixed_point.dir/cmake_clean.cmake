@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed_point.dir/test_fixed_point.cc.o"
+  "CMakeFiles/test_fixed_point.dir/test_fixed_point.cc.o.d"
+  "test_fixed_point"
+  "test_fixed_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

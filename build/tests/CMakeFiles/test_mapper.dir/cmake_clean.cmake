@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapper.dir/test_mapper.cc.o"
+  "CMakeFiles/test_mapper.dir/test_mapper.cc.o.d"
+  "test_mapper"
+  "test_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvmodel.dir/test_nvmodel.cc.o"
+  "CMakeFiles/test_nvmodel.dir/test_nvmodel.cc.o.d"
+  "test_nvmodel"
+  "test_nvmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peripheral.dir/test_peripheral.cc.o"
+  "CMakeFiles/test_peripheral.dir/test_peripheral.cc.o.d"
+  "test_peripheral"
+  "test_peripheral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peripheral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

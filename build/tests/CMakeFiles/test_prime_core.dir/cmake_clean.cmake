@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prime_core.dir/test_prime_core.cc.o"
+  "CMakeFiles/test_prime_core.dir/test_prime_core.cc.o.d"
+  "test_prime_core"
+  "test_prime_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prime_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

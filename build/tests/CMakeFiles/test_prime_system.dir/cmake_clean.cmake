@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prime_system.dir/test_prime_system.cc.o"
+  "CMakeFiles/test_prime_system.dir/test_prime_system.cc.o.d"
+  "test_prime_system"
+  "test_prime_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prime_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

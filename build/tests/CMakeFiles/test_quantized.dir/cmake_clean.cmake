@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantized.dir/test_quantized.cc.o"
+  "CMakeFiles/test_quantized.dir/test_quantized.cc.o.d"
+  "test_quantized"
+  "test_quantized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_substrate_extras.dir/test_substrate_extras.cc.o"
+  "CMakeFiles/test_substrate_extras.dir/test_substrate_extras.cc.o.d"
+  "test_substrate_extras"
+  "test_substrate_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_substrate_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_cli.dir/prime_cli.cc.o"
+  "CMakeFiles/prime_cli.dir/prime_cli.cc.o.d"
+  "prime_cli"
+  "prime_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
