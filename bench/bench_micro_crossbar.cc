@@ -8,6 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "common/rng.hh"
 #include "reram/composing.hh"
 #include "reram/peripheral.hh"
@@ -71,6 +76,84 @@ BM_CrossbarMvmAnalog(benchmark::State &state)
 }
 BENCHMARK(BM_CrossbarMvmAnalog)->Arg(64)->Arg(256);
 
+/** Analog MVM with the first-order wire model active: the IR drop is
+ *  folded into the cached conductance plane, so this should track the
+ *  plain analog timing instead of paying a divide per cell. */
+void
+BM_CrossbarMvmAnalogIrDrop(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    static std::map<int, std::unique_ptr<Crossbar>> cache;
+    auto it = cache.find(n);
+    if (it == cache.end()) {
+        CrossbarParams p;
+        p.rows = n;
+        p.cols = n;
+        p.wireResistancePerCell = 1.0;
+        auto xbar = std::make_unique<Crossbar>(p);
+        Rng rng(n * 37);
+        std::vector<std::vector<int>> levels(n, std::vector<int>(n));
+        for (auto &r : levels)
+            for (int &v : r)
+                v = static_cast<int>(rng.uniformInt(0, 15));
+        xbar->programLevels(levels);
+        it = cache.emplace(n, std::move(xbar)).first;
+    }
+    Rng rng(13);
+    std::vector<int> in(static_cast<std::size_t>(n));
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 7));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(it->second->mvmAnalog(in));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n) * n);
+}
+BENCHMARK(BM_CrossbarMvmAnalogIrDrop)->Arg(64)->Arg(256);
+
+/** Batched exact MVM: per-call dispatch amortized over the batch. */
+void
+BM_CrossbarMvmExactBatch(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const int batch = static_cast<int>(state.range(1));
+    Crossbar &xbar = sharedCrossbar(n, n);
+    Rng rng(14);
+    std::vector<std::vector<int>> inputs(
+        static_cast<std::size_t>(batch),
+        std::vector<int>(static_cast<std::size_t>(n)));
+    for (auto &in : inputs)
+        for (int &v : in)
+            v = static_cast<int>(rng.uniformInt(0, 7));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(xbar.mvmExactBatch(inputs));
+    state.SetItemsProcessed(state.iterations() * batch *
+                            static_cast<std::int64_t>(n) * n);
+}
+BENCHMARK(BM_CrossbarMvmExactBatch)
+    ->Args({256, 8})
+    ->Args({256, 32});
+
+/** Batched analog MVM. */
+void
+BM_CrossbarMvmAnalogBatch(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const int batch = static_cast<int>(state.range(1));
+    Crossbar &xbar = sharedCrossbar(n, n);
+    Rng rng(15);
+    std::vector<std::vector<int>> inputs(
+        static_cast<std::size_t>(batch),
+        std::vector<int>(static_cast<std::size_t>(n)));
+    for (auto &in : inputs)
+        for (int &v : in)
+            v = static_cast<int>(rng.uniformInt(0, 7));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(xbar.mvmAnalogBatch(inputs));
+    state.SetItemsProcessed(state.iterations() * batch *
+                            static_cast<std::int64_t>(n) * n);
+}
+BENCHMARK(BM_CrossbarMvmAnalogBatch)->Args({256, 8})->Args({256, 32});
+
 void
 BM_ComposedMatMvm(benchmark::State &state)
 {
@@ -100,6 +183,41 @@ BM_ComposedMatMvm(benchmark::State &state)
                             static_cast<std::int64_t>(n) * n);
 }
 BENCHMARK(BM_ComposedMatMvm)->Arg(64)->Arg(256);
+
+/** Batched composed MVM through the full composing pipeline. */
+void
+BM_ComposedMatMvmBatch(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const int batch = static_cast<int>(state.range(1));
+    ComposingParams cp;
+    CrossbarParams xp;
+    static std::map<int, std::unique_ptr<ComposedMatrixEngine>> cache;
+    auto it = cache.find(n);
+    if (it == cache.end()) {
+        auto engine =
+            std::make_unique<ComposedMatrixEngine>(n, n, cp, xp);
+        Rng rng(16);
+        std::vector<std::vector<int>> w(n, std::vector<int>(n));
+        for (auto &r : w)
+            for (int &v : r)
+                v = static_cast<int>(rng.uniformInt(-255, 255));
+        engine->programWeights(w);
+        it = cache.emplace(n, std::move(engine)).first;
+    }
+    Rng rng(17);
+    std::vector<std::vector<int>> inputs(
+        static_cast<std::size_t>(batch),
+        std::vector<int>(static_cast<std::size_t>(n)));
+    for (auto &in : inputs)
+        for (int &v : in)
+            v = static_cast<int>(rng.uniformInt(0, 63));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(it->second->mvmExactBatch(inputs));
+    state.SetItemsProcessed(state.iterations() * batch *
+                            static_cast<std::int64_t>(n) * n);
+}
+BENCHMARK(BM_ComposedMatMvmBatch)->Args({256, 16});
 
 void
 BM_ComposedApprox(benchmark::State &state)
@@ -149,4 +267,30 @@ BENCHMARK(BM_CellProgramming);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: unless the caller passes --benchmark_out explicitly, dump
+ * machine-readable results to BENCH_micro_crossbar.json so every run
+ * leaves a perf-trajectory data point for later comparison.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0)
+            has_out = true;
+    std::string out = "--benchmark_out=BENCH_micro_crossbar.json";
+    std::string fmt = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out.data());
+        args.push_back(fmt.data());
+    }
+    int ac = static_cast<int>(args.size());
+    benchmark::Initialize(&ac, args.data());
+    if (benchmark::ReportUnrecognizedArguments(ac, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

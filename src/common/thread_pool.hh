@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A small fixed-size thread pool for fanning out independent simulator
+ * work (whole inferences in sim::Evaluator, the per-tile MVMs of
+ * PrimeSystem::run).  Deliberately minimal: no work stealing, no task
+ * futures -- just parallelFor over an index range with an atomic
+ * cursor, which is all the compute plane needs.
+ *
+ * Determinism contract: parallelFor(n, body) invokes body(i) exactly
+ * once for every i in [0, n); bodies must write only to disjoint,
+ * index-addressed state (out[i] = f(i)).  Under that discipline the
+ * results are identical for every pool size, and a pool of size <= 1
+ * degenerates to a plain sequential loop on the calling thread (the
+ * deterministic fallback used when bit-exact RNG ordering matters).
+ *
+ * Pool-size resolution (first match wins):
+ *   1. an explicit setGlobalThreadCount(n) call (config plumbing:
+ *      `--set sim.threads=N`),
+ *   2. the PRIME_THREADS environment variable,
+ *   3. std::thread::hardware_concurrency().
+ */
+
+#ifndef PRIME_COMMON_THREAD_POOL_HH
+#define PRIME_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prime {
+
+/** Fixed set of worker threads executing parallelFor jobs. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total concurrency including the calling thread;
+     *        <= 1 creates no workers (sequential fallback), 0 resolves
+     *        via defaultThreadCount().
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency (workers + the participating caller). */
+    int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /**
+     * Run body(0) .. body(n-1), caller participating.  Returns after
+     * every invocation completed.  Calls from multiple threads are
+     * serialized; calls from inside a worker run inline (no deadlock).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /** The process-wide pool (lazily built at resolved size). */
+    static ThreadPool &global();
+
+    /**
+     * Resize the global pool (rebuilds it on next use).  Not safe while
+     * another thread is inside global().parallelFor.  n = 0 restores
+     * env/hardware resolution.
+     */
+    static void setGlobalThreadCount(int n);
+
+    /** PRIME_THREADS env var if set and positive, else hardware. */
+    static int defaultThreadCount();
+
+  private:
+    void workerLoop();
+    void runJob();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex serialMutex_;  ///< one parallelFor at a time
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    bool stop_ = false;
+    std::uint64_t generation_ = 0;
+    int pending_ = 0;  ///< workers not yet woken for this generation
+    int running_ = 0;  ///< workers currently inside runJob
+
+    const std::function<void(std::size_t)> *body_ = nullptr;
+    std::size_t jobSize_ = 0;
+    std::atomic<std::size_t> next_{0};
+};
+
+} // namespace prime
+
+#endif // PRIME_COMMON_THREAD_POOL_HH

@@ -1,6 +1,7 @@
 #include "nvmodel/tech_params.hh"
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace prime::nvmodel {
 
@@ -49,6 +50,13 @@ applyConfig(const Config &config, TechParams &params)
         config.getDouble("device.r_off", params.device.rOff);
     params.device.programVariation = config.getDouble(
         "device.program_variation", params.device.programVariation);
+
+    // Simulator-host knob, not a modeled parameter: how many threads
+    // the compute plane may fan out on (0 = PRIME_THREADS env or
+    // hardware concurrency; 1 = deterministic sequential fallback).
+    const int threads = config.getInt("sim.threads", 0);
+    if (threads > 0)
+        ThreadPool::setGlobalThreadCount(threads);
 
     const auto unused = config.unusedKeys();
     PRIME_FATAL_IF(!unused.empty(), "unrecognized config key: ",

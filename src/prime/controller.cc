@@ -1,6 +1,7 @@
 #include "prime/controller.hh"
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace prime::core {
 
@@ -121,7 +122,7 @@ PrimeController::executeAll(const std::vector<mapping::Command> &commands)
 }
 
 void
-PrimeController::computeMat(int global_mat)
+PrimeController::computeMatImpl(int global_mat)
 {
     FfMat &m = mat(global_mat);
     PRIME_ASSERT(m.mode() == reram::FfMode::Computation,
@@ -139,8 +140,35 @@ PrimeController::computeMat(int global_mat)
     outputs_[static_cast<std::size_t>(global_mat)] =
         analog_ ? engine.mvmAnalog(codes, noiseRng_)
                 : engine.mvmExact(codes);
+}
+
+void
+PrimeController::computeMat(int global_mat)
+{
+    computeMatImpl(global_mat);
     if (stats_)
         stats_->get("controller.mat_mvms").increment();
+}
+
+void
+PrimeController::computeMats(const std::vector<int> &global_mats)
+{
+    if (analog_ && noiseRng_) {
+        // The shared noise Rng must see the same draw order as per-mat
+        // computeMat calls: sequential, in the given mat order.
+        for (int m : global_mats)
+            computeMatImpl(m);
+    } else {
+        // Each mat touches only its own latch, output register and
+        // crossbar planes; integer (and noise-free analog) results are
+        // identical for any thread count.
+        ThreadPool::global().parallelFor(
+            global_mats.size(), [&](std::size_t i) {
+                computeMatImpl(global_mats[i]);
+            });
+    }
+    if (stats_)
+        stats_->get("controller.mat_mvms").increment(global_mats.size());
 }
 
 const std::vector<std::uint8_t> &

@@ -54,6 +54,17 @@ class PrimeController
      */
     void computeMat(int global_mat);
 
+    /**
+     * Fire several mats at once (the replica/tile fan-out of the Run
+     * step).  In the ideal integer mode the per-mat MVMs run on the
+     * global thread pool -- each mat owns disjoint latches, outputs and
+     * crossbars, and integer results are thread-count independent.  In
+     * analog mode the mats run sequentially in the given order so the
+     * shared noise Rng's draw sequence matches per-mat computeMat calls
+     * (the RNG-ordering contract).
+     */
+    void computeMats(const std::vector<int> &global_mats);
+
     /** Input latch contents of a mat. */
     const std::vector<std::uint8_t> &latch(int global_mat) const;
 
@@ -80,6 +91,9 @@ class PrimeController
     bool analogCompute() const { return analog_; }
 
   private:
+    /** The MVM of computeMat without the stats bookkeeping. */
+    void computeMatImpl(int global_mat);
+
     nvmodel::TechParams tech_;
     memory::MainMemory *mem_;
     std::vector<FfSubarray> *ff_;

@@ -263,10 +263,13 @@ PrimeSystem::tiledMvm(const LayerProgram &lp,
         return out;
     }
 
-    // Load + compute + store per tile (Table I data-flow commands).
-
+    // Load, compute, store (Table I data-flow commands).  All input
+    // latches fill first, then the tiles fire together through the
+    // controller's fan-out -- the functional analog of the hardware
+    // evaluating every replica/tile concurrently -- and the output
+    // registers drain back to the buffer.
     for (const mapping::MatTile *t : tiles) {
-        const int mat_idx = lp.matOf[tile_index];
+        const int mat_idx = lp.matOf[tile_index++];
         controller_.execute(Command{
             CommandOp::Load, 0, 0,
             buf_in + static_cast<std::uint64_t>(t->rowTile) *
@@ -274,7 +277,14 @@ PrimeSystem::tiledMvm(const LayerProgram &lp,
             static_cast<std::uint64_t>(mat_idx) *
                 PrimeController::kFfMatStride,
             static_cast<std::uint32_t>(t->rowsUsed)});
-        controller_.computeMat(mat_idx);
+    }
+    controller_.computeMats(
+        std::vector<int>(lp.matOf.begin(),
+                         lp.matOf.begin() +
+                             static_cast<std::ptrdiff_t>(tile_index)));
+    tile_index = 0;
+    for (const mapping::MatTile *t : tiles) {
+        const int mat_idx = lp.matOf[tile_index];
         controller_.execute(Command{
             CommandOp::Store, 0, 0,
             static_cast<std::uint64_t>(mat_idx) *

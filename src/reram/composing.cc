@@ -293,6 +293,51 @@ ComposedMatrixEngine::mvmAnalog(std::span<const int> inputs, Rng *rng) const
     return assemble(hh, hl, lh, ll);
 }
 
+std::vector<std::vector<std::int64_t>>
+ComposedMatrixEngine::mvmExactBatch(
+    const std::vector<std::vector<int>> &inputs) const
+{
+    std::vector<std::vector<std::int64_t>> out;
+    out.reserve(inputs.size());
+    std::vector<int> high(static_cast<std::size_t>(rows_)),
+        low(static_cast<std::size_t>(rows_));
+    for (const std::vector<int> &sample : inputs) {
+        PRIME_ASSERT(static_cast<int>(sample.size()) == rows_,
+                     "inputs=", sample.size());
+        for (int r = 0; r < rows_; ++r) {
+            auto [ih, il] = splitInput(sample[static_cast<std::size_t>(r)],
+                                       composing_);
+            high[static_cast<std::size_t>(r)] = ih;
+            low[static_cast<std::size_t>(r)] = il;
+        }
+        std::vector<std::int64_t> pass_h = arrays_.mvmExact(high);
+        std::vector<std::int64_t> pass_l = arrays_.mvmExact(low);
+        std::vector<std::int64_t> hh(cols_), hl(cols_), lh(cols_),
+            ll(cols_);
+        for (int c = 0; c < cols_; ++c) {
+            hh[c] = pass_h[2 * c];
+            lh[c] = pass_h[2 * c + 1];
+            hl[c] = pass_l[2 * c];
+            ll[c] = pass_l[2 * c + 1];
+        }
+        out.push_back(assemble(hh, hl, lh, ll));
+    }
+    return out;
+}
+
+std::vector<std::vector<std::int64_t>>
+ComposedMatrixEngine::mvmAnalogBatch(
+    const std::vector<std::vector<int>> &inputs, Rng *rng) const
+{
+    // Sample-major, high-phase-then-low-phase: the same draw order as
+    // sequential mvmAnalog calls, keeping batched results bit-exact.
+    std::vector<std::vector<std::int64_t>> out;
+    out.reserve(inputs.size());
+    for (const std::vector<int> &sample : inputs)
+        out.push_back(mvmAnalog(sample, rng));
+    return out;
+}
+
 std::vector<std::int64_t>
 ComposedMatrixEngine::mvmFull(std::span<const int> inputs) const
 {

@@ -159,6 +159,24 @@ class ComposedMatrixEngine
     std::vector<std::int64_t>
     mvmAnalog(std::span<const int> inputs, Rng *rng = nullptr) const;
 
+    /**
+     * Batched composed MVM with ideal devices: one target-code row per
+     * input vector, with input splitting and the per-pass dispatch
+     * amortized across the batch.  Identical to per-sample mvmExact.
+     */
+    std::vector<std::vector<std::int64_t>>
+    mvmExactBatch(const std::vector<std::vector<int>> &inputs) const;
+
+    /**
+     * Batched composed analog MVM.  Bit-identical to per-sample
+     * mvmAnalog calls with the same @p rng: per sample, the high input
+     * phase's noise draws (positive array then negative) precede the low
+     * phase's.
+     */
+    std::vector<std::vector<std::int64_t>>
+    mvmAnalogBatch(const std::vector<std::vector<int>> &inputs,
+                   Rng *rng = nullptr) const;
+
     /** Reference target codes for the currently programmed weights. */
     std::vector<std::int64_t>
     targetExact(std::span<const int> inputs) const;

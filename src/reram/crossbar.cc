@@ -6,6 +6,44 @@
 
 namespace prime::reram {
 
+namespace {
+
+// Runtime-dispatched SIMD clones of the two MVM inner loops (GCC/ELF
+// x86-64 only; elsewhere the plain -O3 loop is used).  The integer
+// kernel is exact under any ISA.  The double kernel deliberately stops
+// at "avx2" (no FMA target): mul-then-add per element is identically
+// rounded on every clone, keeping analog results bit-exact across
+// machines.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    defined(__ELF__)
+#define PRIME_MVM_INT_CLONES \
+    __attribute__((target_clones("default", "avx2", "arch=x86-64-v4")))
+#define PRIME_MVM_FP_CLONES \
+    __attribute__((target_clones("default", "avx2")))
+#else
+#define PRIME_MVM_INT_CLONES
+#define PRIME_MVM_FP_CLONES
+#endif
+
+/** acc[c] += in * levels[c] over one cached-plane row. */
+PRIME_MVM_INT_CLONES void
+accumulateLevelRow(std::int32_t *acc, const int *levels, std::int32_t in,
+                   int cols)
+{
+    for (int c = 0; c < cols; ++c)
+        acc[c] += in * levels[c];
+}
+
+/** acc[c] += v * geff[c] over one cached-plane row. */
+PRIME_MVM_FP_CLONES void
+accumulateCurrentRow(double *acc, const double *geff, double v, int cols)
+{
+    for (int c = 0; c < cols; ++c)
+        acc[c] += v * geff[c];
+}
+
+} // namespace
+
 Crossbar::Crossbar(const CrossbarParams &params)
     : params_(params),
       cells_(static_cast<std::size_t>(params.rows) * params.cols)
@@ -16,25 +54,48 @@ Crossbar::Crossbar(const CrossbarParams &params)
                  "inputBits=", params.inputBits);
 }
 
-const Cell &
-Crossbar::at(int row, int col) const
+std::size_t
+Crossbar::index(int row, int col) const
 {
     PRIME_ASSERT(row >= 0 && row < params_.rows, "row=", row);
     PRIME_ASSERT(col >= 0 && col < params_.cols, "col=", col);
-    return cells_[static_cast<std::size_t>(row) * params_.cols + col];
+    return static_cast<std::size_t>(row) * params_.cols + col;
 }
 
-Cell &
-Crossbar::at(int row, int col)
+void
+Crossbar::rebuildPlanes() const
 {
-    return const_cast<Cell &>(
-        static_cast<const Crossbar &>(*this).at(row, col));
+    const std::size_t n = cells_.size();
+    levelPlane_.resize(n);
+    gEffPlane_.resize(n);
+    const bool ir_drop = params_.wireResistancePerCell > 0.0;
+    for (int r = 0; r < params_.rows; ++r) {
+        const std::size_t base = static_cast<std::size_t>(r) * params_.cols;
+        for (int c = 0; c < params_.cols; ++c) {
+            const Cell &cell = cells_[base + c];
+            levelPlane_[base + c] = cell.level();
+            double g = cell.conductance();
+            if (ir_drop && g > 0.0) {
+                // First-order IR drop: the wire segments from the driver
+                // along the wordline (c+1 pitches) and down the bitline
+                // to the SA (rows - r pitches) sit in series with the
+                // cell.
+                const Ohm r_wire =
+                    params_.wireResistancePerCell *
+                    static_cast<double>((c + 1) + (params_.rows - r));
+                g = 1.0 / (1.0 / g + r_wire * 1.0e-6);  // uS vs Ohm
+            }
+            gEffPlane_[base + c] = g;
+        }
+    }
+    planesDirty_ = false;
 }
 
 void
 Crossbar::programCell(int row, int col, int level, Rng *rng)
 {
-    at(row, col).program(params_.device, level, params_.cellBits, rng);
+    mutableAt(row, col).program(params_.device, level, params_.cellBits,
+                                rng);
 }
 
 void
@@ -67,17 +128,34 @@ Crossbar::mvmExact(std::span<const int> input_levels) const
 {
     PRIME_ASSERT(static_cast<int>(input_levels.size()) == params_.rows,
                  "inputs=", input_levels.size());
-    std::vector<std::int64_t> out(params_.cols, 0);
-    for (int r = 0; r < params_.rows; ++r) {
-        const int in = input_levels[r];
-        PRIME_ASSERT(in >= 0 && in < params_.inputLevels(),
-                     "input level ", in, " out of range at row ", r);
-        if (in == 0)
-            continue;
-        const Cell *row_cells = &cells_[static_cast<std::size_t>(r) *
-                                        params_.cols];
-        for (int c = 0; c < params_.cols; ++c)
-            out[c] += static_cast<std::int64_t>(in) * row_cells[c].level();
+    ensurePlanes();
+    const int cols = params_.cols;
+    std::vector<std::int64_t> out(cols, 0);
+    // Accumulate in 32 bits over bounded row chunks, widening to the
+    // 64-bit result between chunks: one product is at most 255 * 255
+    // (8-bit inputs, 8-bit MLC levels), so 16384 rows stay under 2^31
+    // with margin, and the int32 inner loop vectorizes.
+    constexpr int kChunkRows = 16384;
+    std::vector<std::int32_t> acc(static_cast<std::size_t>(cols));
+    for (int r0 = 0; r0 < params_.rows; r0 += kChunkRows) {
+        const int r1 = std::min(params_.rows, r0 + kChunkRows);
+        std::fill(acc.begin(), acc.end(), 0);
+        bool any = false;
+        for (int r = r0; r < r1; ++r) {
+            const std::int32_t in = input_levels[r];
+            PRIME_ASSERT(in >= 0 && in < params_.inputLevels(),
+                         "input level ", in, " out of range at row ", r);
+            if (in == 0)
+                continue;
+            any = true;
+            accumulateLevelRow(acc.data(),
+                               levelPlane_.data() +
+                                   static_cast<std::size_t>(r) * cols,
+                               in, cols);
+        }
+        if (any)
+            for (int c = 0; c < cols; ++c)
+                out[c] += acc[static_cast<std::size_t>(c)];
     }
     return out;
 }
@@ -87,39 +165,52 @@ Crossbar::mvmAnalog(std::span<const int> input_levels, Rng *rng) const
 {
     PRIME_ASSERT(static_cast<int>(input_levels.size()) == params_.rows,
                  "inputs=", input_levels.size());
+    ensurePlanes();
     const Volt v_step = params_.voltageStep();
-    const bool ir_drop = params_.wireResistancePerCell > 0.0;
-    std::vector<double> current(params_.cols, 0.0);
+    const int cols = params_.cols;
+    std::vector<double> current(cols, 0.0);
     for (int r = 0; r < params_.rows; ++r) {
         const Volt v = v_step * input_levels[r];
         if (v == 0.0)
             continue;
-        const Cell *row_cells = &cells_[static_cast<std::size_t>(r) *
-                                        params_.cols];
-        for (int c = 0; c < params_.cols; ++c) {
-            double g = row_cells[c].conductance();
-            if (ir_drop && g > 0.0) {
-                // First-order IR drop: the wire segments from the driver
-                // along the wordline (c+1 pitches) and down the bitline
-                // to the SA (rows - r pitches) sit in series with the
-                // cell.
-                const Ohm r_wire =
-                    params_.wireResistancePerCell *
-                    static_cast<double>((c + 1) + (params_.rows - r));
-                g = 1.0 / (1.0 / g + r_wire * 1.0e-6);  // uS vs Ohm
-            }
-            current[c] += v * g;
-        }
+        accumulateCurrentRow(current.data(),
+                             gEffPlane_.data() +
+                                 static_cast<std::size_t>(r) * cols,
+                             v, cols);
     }
     if (rng && params_.readNoiseSigma > 0.0) {
         // Output-referred noise proportional to the array's full-scale
-        // current, per column.
+        // current, per column.  Drawn after accumulation, ascending
+        // column order: the RNG contract every execution path keeps.
         const double full_scale = params_.device.readVoltage *
                                   params_.device.gMax() * params_.rows;
         for (double &i : current)
             i += rng->gaussian(0.0, params_.readNoiseSigma * full_scale);
     }
     return current;
+}
+
+std::vector<std::vector<std::int64_t>>
+Crossbar::mvmExactBatch(const std::vector<std::vector<int>> &inputs) const
+{
+    ensurePlanes();
+    std::vector<std::vector<std::int64_t>> out;
+    out.reserve(inputs.size());
+    for (const std::vector<int> &in : inputs)
+        out.push_back(mvmExact(in));
+    return out;
+}
+
+std::vector<std::vector<double>>
+Crossbar::mvmAnalogBatch(const std::vector<std::vector<int>> &inputs,
+                         Rng *rng) const
+{
+    ensurePlanes();
+    std::vector<std::vector<double>> out;
+    out.reserve(inputs.size());
+    for (const std::vector<int> &in : inputs)
+        out.push_back(mvmAnalog(in, rng));
+    return out;
 }
 
 double
@@ -135,9 +226,9 @@ Crossbar::writeRowBits(int row, std::span<const std::uint8_t> bits, Rng *rng)
                  "bits=", bits.size());
     for (int c = 0; c < params_.cols; ++c) {
         if (bits[c])
-            at(row, c).set(params_.device, rng);
+            mutableAt(row, c).set(params_.device, rng);
         else
-            at(row, c).reset(params_.device, rng);
+            mutableAt(row, c).reset(params_.device, rng);
     }
 }
 
@@ -212,6 +303,28 @@ DifferentialPair::mvmAnalog(std::span<const int> input_levels, Rng *rng) const
     std::vector<double> out(p.size());
     for (std::size_t i = 0; i < p.size(); ++i)
         out[i] = pos_.levelUnitsFromCurrent(p[i] - n[i]);
+    return out;
+}
+
+std::vector<std::vector<std::int64_t>>
+DifferentialPair::mvmExactBatch(
+    const std::vector<std::vector<int>> &inputs) const
+{
+    std::vector<std::vector<std::int64_t>> out;
+    out.reserve(inputs.size());
+    for (const std::vector<int> &in : inputs)
+        out.push_back(mvmExact(in));
+    return out;
+}
+
+std::vector<std::vector<double>>
+DifferentialPair::mvmAnalogBatch(const std::vector<std::vector<int>> &inputs,
+                                 Rng *rng) const
+{
+    std::vector<std::vector<double>> out;
+    out.reserve(inputs.size());
+    for (const std::vector<int> &in : inputs)
+        out.push_back(mvmAnalog(in, rng));
     return out;
 }
 

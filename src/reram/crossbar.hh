@@ -94,6 +94,9 @@ class Crossbar
      * Ideal integer MVM: out[j] = sum_i input[i] * level[i][j].  This is
      * the arithmetic the analog array implements when devices are perfect;
      * the composing scheme's correctness proofs are stated in these units.
+     *
+     * Runs over the cached level plane (a contiguous int matrix rebuilt
+     * lazily after any cell mutation), not the Cell objects.
      */
     std::vector<std::int64_t>
     mvmExact(std::span<const int> input_levels) const;
@@ -102,9 +105,34 @@ class Crossbar
      * Analog MVM through programmed conductances: returns per-bitline
      * current in uA, including programming variation (already baked into
      * the conductances) and optional read noise when @p rng is non-null.
+     *
+     * Runs over the cached effective-conductance plane, which folds the
+     * per-position wordline/bitline IR drop into each cell's value.
+     *
+     * RNG-ordering contract: read noise is drawn *after* the full
+     * accumulation, one gaussian per bitline in ascending column order.
+     * Batched and cached-plane execution preserve exactly this order, so
+     * results are bit-identical to the scalar path for a given Rng state.
      */
     std::vector<double>
     mvmAnalog(std::span<const int> input_levels, Rng *rng = nullptr) const;
+
+    /**
+     * Batched ideal MVM: one result row per input vector.  Equivalent to
+     * calling mvmExact per sample, with the per-call dispatch (plane
+     * check, bounds validation, allocation) amortized over the batch.
+     */
+    std::vector<std::vector<std::int64_t>>
+    mvmExactBatch(const std::vector<std::vector<int>> &inputs) const;
+
+    /**
+     * Batched analog MVM.  Bit-identical to calling mvmAnalog once per
+     * sample in order with the same @p rng (sample-major, then
+     * column-ascending noise draws -- see the mvmAnalog RNG contract).
+     */
+    std::vector<std::vector<double>>
+    mvmAnalogBatch(const std::vector<std::vector<int>> &inputs,
+                   Rng *rng = nullptr) const;
 
     /**
      * Convert a differential bitline current (pos minus neg array) to
@@ -127,11 +155,44 @@ class Crossbar
     std::uint64_t totalWear() const;
 
   private:
-    const Cell &at(int row, int col) const;
-    Cell &at(int row, int col);
+    /** Bounds-checked flat index of a cell. */
+    std::size_t index(int row, int col) const;
+
+    /** Read-only cell access. */
+    const Cell &at(int row, int col) const { return cells_[index(row, col)]; }
+
+    /**
+     * Mutable cell access: the single funnel for every mutation path
+     * (program, SLC write), so the cached planes are invalidated in
+     * exactly one place.
+     */
+    Cell &mutableAt(int row, int col)
+    {
+        planesDirty_ = true;
+        return cells_[index(row, col)];
+    }
+
+    /** Rebuild the SoA planes from the Cell array. */
+    void rebuildPlanes() const;
+
+    /** Planes, rebuilt if a mutation invalidated them. */
+    void ensurePlanes() const
+    {
+        if (planesDirty_)
+            rebuildPlanes();
+    }
 
     CrossbarParams params_;
     std::vector<Cell> cells_;
+
+    // Cached structure-of-arrays planes for the MVM fast path.  Lazily
+    // (re)built from cells_; any mutation flips planesDirty_.  Not safe
+    // to build concurrently: do not share one Crossbar across threads
+    // while it is dirty (the evaluator's fan-out keeps whole engines
+    // thread-private, which satisfies this).
+    mutable std::vector<int> levelPlane_;     ///< rows x cols levels
+    mutable std::vector<double> gEffPlane_;   ///< rows x cols uS, IR folded
+    mutable bool planesDirty_ = true;
 };
 
 /**
@@ -163,6 +224,19 @@ class DifferentialPair
      */
     std::vector<double>
     mvmAnalog(std::span<const int> input_levels, Rng *rng = nullptr) const;
+
+    /** Batched exact signed MVM (one output row per input vector). */
+    std::vector<std::vector<std::int64_t>>
+    mvmExactBatch(const std::vector<std::vector<int>> &inputs) const;
+
+    /**
+     * Batched analog signed MVM.  RNG order matches sequential calls:
+     * per sample, the positive array's noise draws precede the negative
+     * array's.
+     */
+    std::vector<std::vector<double>>
+    mvmAnalogBatch(const std::vector<std::vector<int>> &inputs,
+                   Rng *rng = nullptr) const;
 
     const Crossbar &positive() const { return pos_; }
     const Crossbar &negative() const { return neg_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace prime::sim {
 
@@ -63,11 +64,26 @@ Evaluator::evaluate(const nn::Topology &topology) const
 std::vector<BenchmarkEvaluation>
 Evaluator::evaluateMlBench() const
 {
-    std::vector<BenchmarkEvaluation> out;
+    std::vector<nn::Topology> suite;
     for (const nn::Topology &t : nn::mlBench()) {
         if (!options_.includeVgg && t.name == "VGG-D")
             continue;
-        out.push_back(evaluate(t));
+        suite.push_back(t);
+    }
+
+    // Each benchmark builds its own mapper and platform models, so the
+    // evaluations are independent: fan them out and fill the result
+    // vector by index (deterministic order for any thread count).
+    std::vector<BenchmarkEvaluation> out(suite.size());
+    auto body = [&](std::size_t i) { out[i] = evaluate(suite[i]); };
+    if (options_.threads == 1) {
+        for (std::size_t i = 0; i < suite.size(); ++i)
+            body(i);
+    } else if (options_.threads > 1) {
+        ThreadPool pool(options_.threads);
+        pool.parallelFor(suite.size(), body);
+    } else {
+        ThreadPool::global().parallelFor(suite.size(), body);
     }
     return out;
 }

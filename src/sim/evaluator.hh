@@ -41,6 +41,13 @@ struct EvaluatorOptions
     mapping::MapperOptions mapper;
     /** Skip VGG-D (used by quick tests). */
     bool includeVgg = true;
+    /**
+     * Concurrency for evaluateMlBench: 0 uses the global thread pool
+     * (PRIME_THREADS / hardware), 1 forces the sequential path, N > 1
+     * uses a dedicated pool of that size.  Results are identical for
+     * every setting -- each benchmark is evaluated independently.
+     */
+    int threads = 0;
 };
 
 /** Runs the full evaluation matrix. */

@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "reram/composing.hh"
 #include "reram/crossbar.hh"
 
 namespace prime::reram {
@@ -200,6 +204,234 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, CrossbarShapeSweep,
     ::testing::Values(std::pair{1, 1}, std::pair{7, 3}, std::pair{64, 64},
                       std::pair{256, 16}, std::pair{33, 129}));
+
+// ------------------------------------------------------------------
+// Compute-plane fast path: cached planes, batch APIs, thread pool.
+// ------------------------------------------------------------------
+
+/** Scalar reference MVM straight from storedLevel(), bypassing planes. */
+std::vector<std::int64_t>
+referenceMvm(const Crossbar &xbar, const std::vector<int> &in)
+{
+    const CrossbarParams &p = xbar.params();
+    std::vector<std::int64_t> out(static_cast<std::size_t>(p.cols), 0);
+    for (int r = 0; r < p.rows; ++r)
+        for (int c = 0; c < p.cols; ++c)
+            out[static_cast<std::size_t>(c)] +=
+                static_cast<std::int64_t>(in[static_cast<std::size_t>(r)]) *
+                xbar.storedLevel(r, c);
+    return out;
+}
+
+/** The pre-fast-path mvmAnalog arithmetic, reproduced element by
+ *  element from the stored conductances (the formula the cached
+ *  effective-conductance plane must match). */
+std::vector<double>
+referenceAnalog(const Crossbar &xbar, const std::vector<int> &in)
+{
+    const CrossbarParams &p = xbar.params();
+    const Volt v_step = p.voltageStep();
+    const bool ir_drop = p.wireResistancePerCell > 0.0;
+    std::vector<double> current(static_cast<std::size_t>(p.cols), 0.0);
+    for (int r = 0; r < p.rows; ++r) {
+        const Volt v = v_step * in[static_cast<std::size_t>(r)];
+        if (v == 0.0)
+            continue;
+        for (int c = 0; c < p.cols; ++c) {
+            double g = xbar.conductance(r, c);
+            if (ir_drop && g > 0.0) {
+                const Ohm r_wire = p.wireResistancePerCell *
+                                   static_cast<double>((c + 1) +
+                                                       (p.rows - r));
+                g = 1.0 / (1.0 / g + r_wire * 1.0e-6);
+            }
+            current[static_cast<std::size_t>(c)] += v * g;
+        }
+    }
+    return current;
+}
+
+/** Interleaved programCell/writeRowBits mutations must invalidate the
+ *  cached planes: every MVM agrees with a fresh scalar reference. */
+TEST(CrossbarFastPath, CachedPlaneTracksInterleavedMutations)
+{
+    Rng rng(21);
+    CrossbarParams p = smallParams(16, 12);
+    Crossbar xbar(p);
+    xbar.programLevels(randomLevels(16, 12, 15, rng));
+    std::vector<int> in(16);
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 7));
+
+    for (int step = 0; step < 8; ++step) {
+        // Warm the planes...
+        EXPECT_EQ(xbar.mvmExact(in), referenceMvm(xbar, in))
+            << "step " << step;
+        // ...then mutate through both write paths.
+        if (step % 2 == 0) {
+            xbar.programCell(static_cast<int>(rng.uniformInt(0, 15)),
+                             static_cast<int>(rng.uniformInt(0, 11)),
+                             static_cast<int>(rng.uniformInt(0, 15)));
+        } else {
+            std::vector<std::uint8_t> bits(12);
+            for (auto &b : bits)
+                b = rng.bernoulli(0.5) ? 1 : 0;
+            xbar.writeRowBits(static_cast<int>(rng.uniformInt(0, 15)),
+                              bits);
+        }
+        EXPECT_EQ(xbar.mvmExact(in), referenceMvm(xbar, in))
+            << "after mutation " << step;
+    }
+}
+
+/** The cached-conductance analog path must reproduce the pre-change
+ *  IR-drop formula exactly. */
+TEST(CrossbarFastPath, AnalogIrDropMatchesFormula)
+{
+    Rng rng(22);
+    CrossbarParams p = smallParams(24, 10);
+    p.wireResistancePerCell = 2.5;
+    Crossbar xbar(p);
+    xbar.programLevels(randomLevels(24, 10, 15, rng), &rng);
+    std::vector<int> in(24);
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 7));
+
+    std::vector<double> got = xbar.mvmAnalog(in);
+    std::vector<double> want = referenceAnalog(xbar, in);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t c = 0; c < got.size(); ++c)
+        EXPECT_DOUBLE_EQ(got[c], want[c]) << "col " << c;
+
+    // Still exact after a mutation invalidates the plane.
+    xbar.programCell(3, 7, 11, &rng);
+    got = xbar.mvmAnalog(in);
+    want = referenceAnalog(xbar, in);
+    for (std::size_t c = 0; c < got.size(); ++c)
+        EXPECT_DOUBLE_EQ(got[c], want[c]) << "col " << c;
+}
+
+/** Read noise: accumulation first, then one gaussian per column in
+ *  ascending order, scaled by the full-scale current (the documented
+ *  RNG-ordering contract). */
+TEST(CrossbarFastPath, ReadNoiseMatchesPreChangeFormula)
+{
+    Rng rng(23);
+    CrossbarParams p = smallParams(32, 6);
+    p.readNoiseSigma = 0.02;
+    Crossbar xbar(p);
+    xbar.programLevels(randomLevels(32, 6, 15, rng));
+    std::vector<int> in(32);
+    for (int &v : in)
+        v = static_cast<int>(rng.uniformInt(0, 7));
+
+    Rng noise_a(99), noise_b(99);
+    std::vector<double> noisy = xbar.mvmAnalog(in, &noise_a);
+    std::vector<double> want = referenceAnalog(xbar, in);
+    const double full_scale =
+        p.device.readVoltage * p.device.gMax() * p.rows;
+    for (std::size_t c = 0; c < want.size(); ++c)
+        want[c] += noise_b.gaussian(0.0, p.readNoiseSigma * full_scale);
+    for (std::size_t c = 0; c < want.size(); ++c)
+        EXPECT_DOUBLE_EQ(noisy[c], want[c]) << "col " << c;
+}
+
+/** Batched MVMs equal per-sample calls; analog batching preserves the
+ *  RNG draw order bit-exactly. */
+TEST(CrossbarFastPath, BatchMatchesSequential)
+{
+    Rng rng(24);
+    CrossbarParams p = smallParams(20, 9);
+    p.readNoiseSigma = 0.01;
+    Crossbar xbar(p);
+    xbar.programLevels(randomLevels(20, 9, 15, rng), &rng);
+    std::vector<std::vector<int>> inputs(5, std::vector<int>(20));
+    for (auto &in : inputs)
+        for (int &v : in)
+            v = static_cast<int>(rng.uniformInt(0, 7));
+
+    auto batch = xbar.mvmExactBatch(inputs);
+    ASSERT_EQ(batch.size(), inputs.size());
+    for (std::size_t s = 0; s < inputs.size(); ++s)
+        EXPECT_EQ(batch[s], xbar.mvmExact(inputs[s])) << "sample " << s;
+
+    Rng seq_rng(7), batch_rng(7);
+    auto analog_batch = xbar.mvmAnalogBatch(inputs, &batch_rng);
+    for (std::size_t s = 0; s < inputs.size(); ++s) {
+        auto seq = xbar.mvmAnalog(inputs[s], &seq_rng);
+        for (std::size_t c = 0; c < seq.size(); ++c)
+            EXPECT_DOUBLE_EQ(analog_batch[s][c], seq[c])
+                << "sample " << s << " col " << c;
+    }
+}
+
+/** Composed-engine batches equal per-sample calls, both datapaths. */
+TEST(ComposedEngineFastPath, BatchMatchesSequential)
+{
+    ComposingParams cp;
+    CrossbarParams xp;
+    xp.readNoiseSigma = 0.005;
+    ComposedMatrixEngine engine(24, 6, cp, xp);
+    Rng rng(25);
+    std::vector<std::vector<int>> w(24, std::vector<int>(6));
+    for (auto &row : w)
+        for (int &v : row)
+            v = static_cast<int>(rng.uniformInt(-255, 255));
+    engine.programWeights(w, &rng);
+
+    std::vector<std::vector<int>> inputs(4, std::vector<int>(24));
+    for (auto &in : inputs)
+        for (int &v : in)
+            v = static_cast<int>(rng.uniformInt(0, 63));
+
+    auto batch = engine.mvmExactBatch(inputs);
+    ASSERT_EQ(batch.size(), inputs.size());
+    for (std::size_t s = 0; s < inputs.size(); ++s)
+        EXPECT_EQ(batch[s], engine.mvmExact(inputs[s])) << "sample " << s;
+
+    Rng seq_rng(31), batch_rng(31);
+    auto analog_batch = engine.mvmAnalogBatch(inputs, &batch_rng);
+    for (std::size_t s = 0; s < inputs.size(); ++s)
+        EXPECT_EQ(analog_batch[s], engine.mvmAnalog(inputs[s], &seq_rng))
+            << "sample " << s;
+}
+
+/** parallelFor must produce thread-count-independent results and hit
+ *  every index exactly once. */
+TEST(ThreadPoolFastPath, ParallelForIndependentOfThreadCount)
+{
+    const std::size_t n = 1000;
+    std::vector<double> want(n);
+    for (std::size_t i = 0; i < n; ++i)
+        want[i] = std::sqrt(static_cast<double>(i)) * 3.25;
+
+    for (int threads : {1, 2, 3, 8}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.size(), threads);
+        std::vector<double> got(n, -1.0);
+        std::atomic<std::uint64_t> calls{0};
+        pool.parallelFor(n, [&](std::size_t i) {
+            got[i] = std::sqrt(static_cast<double>(i)) * 3.25;
+            calls.fetch_add(1, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(calls.load(), n) << "threads=" << threads;
+        EXPECT_EQ(got, want) << "threads=" << threads;
+    }
+}
+
+/** Nested parallelFor runs inline instead of deadlocking the pool. */
+TEST(ThreadPoolFastPath, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::vector<int> out(64, 0);
+    pool.parallelFor(8, [&](std::size_t i) {
+        pool.parallelFor(8, [&](std::size_t j) {
+            out[i * 8 + j] = static_cast<int>(i * 8 + j);
+        });
+    });
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
 
 } // namespace
 } // namespace prime::reram

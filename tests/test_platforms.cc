@@ -231,6 +231,38 @@ TEST(Evaluator, BreakdownsArePerImageConsistent)
     }
 }
 
+/** The threaded MlBench fan-out must be invisible in the results:
+ *  every thread-count setting returns the same numbers in the same
+ *  suite order (each benchmark is evaluated independently and the
+ *  models draw no random numbers). */
+TEST(Evaluator, MlBenchIndependentOfThreadCount)
+{
+    EvaluatorOptions seq;
+    seq.includeVgg = false;
+    seq.threads = 1;
+    Evaluator ev_seq(tech(), seq);
+    auto want = ev_seq.evaluateMlBench();
+    ASSERT_EQ(want.size(), 5u);
+
+    for (int threads : {2, 4}) {
+        EvaluatorOptions opt = seq;
+        opt.threads = threads;
+        Evaluator ev(tech(), opt);
+        auto got = ev.evaluateMlBench();
+        ASSERT_EQ(got.size(), want.size()) << "threads=" << threads;
+        for (std::size_t i = 0; i < want.size(); ++i) {
+            EXPECT_EQ(got[i].topology.name, want[i].topology.name);
+            EXPECT_DOUBLE_EQ(got[i].prime.latency, want[i].prime.latency)
+                << got[i].topology.name << " threads=" << threads;
+            EXPECT_DOUBLE_EQ(got[i].prime.energy.total(),
+                             want[i].prime.energy.total())
+                << got[i].topology.name << " threads=" << threads;
+            EXPECT_DOUBLE_EQ(got[i].cpu.latency, want[i].cpu.latency)
+                << got[i].topology.name << " threads=" << threads;
+        }
+    }
+}
+
 } // namespace
 } // namespace prime::sim
 
