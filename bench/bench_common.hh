@@ -7,13 +7,88 @@
 #define PRIME_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
+#include "common/telemetry/trace_session.hh"
 #include "sim/evaluator.hh"
 
 namespace prime::bench {
+
+/**
+ * Per-bench observability: owns a stats group and a trace session, and
+ * writes both when the bench finishes.
+ *
+ *   --stats-json <file>   stats destination (default BENCH_<name>.json)
+ *   --trace <file>        also record a Chrome trace of the run
+ *
+ * The stats document is {"version":N,"bench":"<name>","stats":{...}},
+ * so every reproduction run leaves a machine-readable data point next
+ * to the human-readable tables.
+ */
+class BenchRun
+{
+  public:
+    BenchRun(std::string name, int argc, char **argv)
+        : name_(std::move(name)), statsPath_("BENCH_" + name_ + ".json")
+    {
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--stats-json") && i + 1 < argc)
+                statsPath_ = argv[++i];
+            else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+                tracePath_ = argv[++i];
+        }
+        if (!tracePath_.empty()) {
+            trace_.enable();
+            telemetry::setGlobalTrace(&trace_);
+        }
+    }
+
+    ~BenchRun()
+    {
+        if (!finished_)
+            finish();
+    }
+
+    BenchRun(const BenchRun &) = delete;
+    BenchRun &operator=(const BenchRun &) = delete;
+
+    StatGroup &stats() { return stats_; }
+
+    /** Write the stats document (and trace, if enabled). */
+    void finish()
+    {
+        finished_ = true;
+        if (!tracePath_.empty()) {
+            telemetry::setGlobalTrace(nullptr);
+            trace_.disable();
+            std::ofstream os(tracePath_);
+            if (os)
+                trace_.writeChromeTrace(os);
+        }
+        if (!statsPath_.empty()) {
+            std::ofstream os(statsPath_);
+            if (!os)
+                return;
+            os << "{\"version\":" << StatGroup::kJsonVersion
+               << ",\"bench\":\"" << name_ << "\",\"stats\":";
+            stats_.dumpJsonObject(os);
+            os << "}\n";
+        }
+    }
+
+  private:
+    std::string name_;
+    std::string statsPath_;
+    std::string tracePath_;
+    StatGroup stats_;
+    telemetry::TraceSession trace_;
+    bool finished_ = false;
+};
 
 /** Print the standard header naming the experiment. */
 inline void

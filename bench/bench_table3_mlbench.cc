@@ -13,9 +13,10 @@
 using namespace prime;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::header("Table III - MlBench benchmarks and mapping");
+    bench::BenchRun run("table3_mlbench", argc, argv);
 
     Table table({"benchmark", "topology", "synapses", "MACs/image",
                  "scale", "mats", "banks", "util-before", "util-after",
@@ -42,6 +43,11 @@ main()
             .percentCell(plan.utilizationBefore)
             .percentCell(plan.utilizationAfter)
             .cell(static_cast<long long>(plan.copiesPerBank));
+        run.stats().get("map.benchmarks").increment();
+        run.stats().get("map.mats").add(
+            static_cast<double>(plan.totalMats()));
+        run.stats().get("map.util_before").sample(plan.utilizationBefore);
+        run.stats().get("map.util_after").sample(plan.utilizationAfter);
         if (topo.name != "VGG-D") {
             util_before += plan.utilizationBefore;
             util_after += plan.utilizationAfter;

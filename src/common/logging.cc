@@ -1,25 +1,70 @@
 #include "common/logging.hh"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 namespace prime {
 
+bool
+parseLogLevel(const char *text, LogLevel &out)
+{
+    if (!text)
+        return false;
+    std::string lowered;
+    for (const char *p = text; *p; ++p)
+        lowered += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p)));
+    if (lowered == "quiet") {
+        out = LogLevel::Quiet;
+    } else if (lowered == "normal") {
+        out = LogLevel::Normal;
+    } else if (lowered == "verbose") {
+        out = LogLevel::Verbose;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 namespace {
-LogLevel globalLevel = LogLevel::Normal;
+
+LogLevel
+levelFromEnv()
+{
+    LogLevel level = LogLevel::Normal;
+    if (const char *env = std::getenv("PRIME_LOG")) {
+        if (!parseLogLevel(env, level) && *env)
+            std::fprintf(stderr,
+                         "warn: PRIME_LOG='%s' is not "
+                         "quiet|normal|verbose; using normal\n",
+                         env);
+    }
+    return level;
+}
+
+LogLevel &
+globalLevelRef()
+{
+    static LogLevel level = levelFromEnv();
+    return level;
+}
+
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevelRef();
 }
 
 LogLevel
 setLogLevel(LogLevel level)
 {
-    LogLevel prev = globalLevel;
-    globalLevel = level;
+    LogLevel prev = globalLevelRef();
+    globalLevelRef() = level;
     return prev;
 }
 
@@ -44,14 +89,14 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (globalLevel != LogLevel::Quiet)
+    if (logLevel() != LogLevel::Quiet)
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (globalLevel == LogLevel::Verbose)
+    if (logLevel() == LogLevel::Verbose)
         std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

@@ -25,7 +25,19 @@ namespace prime {
 /** Verbosity gate for inform(); warnings and errors always print. */
 enum class LogLevel { Quiet, Normal, Verbose };
 
-/** Process-wide log level (tests set Quiet to keep output clean). */
+/**
+ * Parse a PRIME_LOG-style level string ("quiet" | "normal" | "verbose",
+ * case-insensitive).  Returns false and leaves @p out untouched on
+ * anything else.
+ */
+bool parseLogLevel(const char *text, LogLevel &out);
+
+/**
+ * Process-wide log level.  Initialized once from the PRIME_LOG
+ * environment variable (quiet|normal|verbose, default Normal) -- the
+ * single place the environment is consulted, shared by prime_cli, the
+ * benches and the test binaries.  setLogLevel overrides it.
+ */
 LogLevel logLevel();
 
 /** Change the process-wide log level; returns the previous value. */

@@ -2,19 +2,27 @@
  * @file
  * Lightweight statistics registry in the spirit of gem5's stats package.
  *
- * Model components register named scalars/counters in a StatGroup; benches
- * and tests read them back or dump them as text.  No global state: each
- * simulated system owns its own root group.
+ * Model components register named scalars/counters, log-bucketed
+ * histograms and derived formulas in a StatGroup; benches and tests
+ * read them back, dump them as text, or serialize them to a versioned
+ * JSON document (see dumpJson).  Groups nest: child("bank0") creates a
+ * sub-group rendered as a nested JSON object and a dotted prefix in the
+ * text dump.  No global state: each simulated system owns its own root
+ * group.
  */
 
 #ifndef PRIME_COMMON_STATS_HH
 #define PRIME_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "common/telemetry/histogram.hh"
 
 namespace prime {
 
@@ -30,8 +38,13 @@ class Stat
     {
         sum_ += value;
         count_ += 1;
-        min_ = count_ == 1 ? value : (value < min_ ? value : min_);
-        max_ = count_ == 1 ? value : (value > max_ ? value : max_);
+        samples_ += 1;
+        if (samples_ == 1) {
+            min_ = max_ = value;
+        } else {
+            min_ = value < min_ ? value : min_;
+            max_ = value > max_ ? value : max_;
+        }
     }
 
     /** Add to the running total without counting a sample (counter use). */
@@ -58,42 +71,113 @@ class Stat
     double sum() const { return sum_; }
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /**
+     * Whether min()/max() are meaningful: only sample() records
+     * extrema, so an add-/increment-only stat has none (the dump
+     * renders '-', the JSON serializer null).
+     */
+    bool hasSamples() const { return samples_ > 0; }
     double min() const { return min_; }
     double max() const { return max_; }
 
   private:
     double sum_ = 0.0;
     std::uint64_t count_ = 0;
+    std::uint64_t samples_ = 0;  ///< sample() calls (extrema validity)
     double min_ = 0.0;
     double max_ = 0.0;
 };
 
 /**
- * A flat namespace of stats addressed by dotted names
+ * A namespace of stats addressed by dotted names
  * ("bank0.ff.mvm_passes").  Lookup creates on demand so components can
- * stay decoupled from whoever reads the numbers.
+ * stay decoupled from whoever reads the numbers.  Besides plain Stats a
+ * group holds histograms (latency distributions with quantiles),
+ * formulas (values derived at read time, e.g. a hit rate), and child
+ * groups.  Non-copyable: children are owned and formulas may capture
+ * pointers to sibling stats (std::map nodes are address-stable).
  */
 class StatGroup
 {
   public:
+    /** Version stamp of the JSON serialization format. */
+    static constexpr int kJsonVersion = 1;
+
+    StatGroup() = default;
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
     /** Get or create a stat by name. */
     Stat &get(const std::string &name);
 
     /** Look up an existing stat; nullptr if absent. */
     const Stat *find(const std::string &name) const;
 
-    /** All names in sorted order. */
+    /** Get or create a histogram by name. */
+    telemetry::Histogram &histogram(const std::string &name);
+
+    /** Look up an existing histogram; nullptr if absent. */
+    const telemetry::Histogram *findHistogram(const std::string &name) const;
+
+    /**
+     * Register (or replace) a derived stat evaluated at read time.
+     * The callable must stay valid for the group's lifetime; capture
+     * pointers to stats of this group rather than enclosing objects.
+     */
+    void formula(const std::string &name, std::function<double()> fn);
+
+    /** Evaluate a formula into @p out; false if absent. */
+    bool evalFormula(const std::string &name, double &out) const;
+
+    /** Get or create a child group. */
+    StatGroup &child(const std::string &name);
+
+    /** Look up an existing child group; nullptr if absent. */
+    const StatGroup *findChild(const std::string &name) const;
+
+    /** All scalar-stat names in sorted order. */
     std::vector<std::string> names() const;
 
-    /** Reset every stat. */
+    /** Reset every stat and histogram, recursing into children. */
     void resetAll();
 
-    /** Human-readable dump (name, count, sum, mean per line). */
+    /**
+     * Human-readable dump: one stat per line grouped by dotted prefix,
+     * integral values printed without a fraction, '-' for the extrema
+     * of sample-less stats; histograms with count/mean/p50/p95/p99;
+     * formulas evaluated; children with a dotted prefix.
+     */
     void dump(std::ostream &os) const;
 
+    /**
+     * Versioned JSON document: {"version":1,"stats":{...}}.  Scalars
+     * serialize count/sum/mean and min/max (null without samples);
+     * histograms add p50/p95/p99; formulas their value; child groups
+     * nest as objects.
+     */
+    void dumpJson(std::ostream &os) const;
+
+    /** The group's JSON object alone (no version envelope). */
+    void dumpJsonObject(std::ostream &os) const;
+
   private:
+    void dumpPrefixed(std::ostream &os, const std::string &prefix) const;
+
     std::map<std::string, Stat> stats_;
+    std::map<std::string, telemetry::Histogram> histograms_;
+    std::map<std::string, std::function<double()>> formulas_;
+    std::map<std::string, std::unique_ptr<StatGroup>> children_;
 };
+
+/**
+ * Serialize several independent groups into one versioned document:
+ * {"version":1,"stats":{"<name>":{...},...}}.  Used where a system is
+ * built from parts owning their own groups (PrimeSystem + MainMemory).
+ */
+void writeStatsDocument(
+    std::ostream &os,
+    const std::vector<std::pair<std::string, const StatGroup *>> &groups);
 
 } // namespace prime
 

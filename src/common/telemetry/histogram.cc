@@ -1,0 +1,99 @@
+#include "common/telemetry/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prime::telemetry {
+
+Histogram::Histogram() : buckets_(kBucketCount, 0)
+{
+}
+
+int
+Histogram::bucketIndex(double value)
+{
+    if (!(value > 0.0))
+        return 0;
+    int exp = 0;
+    const double frac = std::frexp(value, &exp);  // frac in [0.5, 1)
+    if (exp < kMinExp)
+        return 0;
+    if (exp > kMaxExp)
+        return kBucketCount - 1;
+    int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+    sub = std::clamp(sub, 0, kSubBuckets - 1);
+    return 1 + (exp - kMinExp) * kSubBuckets + sub;
+}
+
+double
+Histogram::bucketLowerBound(int index)
+{
+    if (index <= 0)
+        return 0.0;
+    const int b = index - 1;
+    const int exp = kMinExp + b / kSubBuckets;
+    const int sub = b % kSubBuckets;
+    return std::ldexp(0.5 + sub / (2.0 * kSubBuckets), exp);
+}
+
+double
+Histogram::bucketUpperBound(int index)
+{
+    if (index <= 0)
+        return std::ldexp(0.5, kMinExp);  // smallest representable value
+    return bucketLowerBound(index + 1);
+}
+
+void
+Histogram::sample(double value)
+{
+    buckets_[static_cast<std::size_t>(bucketIndex(value))] += 1;
+    sum_ += value;
+    count_ += 1;
+    if (count_ == 1) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest-rank: the value below which at least ceil(q * count)
+    // samples fall.
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(q * count_)));
+    // The first and last ranks are the exact extrema; skip the bucket
+    // approximation (p0 = min, p100 = max).
+    if (rank <= 1)
+        return min_;
+    if (rank >= count_)
+        return max_;
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kBucketCount; ++i) {
+        cum += buckets_[static_cast<std::size_t>(i)];
+        if (cum >= rank) {
+            const double mid =
+                0.5 * (bucketLowerBound(i) + bucketUpperBound(i));
+            return std::clamp(mid, min_, max_);
+        }
+    }
+    return max_;
+}
+
+} // namespace prime::telemetry

@@ -1,0 +1,57 @@
+#include "common/telemetry/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace prime::telemetry {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+jsonString(std::ostream &os, std::string_view s)
+{
+    os << '"' << jsonEscape(s) << '"';
+}
+
+void
+jsonNumber(std::ostream &os, double value)
+{
+    if (!std::isfinite(value)) {
+        os << "null";
+        return;
+    }
+    if (value == std::nearbyint(value) &&
+        std::fabs(value) < 9.007199254740992e15) {  // 2^53: exact integers
+        os << static_cast<long long>(value);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    os << buf;
+}
+
+} // namespace prime::telemetry

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the stats serializer and the
+ * Chrome-trace writer.  Writing only -- parsing is left to the tools
+ * that consume the files (Perfetto, python3 -m json.tool, tests).
+ */
+
+#ifndef PRIME_COMMON_TELEMETRY_JSON_HH
+#define PRIME_COMMON_TELEMETRY_JSON_HH
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace prime::telemetry {
+
+/** Escape a string for embedding inside JSON double quotes. */
+std::string jsonEscape(std::string_view s);
+
+/** Write a quoted, escaped JSON string. */
+void jsonString(std::ostream &os, std::string_view s);
+
+/**
+ * Write a JSON number: integral doubles print without a fraction,
+ * everything else with enough digits to round-trip; NaN/Inf (not
+ * representable in JSON) degrade to null.
+ */
+void jsonNumber(std::ostream &os, double value);
+
+} // namespace prime::telemetry
+
+#endif // PRIME_COMMON_TELEMETRY_JSON_HH

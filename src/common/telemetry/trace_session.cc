@@ -1,0 +1,202 @@
+#include "common/telemetry/trace_session.hh"
+
+#include <cstdio>
+
+#include "common/telemetry/json.hh"
+
+namespace prime::telemetry {
+
+namespace {
+
+/** Process-unique session serial numbers (0 is reserved: "no lane"). */
+std::atomic<std::uint64_t> g_session_serial{0};
+
+/** The thread's preferred lane name, snapshotted at lane creation. */
+thread_local std::string tls_thread_name;
+
+/** One-entry lane cache: valid while the serial matches the session. */
+struct TlsLaneRef
+{
+    std::uint64_t serial = 0;
+    void *lane = nullptr;
+};
+thread_local TlsLaneRef tls_lane;
+
+std::atomic<TraceSession *> g_trace{nullptr};
+
+} // namespace
+
+TraceSession::TraceSession()
+    : serial_(g_session_serial.fetch_add(1) + 1),
+      epoch_(std::chrono::steady_clock::now())
+{
+}
+
+void
+TraceSession::enable()
+{
+    epoch_ = std::chrono::steady_clock::now();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceSession::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::int64_t
+TraceSession::now() const
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+TraceSession::Lane &
+TraceSession::lane()
+{
+    if (tls_lane.serial == serial_ && tls_lane.lane)
+        return *static_cast<Lane *>(tls_lane.lane);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::thread::id id = std::this_thread::get_id();
+    for (const auto &l : lanes_) {
+        if (l->threadId == id) {
+            tls_lane = {serial_, l.get()};
+            return *l;
+        }
+    }
+    auto l = std::make_unique<Lane>();
+    l->tid = static_cast<int>(lanes_.size());
+    l->threadId = id;
+    l->name = !tls_thread_name.empty()
+                  ? tls_thread_name
+                  : (l->tid == 0 ? std::string("main")
+                                 : "thread-" + std::to_string(l->tid));
+    lanes_.push_back(std::move(l));
+    tls_lane = {serial_, lanes_.back().get()};
+    return *lanes_.back();
+}
+
+void
+TraceSession::completeSpan(std::string name, const char *category,
+                           std::int64_t start_ns, std::int64_t end_ns)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = std::move(name);
+    e.category = category;
+    e.phase = 'X';
+    e.tsNs = start_ns;
+    e.durNs = end_ns > start_ns ? end_ns - start_ns : 0;
+    lane().events.push_back(std::move(e));
+}
+
+void
+TraceSession::instant(std::string name, const char *category)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = std::move(name);
+    e.category = category;
+    e.phase = 'i';
+    e.tsNs = now();
+    lane().events.push_back(std::move(e));
+}
+
+std::size_t
+TraceSession::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &l : lanes_)
+        n += l->events.size();
+    return n;
+}
+
+std::size_t
+TraceSession::laneCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lanes_.size();
+}
+
+void
+TraceSession::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Keep the lanes themselves: recording threads may hold cached
+    // pointers to them.  Only the events are dropped.
+    for (const auto &l : lanes_)
+        l->events.clear();
+    epoch_ = std::chrono::steady_clock::now();
+}
+
+void
+TraceSession::writeChromeTrace(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    char buf[64];
+    for (const auto &l : lanes_) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << l->tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+        jsonString(os, l->name);
+        os << "}}";
+    }
+    for (const auto &l : lanes_) {
+        for (const TraceEvent &e : l->events) {
+            sep();
+            os << "{\"name\":";
+            jsonString(os, e.name);
+            os << ",\"cat\":";
+            jsonString(os, e.category);
+            os << ",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":"
+               << l->tid << ",\"ts\":";
+            // Chrome ts/dur are microseconds; keep ns resolution.
+            std::snprintf(buf, sizeof(buf), "%.3f", e.tsNs / 1000.0);
+            os << buf;
+            if (e.phase == 'X') {
+                std::snprintf(buf, sizeof(buf), "%.3f",
+                              e.durNs / 1000.0);
+                os << ",\"dur\":" << buf;
+            } else if (e.phase == 'i') {
+                os << ",\"s\":\"t\"";
+            }
+            os << "}";
+        }
+    }
+    os << "\n]}\n";
+}
+
+TraceSession *
+globalTrace()
+{
+    static TraceSession inert;  // permanently disabled default
+    TraceSession *t = g_trace.load(std::memory_order_relaxed);
+    return t ? t : &inert;
+}
+
+void
+setGlobalTrace(TraceSession *session)
+{
+    g_trace.store(session, std::memory_order_relaxed);
+}
+
+void
+setTraceThreadName(const std::string &name)
+{
+    tls_thread_name = name;
+}
+
+} // namespace prime::telemetry

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Wall-clock span tracing in the Chrome trace_event format (open the
+ * output in Perfetto / chrome://tracing).
+ *
+ * A TraceSession records complete spans ("X" events) and instant events
+ * ("i") into per-thread lanes: each recording thread appends to its own
+ * buffer with no synchronization, so instrumentation in the thread-pool
+ * fan-out paths neither serializes the workers nor interleaves their
+ * events.  Lanes are created lazily under a mutex on a thread's first
+ * event and become that thread's Perfetto track.
+ *
+ * Instrumentation uses the PRIME_SPAN RAII macro against the
+ * process-wide session pointer (globalTrace()); a disabled session
+ * reduces a span to one pointer load and branch, cheap enough to leave
+ * compiled into the simulator's command/transfer layers permanently.
+ * The macro intentionally is NOT placed in per-element kernels (the
+ * crossbar MVM inner loops): spans are command/transfer granular.
+ *
+ * Threading contract: recording is concurrent; enable(), disable(),
+ * clear() and writeChromeTrace() must not race with recording threads
+ * (callers quiesce the pool first, which every current call site does
+ * by tracing around parallelFor rather than across it).
+ */
+
+#ifndef PRIME_COMMON_TELEMETRY_TRACE_SESSION_HH
+#define PRIME_COMMON_TELEMETRY_TRACE_SESSION_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace prime::telemetry {
+
+/** One recorded trace event. */
+struct TraceEvent
+{
+    std::string name;
+    const char *category = "prime";
+    char phase = 'X';           ///< 'X' complete span, 'i' instant
+    std::int64_t tsNs = 0;      ///< start, ns since session epoch
+    std::int64_t durNs = 0;     ///< span duration ('X' only)
+};
+
+/** A begin/end span and instant-event recorder with per-thread lanes. */
+class TraceSession
+{
+  public:
+    TraceSession();
+    ~TraceSession() = default;
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /** Start accepting events (timestamps restart at zero). */
+    void enable();
+    /** Stop accepting events (buffers are kept for export). */
+    void disable();
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Nanoseconds since the session epoch. */
+    std::int64_t now() const;
+
+    /** Record a completed span on the calling thread's lane. */
+    void completeSpan(std::string name, const char *category,
+                      std::int64_t start_ns, std::int64_t end_ns);
+
+    /** Record an instant event on the calling thread's lane. */
+    void instant(std::string name, const char *category);
+
+    /** Total recorded events over all lanes. */
+    std::size_t eventCount() const;
+
+    /** Number of lanes (threads that recorded at least one event). */
+    std::size_t laneCount() const;
+
+    /** Drop all recorded events and lanes. */
+    void clear();
+
+    /** Write the Chrome trace_event JSON document. */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    struct Lane
+    {
+        int tid = 0;
+        std::string name;
+        std::thread::id threadId;
+        std::vector<TraceEvent> events;
+    };
+
+    /** The calling thread's lane (created on first use). */
+    Lane &lane();
+
+    const std::uint64_t serial_;  ///< process-unique session identity
+    std::chrono::steady_clock::time_point epoch_;
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;  ///< guards lanes_ growth
+    std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+/**
+ * The process-wide trace session used by the PRIME_SPAN instrumentation
+ * sites.  Never null: defaults to an inert, permanently disabled
+ * session until setGlobalTrace installs a real one.
+ */
+TraceSession *globalTrace();
+
+/** Install (or, with nullptr, uninstall) the process-wide session. */
+void setGlobalTrace(TraceSession *session);
+
+/**
+ * Name the calling thread's lane in traces recorded from here on
+ * (e.g. "pool-worker-3").  Applies to lanes created after the call.
+ */
+void setTraceThreadName(const std::string &name);
+
+/** RAII span: records [construction, destruction) when enabled. */
+class ScopedSpan
+{
+  public:
+    /** Static-string name: free when the session is disabled. */
+    ScopedSpan(TraceSession *session, const char *name,
+               const char *category = "prime")
+        : session_(session && session->enabled() ? session : nullptr),
+          name_(name), category_(category)
+    {
+        if (session_)
+            start_ = session_->now();
+    }
+
+    /** Dynamic name (built by the caller; for cold call sites only). */
+    ScopedSpan(TraceSession *session, std::string name,
+               const char *category = "prime")
+        : session_(session && session->enabled() ? session : nullptr),
+          name_(nullptr), dynamicName_(std::move(name)),
+          category_(category)
+    {
+        if (session_)
+            start_ = session_->now();
+    }
+
+    ~ScopedSpan()
+    {
+        if (session_)
+            session_->completeSpan(name_ ? std::string(name_)
+                                         : std::move(dynamicName_),
+                                   category_, start_, session_->now());
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    TraceSession *session_;
+    const char *name_;
+    std::string dynamicName_;
+    const char *category_;
+    std::int64_t start_ = 0;
+};
+
+} // namespace prime::telemetry
+
+#define PRIME_SPAN_CONCAT2(a, b) a##b
+#define PRIME_SPAN_CONCAT(a, b) PRIME_SPAN_CONCAT2(a, b)
+
+/**
+ * PRIME_SPAN(session, "name") / PRIME_SPAN(session, "name", "category"):
+ * trace the enclosing scope as one span.  A disabled session costs a
+ * single branch.
+ */
+#define PRIME_SPAN(...) \
+    ::prime::telemetry::ScopedSpan PRIME_SPAN_CONCAT( \
+        prime_scoped_span_, __COUNTER__)(__VA_ARGS__)
+
+#endif // PRIME_COMMON_TELEMETRY_TRACE_SESSION_HH

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 #include <memory>
+#include <string>
+
+#include "common/telemetry/trace_session.hh"
 
 namespace prime {
 
@@ -21,7 +24,7 @@ ThreadPool::ThreadPool(int threads)
     if (threads <= 0)
         threads = defaultThreadCount();
     for (int i = 1; i < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -51,13 +54,17 @@ void
 ThreadPool::runJob()
 {
     std::size_t i;
-    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < jobSize_)
+    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < jobSize_) {
+        // Each claimed index is one traced task on this thread's lane.
+        PRIME_SPAN(telemetry::globalTrace(), "pool.task", "pool");
         (*body_)(i);
+    }
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int index)
 {
+    telemetry::setTraceThreadName("pool-worker-" + std::to_string(index));
     tls_in_pool = true;
     std::uint64_t seen = 0;
     for (;;) {

@@ -73,7 +73,7 @@ class ThreadPool
     static int defaultThreadCount();
 
   private:
-    void workerLoop();
+    void workerLoop(int index);
     void runJob();
 
     std::vector<std::thread> workers_;

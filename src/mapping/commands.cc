@@ -129,4 +129,20 @@ toString(const Command &command)
     return os.str();
 }
 
+const char *
+commandOpName(CommandOp op)
+{
+    switch (op) {
+      case CommandOp::SetMatFunction: return "cmd.set_mat_function";
+      case CommandOp::BypassSigmoid: return "cmd.bypass_sigmoid";
+      case CommandOp::BypassSa: return "cmd.bypass_sa";
+      case CommandOp::InputSource: return "cmd.input_source";
+      case CommandOp::Fetch: return "cmd.fetch";
+      case CommandOp::Commit: return "cmd.commit";
+      case CommandOp::Load: return "cmd.load";
+      case CommandOp::Store: return "cmd.store";
+    }
+    return "cmd.unknown";
+}
+
 } // namespace prime::mapping

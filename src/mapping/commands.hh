@@ -86,6 +86,9 @@ Command decodeCommand(const std::vector<std::uint8_t> &bytes);
 /** Assembly-style rendering ("comp mat 12", "load buf:0x40 to ff:0x0 64"). */
 std::string toString(const Command &command);
 
+/** Static span/mnemonic name of an opcode ("cmd.load", "cmd.fetch"). */
+const char *commandOpName(CommandOp op);
+
 } // namespace prime::mapping
 
 #endif // PRIME_MAPPING_COMMANDS_HH

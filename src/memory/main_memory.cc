@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/telemetry/trace_session.hh"
 
 namespace prime::memory {
 
@@ -13,6 +14,15 @@ MainMemory::MainMemory(const nvmodel::TechParams &params,
     banks_.reserve(params.geometry.totalBanks());
     for (int b = 0; b < params.geometry.totalBanks(); ++b)
         banks_.emplace_back(params.timing, policy);
+    // Derived at read time from the hit/miss counters (std::map nodes
+    // are address-stable, so the captured pointers stay valid).
+    stats_.formula("mem.row_hit_rate",
+                   [hits = &stats_.get("mem.row_hits"),
+                    misses = &stats_.get("mem.row_misses")] {
+                       const double total = static_cast<double>(
+                           hits->count() + misses->count());
+                       return total > 0.0 ? hits->count() / total : 0.0;
+                   });
 }
 
 const BankModel &
@@ -34,6 +44,8 @@ MainMemory::bank(int global_bank)
 RequestResult
 MainMemory::access(const Request &request)
 {
+    PRIME_SPAN(telemetry::globalTrace(),
+               request.isWrite ? "mem.write" : "mem.read", "memory");
     RequestResult result;
     result.request = request;
     result.location = mapper_.decode(request.addr);
@@ -55,7 +67,12 @@ MainMemory::access(const Request &request)
     stats_.get("mem.bytes").add(request.bytes);
     stats_.get(result.bank.rowHit ? "mem.row_hits" : "mem.row_misses")
         .increment();
-    stats_.get("mem.service_ns").sample(result.dataReady - request.issue);
+    // Modeled latency split: time queued behind the bank/row state vs.
+    // total service (queue + bank + channel burst).
+    stats_.histogram("mem.queue_ns")
+        .sample(result.bank.start - request.issue);
+    stats_.histogram("mem.service_ns")
+        .sample(result.dataReady - request.issue);
     return result;
 }
 
@@ -92,10 +109,32 @@ MainMemory::scheduleBatch(std::vector<Request> requests, int window)
     return results;
 }
 
+std::vector<RequestResult>
+MainMemory::scheduleBytes(std::uint64_t addr, std::size_t bytes,
+                          bool is_write)
+{
+    if (bytes == 0)
+        return {};
+    const Ns issue = channelFree_;
+    std::vector<Request> requests;
+    requests.reserve((bytes + 63) / 64);
+    for (std::size_t off = 0; off < bytes; off += 64) {
+        Request r;
+        r.addr = addr + off;
+        r.bytes = static_cast<std::uint32_t>(
+            std::min<std::size_t>(64, bytes - off));
+        r.isWrite = is_write;
+        r.issue = issue;
+        requests.push_back(r);
+    }
+    return scheduleBatch(std::move(requests));
+}
+
 void
 MainMemory::writeData(std::uint64_t addr,
                       const std::vector<std::uint8_t> &data)
 {
+    PRIME_SPAN(telemetry::globalTrace(), "mem.write_data", "memory");
     for (std::size_t i = 0; i < data.size(); ++i)
         store_[addr + i] = data[i];
 }
@@ -103,6 +142,7 @@ MainMemory::writeData(std::uint64_t addr,
 std::vector<std::uint8_t>
 MainMemory::readData(std::uint64_t addr, std::size_t size) const
 {
+    PRIME_SPAN(telemetry::globalTrace(), "mem.read_data", "memory");
     std::vector<std::uint8_t> out(size, 0);
     for (std::size_t i = 0; i < size; ++i) {
         auto it = store_.find(addr + i);

@@ -66,6 +66,14 @@ class MainMemory
     std::vector<RequestResult>
     scheduleBatch(std::vector<Request> requests, int window = 16);
 
+    /**
+     * Timed transfer of a byte range: 64-byte burst requests issued at
+     * the current channel-free time, scheduled FR-FCFS.  Timing only --
+     * pair with readData/writeData for the functional payload.
+     */
+    std::vector<RequestResult>
+    scheduleBytes(std::uint64_t addr, std::size_t bytes, bool is_write);
+
     /** Functional write of a byte span at @p addr. */
     void writeData(std::uint64_t addr, const std::vector<std::uint8_t> &data);
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/telemetry/trace_session.hh"
 
 namespace prime::core {
 
@@ -20,6 +21,7 @@ void
 BufferSubarray::write(std::size_t addr,
                       const std::vector<std::uint8_t> &bytes)
 {
+    PRIME_SPAN(telemetry::globalTrace(), "buffer.write", "buffer");
     PRIME_ASSERT(addr + bytes.size() <= data_.size(),
                  "buffer write out of range: ", addr, "+", bytes.size(),
                  " > ", data_.size());
@@ -33,6 +35,7 @@ BufferSubarray::write(std::size_t addr,
 std::vector<std::uint8_t>
 BufferSubarray::read(std::size_t addr, std::size_t size) const
 {
+    PRIME_SPAN(telemetry::globalTrace(), "buffer.read", "buffer");
     PRIME_ASSERT(addr + size <= data_.size(),
                  "buffer read out of range: ", addr, "+", size);
     traffic_ += size;

@@ -1,6 +1,7 @@
 #include "prime/controller.hh"
 
 #include "common/logging.hh"
+#include "common/telemetry/trace_session.hh"
 #include "common/thread_pool.hh"
 
 namespace prime::core {
@@ -33,6 +34,8 @@ void
 PrimeController::execute(const mapping::Command &command)
 {
     using mapping::CommandOp;
+    PRIME_SPAN(telemetry::globalTrace(), mapping::commandOpName(command.op),
+               "controller");
     ++commands_;
     if (stats_)
         stats_->get("controller.commands").increment();
@@ -61,7 +64,9 @@ PrimeController::execute(const mapping::Command &command)
                                     mapping::InputSource::Buffer));
         break;
       case CommandOp::Fetch: {
-        // Mem -> global row buffer -> Buffer subarray.
+        // Mem -> global row buffer -> Buffer subarray.  The payload
+        // crosses the bank/channel model as timed 64B read bursts.
+        mem_->scheduleBytes(command.src, command.bytes, false);
         std::vector<std::uint8_t> data =
             mem_->readData(command.src, command.bytes);
         buffer_->write(static_cast<std::size_t>(command.dst), data);
@@ -72,6 +77,7 @@ PrimeController::execute(const mapping::Command &command)
       case CommandOp::Commit: {
         std::vector<std::uint8_t> data = buffer_->read(
             static_cast<std::size_t>(command.src), command.bytes);
+        mem_->scheduleBytes(command.dst, data.size(), true);
         mem_->writeData(command.dst, data);
         if (stats_)
             stats_->get("controller.commit_bytes").add(command.bytes);
@@ -124,6 +130,9 @@ PrimeController::executeAll(const std::vector<mapping::Command> &commands)
 void
 PrimeController::computeMatImpl(int global_mat)
 {
+    // On the thread-pool fan-out path this span lands on the worker's
+    // own trace lane, giving the per-mat compute timeline.
+    PRIME_SPAN(telemetry::globalTrace(), "ff.compute", "compute");
     FfMat &m = mat(global_mat);
     PRIME_ASSERT(m.mode() == reram::FfMode::Computation,
                  "computeMat on a memory-mode mat");
@@ -153,6 +162,7 @@ PrimeController::computeMat(int global_mat)
 void
 PrimeController::computeMats(const std::vector<int> &global_mats)
 {
+    PRIME_SPAN(telemetry::globalTrace(), "ff.compute_fanout", "compute");
     if (analog_ && noiseRng_) {
         // The shared noise Rng must see the same draw order as per-mat
         // computeMat calls: sequential, in the given mat order.

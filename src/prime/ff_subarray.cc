@@ -1,6 +1,7 @@
 #include "prime/ff_subarray.hh"
 
 #include "common/logging.hh"
+#include "common/telemetry/trace_session.hh"
 
 namespace prime::core {
 
@@ -41,6 +42,7 @@ FfMat::readMemory(std::size_t offset, std::size_t size) const
 std::vector<std::uint8_t>
 FfMat::morphToCompute(const std::vector<std::vector<int>> &weights, Rng *rng)
 {
+    PRIME_SPAN(telemetry::globalTrace(), "ff.morph_to_compute", "morph");
     PRIME_ASSERT(mode_ == reram::FfMode::Memory,
                  "mat already in computation mode");
     const int rows = static_cast<int>(weights.size());
@@ -76,6 +78,7 @@ FfMat::morphToCompute(const std::vector<std::vector<int>> &weights, Rng *rng)
 void
 FfMat::morphToMemory()
 {
+    PRIME_SPAN(telemetry::globalTrace(), "ff.morph_to_memory", "morph");
     PRIME_ASSERT(mode_ == reram::FfMode::Computation,
                  "mat already in memory mode");
     engine_.reset();
@@ -101,6 +104,7 @@ std::vector<std::vector<std::int64_t>>
 FfMat::computeBatch(const std::vector<std::vector<int>> &inputs, bool analog,
                     Rng *rng) const
 {
+    PRIME_SPAN(telemetry::globalTrace(), "ff.compute_batch", "compute");
     const reram::ComposedMatrixEngine &e = engine();
     return analog ? e.mvmAnalogBatch(inputs, rng) : e.mvmExactBatch(inputs);
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/telemetry/trace_session.hh"
 #include "nn/network.hh"
 
 namespace prime::core {
@@ -20,11 +21,19 @@ PrimeSystem::PrimeSystem(const nvmodel::TechParams &tech,
         ff_.emplace_back(tech, &stats_);
     // Rebind the controller now that ff_ has its final storage.
     controller_ = PrimeController(tech, &mem_, &ff_, &buffer_, &stats_);
+    // Run-time I/O staging windows, clear of the migration region that
+    // grows up from address 0 (derived from the configured geometry so
+    // tiny test geometries stay within decode range).
+    const std::uint64_t capacity = mem_.mapper().capacityBytes();
+    inputStageAddr_ = capacity / 2;
+    outputStageAddr_ = capacity / 2 + capacity / 4;
 }
 
 const mapping::MappingPlan &
 PrimeSystem::mapTopology(const nn::Topology &topology)
 {
+    // Phase spans mirror the Figure 7 API steps (the Fig. 9 categories).
+    PRIME_SPAN(telemetry::globalTrace(), "phase.map_topology", "phase");
     mapping::Mapper mapper(tech_.geometry, mapperOptions_);
     topology_ = topology;
     plan_ = mapper.map(topology);
@@ -61,6 +70,7 @@ PrimeSystem::globalMat(const mapping::MatTile &tile) const
 void
 PrimeSystem::programWeight(const nn::Network &trained, Rng *rng)
 {
+    PRIME_SPAN(telemetry::globalTrace(), "phase.program_weight", "phase");
     PRIME_ASSERT(plan_.has_value(), "mapTopology must precede");
     PRIME_FATAL_IF(plan_->banksUsed > 1,
                    "functional execution supports single-bank plans; ",
@@ -150,6 +160,9 @@ PrimeSystem::programWeight(const nn::Network &trained, Rng *rng)
             // Static SA-window fallback: cover the worst-case dot
             // product of the programmed tile (calibrate() refines it).
             controller_.mat(mat_idx).engine().calibrateOutputShift();
+            // The migration is real memory traffic: timed write bursts
+            // through the bank/channel model plus the functional copy.
+            mem_.scheduleBytes(migrationAddr_, migrated.size(), true);
             mem_.writeData(migrationAddr_, migrated);
             migrationAddr_ += migrated.size();
             stats_.get("morph.migrated_bytes").add(
@@ -188,6 +201,7 @@ PrimeSystem::programWeight(const nn::Network &trained, Rng *rng)
 void
 PrimeSystem::configDatapath()
 {
+    PRIME_SPAN(telemetry::globalTrace(), "phase.config_datapath", "phase");
     PRIME_ASSERT(programmed_, "programWeight must precede");
     controller_.executeAll(configCommands_);
     configured_ = true;
@@ -220,14 +234,13 @@ PrimeSystem::tiledMvm(const LayerProgram &lp,
 {
     using mapping::Command;
     using mapping::CommandOp;
+    PRIME_SPAN(telemetry::globalTrace(), "run.tiled_mvm", "compute");
     const mapping::LayerMapping &m = *lp.mapping;
     PRIME_ASSERT(static_cast<int>(codes.size()) == m.info.rows,
                  "input codes ", codes.size(), " vs rows ", m.info.rows);
 
-    // Stage the input codes in the Buffer subarray.
     const std::size_t buf_in = 0;
     const std::size_t buf_out = 1 << 16;
-    buffer_.write(buf_in, codes);
 
     std::size_t tile_index = 0;
     std::vector<const mapping::MatTile *> tiles;
@@ -263,6 +276,14 @@ PrimeSystem::tiledMvm(const LayerProgram &lp,
         return out;
     }
 
+    // Input codes arrive from main memory: the CPU side stages them in
+    // the input window, then a Fetch command moves them into the Buffer
+    // subarray through the timed bank/channel model.
+    mem_.writeData(inputStageAddr_, codes);
+    controller_.execute(Command{CommandOp::Fetch, 0, 0, inputStageAddr_,
+                                buf_in,
+                                static_cast<std::uint32_t>(codes.size())});
+
     // Load, compute, store (Table I data-flow commands).  All input
     // latches fill first, then the tiles fire together through the
     // controller's fan-out -- the functional analog of the hardware
@@ -296,6 +317,14 @@ PrimeSystem::tiledMvm(const LayerProgram &lp,
         ++tile_index;
     }
 
+    // Results leave through the same boundary: Commit drains the whole
+    // output window back to memory as timed write bursts.
+    controller_.execute(Command{
+        CommandOp::Commit, 0, 0, buf_out, outputStageAddr_,
+        static_cast<std::uint32_t>(
+            tiles.size() * 2 *
+            static_cast<std::size_t>(tech_.geometry.matCols))});
+
     // Merge: partial target codes of row tiles accumulate per output
     // column; each tile's code scale depends on its own input count.
     std::vector<double> out(static_cast<std::size_t>(m.info.cols), 0.0);
@@ -326,6 +355,7 @@ PrimeSystem::tiledMvm(const LayerProgram &lp,
 nn::Tensor
 PrimeSystem::runFc(const LayerProgram &lp, const nn::Tensor &x)
 {
+    PRIME_SPAN(telemetry::globalTrace(), "layer.fc", "compute");
     int in_frac = 0;
     std::vector<std::uint8_t> codes = quantizeToCodes(x.flat(), in_frac);
     std::vector<double> mvm = tiledMvm(lp, codes, in_frac);
@@ -340,6 +370,7 @@ PrimeSystem::runFc(const LayerProgram &lp, const nn::Tensor &x)
 nn::Tensor
 PrimeSystem::runConv(const LayerProgram &lp, const nn::Tensor &x)
 {
+    PRIME_SPAN(telemetry::globalTrace(), "layer.conv", "compute");
     const nn::LayerSpec &s = lp.spec;
     // Layer-wide activation scale, as the wordline drivers are
     // configured once per layer.
@@ -381,6 +412,7 @@ PrimeSystem::runConv(const LayerProgram &lp, const nn::Tensor &x)
 void
 PrimeSystem::calibrate(const std::vector<nn::Sample> &samples)
 {
+    PRIME_SPAN(telemetry::globalTrace(), "phase.calibrate", "phase");
     PRIME_ASSERT(programmed_ && configured_,
                  "calibrate after programWeight + configDatapath");
     calibrationPeaks_.clear();
@@ -402,6 +434,7 @@ PrimeSystem::calibrate(const std::vector<nn::Sample> &samples)
 nn::Tensor
 PrimeSystem::run(const nn::Tensor &input)
 {
+    PRIME_SPAN(telemetry::globalTrace(), "phase.run", "phase");
     PRIME_ASSERT(programmed_, "programWeight must precede run");
     PRIME_ASSERT(configured_, "configDatapath must precede run");
 
@@ -468,6 +501,7 @@ PrimeSystem::postProc(const nn::Tensor &logits) const
 void
 PrimeSystem::release()
 {
+    PRIME_SPAN(telemetry::globalTrace(), "phase.release", "phase");
     for (FfSubarray &sub : ff_) {
         for (int i = 0; i < sub.matCount(); ++i) {
             if (sub.mat(i).mode() == reram::FfMode::Computation) {

@@ -159,6 +159,11 @@ class PrimeSystem
     std::map<int, std::int64_t> calibrationPeaks_;
     /** Cursor for migrating FF-resident data into Mem space. */
     std::uint64_t migrationAddr_ = 0;
+    /** Memory staging window for per-inference input codes (the CPU
+     *  side writes here; Fetch moves it into the Buffer subarray). */
+    std::uint64_t inputStageAddr_ = 0;
+    /** Memory staging window results Commit back to. */
+    std::uint64_t outputStageAddr_ = 0;
 };
 
 } // namespace prime::core

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/telemetry/trace_session.hh"
 #include "common/thread_pool.hh"
 
 namespace prime::sim {
@@ -28,6 +29,9 @@ Evaluator::Evaluator(const nvmodel::TechParams &tech,
 BenchmarkEvaluation
 Evaluator::evaluate(const nn::Topology &topology) const
 {
+    // Runs on a pool worker's lane when fanned out by evaluateMlBench.
+    PRIME_SPAN(telemetry::globalTrace(), "eval." + topology.name,
+               "phase");
     BenchmarkEvaluation e;
     e.topology = topology;
 
@@ -84,6 +88,17 @@ Evaluator::evaluateMlBench() const
         pool.parallelFor(suite.size(), body);
     } else {
         ThreadPool::global().parallelFor(suite.size(), body);
+    }
+
+    // Serial post-pass: the stats map must not be touched by the
+    // parallel fan-out above.
+    for (const BenchmarkEvaluation &e : out) {
+        stats_.get("eval.benchmarks").increment();
+        stats_.get("eval.prime_speedup")
+            .sample(e.prime.speedupOver(e.cpu));
+        stats_.get("eval.prime_energy_saving")
+            .sample(e.prime.energySavingOver(e.cpu));
+        stats_.get("eval.util_after").sample(e.plan.utilizationAfter);
     }
     return out;
 }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "mapping/mapper.hh"
 #include "sim/cpu_model.hh"
 #include "sim/npu_model.hh"
@@ -66,9 +67,19 @@ class Evaluator
     const nvmodel::TechParams &tech() const { return tech_; }
     const EvaluatorOptions &options() const { return options_; }
 
+    /**
+     * Suite-level telemetry: per-benchmark PRIME speedup/energy-saving
+     * samples and evaluation counters, recorded by evaluateMlBench
+     * after the (parallel) fan-out completes.
+     */
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
   private:
     nvmodel::TechParams tech_;
     EvaluatorOptions options_;
+    /** Written only from the serial post-pass of evaluateMlBench. */
+    mutable StatGroup stats_;
 };
 
 /** Geometric mean of a series (Figure 8/10 "gmean" columns). */

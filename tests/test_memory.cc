@@ -317,5 +317,27 @@ TEST(PagePolicy, MainMemoryHonorsPolicy)
     EXPECT_DOUBLE_EQ(closed.rowHitRate(), 0.0);
 }
 
+TEST(MainMemoryStats, ServiceLatencyHistogramAndHitRateFormula)
+{
+    MainMemory mem(tech());
+    // 256 bytes -> four 64B bursts through the timed path.
+    mem.scheduleBytes(0, 256, false);
+    EXPECT_EQ(mem.stats().get("mem.reads").count(), 4u);
+
+    const telemetry::Histogram *service =
+        mem.stats().findHistogram("mem.service_ns");
+    ASSERT_NE(service, nullptr);
+    EXPECT_EQ(service->count(), 4u);
+    EXPECT_GT(service->min(), 0.0);
+    EXPECT_GT(service->quantile(0.5), 0.0);
+    EXPECT_LE(service->quantile(0.5), service->quantile(0.99));
+    ASSERT_NE(mem.stats().findHistogram("mem.queue_ns"), nullptr);
+
+    // The derived hit rate matches the bank counters.
+    double rate = -1.0;
+    ASSERT_TRUE(mem.stats().evalFormula("mem.row_hit_rate", rate));
+    EXPECT_DOUBLE_EQ(rate, mem.rowHitRate());
+}
+
 } // namespace
 } // namespace prime::memory

@@ -1,0 +1,545 @@
+/**
+ * @file
+ * Telemetry subsystem tests: histogram buckets and quantiles, the
+ * extended stats registry (min/max validity, formulas, child groups,
+ * versioned JSON), the log-level parser, and the trace session
+ * (nesting, monotonic timestamps, threaded lane integrity).
+ *
+ * JSON outputs are checked with a minimal in-test parser so the tests
+ * fail on malformed documents, not just on missing substrings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/telemetry/histogram.hh"
+#include "common/telemetry/trace_session.hh"
+#include "common/thread_pool.hh"
+
+namespace prime {
+namespace {
+
+// ------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers, literals).
+
+struct Json
+{
+    enum Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Json> items;
+    std::map<std::string, Json> members;
+
+    const Json &operator[](const std::string &key) const
+    {
+        static const Json missing;
+        auto it = members.find(key);
+        return it == members.end() ? missing : it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Json parse()
+    {
+        Json v = value();
+        skipWs();
+        EXPECT_EQ(pos_, text_.size()) << "trailing JSON garbage";
+        return v;
+    }
+
+    bool failed() const { return failed_; }
+
+  private:
+    void fail(const std::string &why)
+    {
+        failed_ = true;
+        ADD_FAILURE() << "JSON parse error at " << pos_ << ": " << why;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool eat(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Json value()
+    {
+        skipWs();
+        if (failed_ || pos_ >= text_.size()) {
+            fail("unexpected end");
+            return {};
+        }
+        const char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"') {
+            Json v;
+            v.kind = Json::String;
+            v.str = string();
+            return v;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return {};
+        }
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            Json v;
+            v.kind = Json::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            Json v;
+            v.kind = Json::Bool;
+            return v;
+        }
+        return number();
+    }
+
+    Json object()
+    {
+        Json v;
+        v.kind = Json::Object;
+        eat('{');
+        if (eat('}'))
+            return v;
+        do {
+            skipWs();
+            std::string key = string();
+            if (!eat(':')) {
+                fail("expected ':'");
+                return v;
+            }
+            v.members[key] = value();
+        } while (!failed_ && eat(','));
+        if (!eat('}'))
+            fail("expected '}'");
+        return v;
+    }
+
+    Json array()
+    {
+        Json v;
+        v.kind = Json::Array;
+        eat('[');
+        if (eat(']'))
+            return v;
+        do {
+            v.items.push_back(value());
+        } while (!failed_ && eat(','));
+        if (!eat(']'))
+            fail("expected ']'");
+        return v;
+    }
+
+    std::string string()
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"') {
+            fail("expected string");
+            return {};
+        }
+        ++pos_;
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\' && pos_ < text_.size()) {
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case 'n': out.push_back('\n'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'u':
+                    pos_ += 4;  // tests never check unicode escapes
+                    out.push_back('?');
+                    break;
+                  default: out.push_back(esc);
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        if (pos_ >= text_.size()) {
+            fail("unterminated string");
+            return out;
+        }
+        ++pos_;  // closing quote
+        return out;
+    }
+
+    Json number()
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double d = std::strtod(start, &end);
+        if (end == start) {
+            fail("expected number");
+            return {};
+        }
+        pos_ += static_cast<std::size_t>(end - start);
+        Json v;
+        v.kind = Json::Number;
+        v.number = d;
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+Json
+parseJson(const std::string &text)
+{
+    JsonParser p(text);
+    return p.parse();
+}
+
+// ------------------------------------------------------------------
+// Histogram
+
+TEST(Histogram, CountsSumsAndExactExtrema)
+{
+    telemetry::Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    h.sample(3.0);
+    h.sample(12.0);
+    h.sample(7.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 22.0);
+    EXPECT_DOUBLE_EQ(h.min(), 3.0);
+    EXPECT_DOUBLE_EQ(h.max(), 12.0);
+    EXPECT_NEAR(h.mean(), 22.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, BucketBoundsContainTheirValues)
+{
+    for (double v : {1e-6, 0.5, 1.0, 1.5, 3.0, 64.0, 1000.0, 3.7e9}) {
+        const int idx = telemetry::Histogram::bucketIndex(v);
+        EXPECT_GT(idx, 0) << v;
+        EXPECT_LT(idx, telemetry::Histogram::kBucketCount) << v;
+        EXPECT_GE(v, telemetry::Histogram::bucketLowerBound(idx)) << v;
+        EXPECT_LT(v, telemetry::Histogram::bucketUpperBound(idx)) << v;
+    }
+    // Non-positive values land in the underflow bucket.
+    EXPECT_EQ(telemetry::Histogram::bucketIndex(0.0), 0);
+    EXPECT_EQ(telemetry::Histogram::bucketIndex(-4.0), 0);
+}
+
+TEST(Histogram, BucketIndexMonotonic)
+{
+    int last = 0;
+    for (double v = 0.001; v < 1e7; v *= 1.07) {
+        const int idx = telemetry::Histogram::bucketIndex(v);
+        EXPECT_GE(idx, last) << v;
+        last = idx;
+    }
+}
+
+TEST(Histogram, QuantilesOfUniformSamples)
+{
+    telemetry::Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.sample(static_cast<double>(i));
+    // Bucketed quantiles carry <= 1/kSubBuckets (12.5%) relative error.
+    EXPECT_NEAR(h.quantile(0.50), 500.0, 500.0 * 0.13);
+    EXPECT_NEAR(h.quantile(0.95), 950.0, 950.0 * 0.13);
+    EXPECT_NEAR(h.quantile(0.99), 990.0, 990.0 * 0.13);
+    // The ends clamp to the exact extrema.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, Reset)
+{
+    telemetry::Histogram h;
+    h.sample(42.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+// ------------------------------------------------------------------
+// Stats registry
+
+TEST(Stats, ExtremaOnlyValidWithSamples)
+{
+    StatGroup g;
+    g.get("events").increment(3);
+    g.get("bytes").add(4096.0);
+    EXPECT_FALSE(g.get("events").hasSamples());
+    EXPECT_FALSE(g.get("bytes").hasSamples());
+
+    // Counter-style stats render '-' extrema in the dump...
+    std::ostringstream dump;
+    g.dump(dump);
+    EXPECT_NE(dump.str().find("min=-"), std::string::npos);
+    EXPECT_NE(dump.str().find("max=-"), std::string::npos);
+    // ...and integral values print without a fraction.
+    EXPECT_NE(dump.str().find("count=3"), std::string::npos);
+    EXPECT_EQ(dump.str().find("3.000000"), std::string::npos);
+
+    // Mixing add() into a sampled stat must not poison the extrema.
+    g.get("lat").add(999.0);
+    g.get("lat").sample(5.0);
+    g.get("lat").sample(2.0);
+    EXPECT_TRUE(g.get("lat").hasSamples());
+    EXPECT_DOUBLE_EQ(g.get("lat").min(), 2.0);
+    EXPECT_DOUBLE_EQ(g.get("lat").max(), 5.0);
+}
+
+TEST(Stats, FormulaEvaluatesAtReadTime)
+{
+    StatGroup g;
+    g.formula("ratio", [hits = &g.get("hits"), total = &g.get("total")] {
+        return total->count()
+                   ? static_cast<double>(hits->count()) / total->count()
+                   : 0.0;
+    });
+    double v = -1.0;
+    ASSERT_TRUE(g.evalFormula("ratio", v));
+    EXPECT_EQ(v, 0.0);
+    g.get("hits").increment(3);
+    g.get("total").increment(4);
+    ASSERT_TRUE(g.evalFormula("ratio", v));
+    EXPECT_DOUBLE_EQ(v, 0.75);
+    EXPECT_FALSE(g.evalFormula("absent", v));
+}
+
+TEST(Stats, ChildGroupsDumpWithDottedPrefix)
+{
+    StatGroup g;
+    g.child("bank0").get("reads").increment(7);
+    ASSERT_NE(g.findChild("bank0"), nullptr);
+    EXPECT_EQ(g.findChild("bank1"), nullptr);
+    std::ostringstream dump;
+    g.dump(dump);
+    EXPECT_NE(dump.str().find("bank0.reads"), std::string::npos);
+}
+
+TEST(Stats, JsonDocumentRoundTrips)
+{
+    StatGroup g;
+    g.get("counter").increment(2);
+    g.get("sampled").sample(1.5);
+    g.get("sampled").sample(2.5);
+    g.histogram("lat").sample(10.0);
+    g.histogram("lat").sample(1000.0);
+    g.formula("two", [] { return 2.0; });
+    g.child("sub").get("x").sample(9.0);
+
+    std::ostringstream os;
+    g.dumpJson(os);
+    Json doc = parseJson(os.str());
+    ASSERT_EQ(doc.kind, Json::Object);
+    EXPECT_EQ(doc["version"].number, StatGroup::kJsonVersion);
+
+    const Json &stats = doc["stats"];
+    EXPECT_EQ(stats["counter"]["type"].str, "scalar");
+    EXPECT_EQ(stats["counter"]["count"].number, 2.0);
+    // Counter extrema are null, sampled extrema are numbers.
+    EXPECT_EQ(stats["counter"]["min"].kind, Json::Null);
+    EXPECT_EQ(stats["sampled"]["min"].number, 1.5);
+    EXPECT_EQ(stats["sampled"]["max"].number, 2.5);
+
+    EXPECT_EQ(stats["lat"]["type"].str, "histogram");
+    EXPECT_EQ(stats["lat"]["count"].number, 2.0);
+    EXPECT_GT(stats["lat"]["p99"].number, 0.0);
+
+    EXPECT_EQ(stats["two"]["type"].str, "formula");
+    EXPECT_EQ(stats["two"]["value"].number, 2.0);
+
+    EXPECT_EQ(stats["sub"]["x"]["count"].number, 1.0);
+}
+
+TEST(Stats, MultiGroupDocument)
+{
+    StatGroup a, b;
+    a.get("x").increment();
+    b.get("y").increment();
+    std::ostringstream os;
+    writeStatsDocument(os, {{"system", &a}, {"memory", &b}});
+    Json doc = parseJson(os.str());
+    EXPECT_EQ(doc["version"].number, StatGroup::kJsonVersion);
+    EXPECT_EQ(doc["stats"]["system"]["x"]["count"].number, 1.0);
+    EXPECT_EQ(doc["stats"]["memory"]["y"]["count"].number, 1.0);
+}
+
+// ------------------------------------------------------------------
+// Log level
+
+TEST(Logging, ParseLogLevel)
+{
+    LogLevel level = LogLevel::Normal;
+    EXPECT_TRUE(parseLogLevel("quiet", level));
+    EXPECT_EQ(level, LogLevel::Quiet);
+    EXPECT_TRUE(parseLogLevel("normal", level));
+    EXPECT_EQ(level, LogLevel::Normal);
+    EXPECT_TRUE(parseLogLevel("verbose", level));
+    EXPECT_EQ(level, LogLevel::Verbose);
+    EXPECT_FALSE(parseLogLevel("chatty", level));
+    EXPECT_FALSE(parseLogLevel("", level));
+    EXPECT_EQ(level, LogLevel::Verbose);  // unchanged on failure
+}
+
+// ------------------------------------------------------------------
+// Trace session
+
+TEST(Trace, SpansNestAndTimestampsAreMonotonic)
+{
+    telemetry::TraceSession session;
+    session.enable();
+    {
+        PRIME_SPAN(&session, "outer", "test");
+        {
+            PRIME_SPAN(&session, "inner", "test");
+        }
+        session.instant("mark", "test");
+    }
+    session.disable();
+    EXPECT_EQ(session.eventCount(), 3u);
+    EXPECT_EQ(session.laneCount(), 1u);
+
+    std::ostringstream os;
+    session.writeChromeTrace(os);
+    Json doc = parseJson(os.str());
+    const Json &events = doc["traceEvents"];
+    ASSERT_EQ(events.kind, Json::Array);
+
+    double outer_ts = -1, outer_end = -1, inner_ts = -1, inner_end = -1;
+    for (const Json &e : events.items) {
+        if (e["ph"].str == "X") {
+            EXPECT_GE(e["ts"].number, 0.0);
+            EXPECT_GE(e["dur"].number, 0.0);
+            if (e["name"].str == "outer") {
+                outer_ts = e["ts"].number;
+                outer_end = outer_ts + e["dur"].number;
+                EXPECT_EQ(e["cat"].str, "test");
+            } else if (e["name"].str == "inner") {
+                inner_ts = e["ts"].number;
+                inner_end = inner_ts + e["dur"].number;
+            }
+        }
+    }
+    ASSERT_GE(outer_ts, 0.0);
+    ASSERT_GE(inner_ts, 0.0);
+    // The inner span is contained in the outer one.
+    EXPECT_GE(inner_ts, outer_ts);
+    EXPECT_LE(inner_end, outer_end + 1e-9);
+}
+
+TEST(Trace, DisabledSessionRecordsNothing)
+{
+    telemetry::TraceSession session;
+    {
+        PRIME_SPAN(&session, "ignored", "test");
+    }
+    session.instant("ignored", "test");
+    EXPECT_EQ(session.eventCount(), 0u);
+
+    // The inert global default accepts spans without crashing.
+    {
+        PRIME_SPAN(telemetry::globalTrace(), "ignored");
+    }
+    SUCCEED();
+}
+
+TEST(Trace, ThreadedLanesRecordWithoutCorruption)
+{
+    telemetry::TraceSession session;
+    session.enable();
+    telemetry::setGlobalTrace(&session);
+    constexpr int kTasks = 64;
+    {
+        ThreadPool pool(4);
+        pool.parallelFor(kTasks, [&](std::size_t) {
+            PRIME_SPAN(telemetry::globalTrace(), "work", "test");
+        });
+    }
+    telemetry::setGlobalTrace(nullptr);
+    session.disable();
+
+    // Every task recorded its own span plus the pool's per-task span.
+    EXPECT_EQ(session.eventCount(), 2u * kTasks);
+    EXPECT_GE(session.laneCount(), 1u);
+    EXPECT_LE(session.laneCount(), 4u);
+
+    std::ostringstream os;
+    session.writeChromeTrace(os);
+    Json doc = parseJson(os.str());
+
+    int work = 0, pool_tasks = 0;
+    std::map<int, std::vector<std::pair<double, double>>> tasksByLane;
+    for (const Json &e : doc["traceEvents"].items) {
+        if (e["ph"].str != "X")
+            continue;
+        const int tid = static_cast<int>(e["tid"].number);
+        if (e["name"].str == "work") {
+            ++work;
+            tasksByLane[tid].emplace_back(e["ts"].number,
+                                          e["dur"].number);
+        } else if (e["name"].str == "pool.task") {
+            ++pool_tasks;
+        }
+    }
+    EXPECT_EQ(work, kTasks);
+    EXPECT_EQ(pool_tasks, kTasks);
+    // Per lane, completion-ordered span end times never go backwards
+    // (each thread appends to its own buffer with monotonic clocks).
+    for (const auto &[tid, spans] : tasksByLane) {
+        double last_end = -1.0;
+        for (const auto &[ts, dur] : spans) {
+            EXPECT_GE(ts + dur, last_end) << "lane " << tid;
+            last_end = ts + dur;
+        }
+    }
+}
+
+TEST(Trace, ClearKeepsLanesDropsEvents)
+{
+    telemetry::TraceSession session;
+    session.enable();
+    {
+        PRIME_SPAN(&session, "before", "test");
+    }
+    EXPECT_EQ(session.eventCount(), 1u);
+    session.clear();
+    EXPECT_EQ(session.eventCount(), 0u);
+    {
+        PRIME_SPAN(&session, "after", "test");
+    }
+    EXPECT_EQ(session.eventCount(), 1u);
+}
+
+} // namespace
+} // namespace prime

@@ -8,27 +8,53 @@
  *   prime_cli bench <name>          evaluate one MlBench benchmark on
  *                                   every platform (CNN-1, MLP-S, ...)
  *   prime_cli suite                 the full Figure 8/10 matrix
+ *   prime_cli run <name>            functional end-to-end inference:
+ *                                   train on the synthetic digit task,
+ *                                   execute on the full PrimeSystem
  *   prime_cli area                  the Figure 12 area report
  *   prime_cli help
  *
  * All commands accept `--set key=value` TechParams overrides (see
  * nvmodel::applyConfig for the key list), e.g.
  *   prime_cli bench MLP-S --set geometry.ff_subarrays=4
+ *
+ * Observability options (every command):
+ *   --stats-json <file>   write the versioned JSON stats document
+ *   --trace <file>        record a Chrome trace_event JSON file of the
+ *                         run (open in Perfetto / chrome://tracing)
+ * `run` options: --images N (test set), --train N, --epochs N.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "common/config.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
 #include "common/table.hh"
+#include "common/telemetry/trace_session.hh"
+#include "nn/dataset.hh"
+#include "nn/network.hh"
 #include "nvmodel/area_model.hh"
+#include "prime/prime_system.hh"
 #include "sim/evaluator.hh"
 
 using namespace prime;
 
 namespace {
+
+/** Options shared by every subcommand. */
+struct CliOptions
+{
+    std::string statsJson;  ///< --stats-json <file>
+    std::string traceFile;  ///< --trace <file>
+    int images = 50;        ///< run: test images
+    int train = 400;        ///< run: training images
+    int epochs = 1;         ///< run: training epochs
+};
 
 /** Parsed --set overrides applied to the default TechParams. */
 nvmodel::TechParams
@@ -44,6 +70,42 @@ techFromArgs(int argc, char **argv)
     return tech;
 }
 
+CliOptions
+optionsFromArgs(int argc, char **argv)
+{
+    CliOptions opt;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc)
+            opt.statsJson = argv[++i];
+        else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+            opt.traceFile = argv[++i];
+        else if (std::strcmp(argv[i], "--images") == 0 && i + 1 < argc)
+            opt.images = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--train") == 0 && i + 1 < argc)
+            opt.train = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc)
+            opt.epochs = std::atoi(argv[++i]);
+    }
+    return opt;
+}
+
+/** Write one versioned stats document to opt.statsJson (if requested). */
+void
+writeStats(const CliOptions &opt,
+           const std::vector<std::pair<std::string, const StatGroup *>>
+               &groups)
+{
+    if (opt.statsJson.empty())
+        return;
+    std::ofstream os(opt.statsJson);
+    if (!os) {
+        PRIME_WARN("cannot open stats file ", opt.statsJson);
+        return;
+    }
+    writeStatsDocument(os, groups);
+    PRIME_INFORM("stats: wrote ", opt.statsJson);
+}
+
 int
 usage()
 {
@@ -52,8 +114,13 @@ usage()
         "  prime_cli map <spec> [CxHxW]   mapping plan for a topology\n"
         "  prime_cli bench <name>         one MlBench benchmark\n"
         "  prime_cli suite                full platform matrix\n"
+        "  prime_cli run <name>           functional PrimeSystem "
+        "inference\n"
         "  prime_cli area                 Figure 12 area report\n"
-        "options: --set key=value         override TechParams\n");
+        "options: --set key=value         override TechParams\n"
+        "         --stats-json <file>     write JSON stats document\n"
+        "         --trace <file>          write Chrome trace JSON\n"
+        "run:     --images N --train N --epochs N\n");
     return 2;
 }
 
@@ -92,7 +159,7 @@ cmdMap(int argc, char **argv)
     if (argc < 3)
         return usage();
     int c = 1, h = 28, w = 28;
-    if (argc >= 4) {
+    if (argc >= 4 && argv[3][0] != '-') {
         if (std::sscanf(argv[3], "%dx%dx%d", &c, &h, &w) != 3) {
             std::fprintf(stderr, "bad input shape '%s' (want CxHxW)\n",
                          argv[3]);
@@ -125,23 +192,83 @@ printEvaluation(const sim::BenchmarkEvaluation &e)
 }
 
 int
-cmdBench(int argc, char **argv)
+cmdBench(int argc, char **argv, const CliOptions &opt)
 {
     if (argc < 3)
         return usage();
     sim::Evaluator ev(techFromArgs(argc, argv));
     printEvaluation(ev.evaluate(nn::mlBenchByName(argv[2])));
+    writeStats(opt, {{"evaluator", &ev.stats()}});
     return 0;
 }
 
 int
-cmdSuite(int argc, char **argv)
+cmdSuite(int argc, char **argv, const CliOptions &opt)
 {
     sim::Evaluator ev(techFromArgs(argc, argv));
     for (const auto &e : ev.evaluateMlBench()) {
         printEvaluation(e);
         std::printf("\n");
     }
+    writeStats(opt, {{"evaluator", &ev.stats()}});
+    return 0;
+}
+
+/**
+ * Functional end-to-end run (the digit-recognition example as a
+ * command): train the named MlBench network on the synthetic digit
+ * task, execute the test set on the full PrimeSystem (mats, controller,
+ * Table I commands), then report accuracy and the telemetry the run
+ * produced.  Small training defaults keep it fast; scale with
+ * --train/--epochs/--images.
+ */
+int
+cmdRun(int argc, char **argv, const CliOptions &opt)
+{
+    if (argc < 3)
+        return usage();
+    nn::Topology topo = nn::mlBenchByName(argv[2]);
+
+    nn::SyntheticMnist gen;
+    const std::size_t train_n =
+        static_cast<std::size_t>(opt.train > 0 ? opt.train : 1);
+    const std::size_t test_n =
+        static_cast<std::size_t>(opt.images > 0 ? opt.images : 1);
+    std::vector<nn::Sample> train = gen.generate(train_n);
+    std::vector<nn::Sample> test = gen.generate(test_n);
+
+    Rng rng(7);
+    nn::Network net = nn::buildNetwork(topo, rng);
+    nn::Trainer::Options topt;
+    topt.epochs = opt.epochs > 0 ? opt.epochs : 1;
+    topt.learningRate = 0.05;
+    nn::Trainer::train(net, train, topt);
+
+    core::PrimeSystem prime(techFromArgs(argc, argv));
+    prime.mapTopology(topo);
+    prime.programWeight(net);
+    prime.configDatapath();
+    const std::size_t calib_n = train.size() < 30 ? train.size() : 30;
+    prime.calibrate(std::vector<nn::Sample>(train.begin(),
+                                            train.begin() + calib_n));
+
+    int correct = 0;
+    for (const nn::Sample &s : test)
+        if (static_cast<int>(prime.run(s.input).argmax()) == s.label)
+            ++correct;
+    prime.release();
+
+    std::printf("%s on PrimeSystem: %d/%zu correct (%.1f%%), trained "
+                "%zu images x %d epoch(s)\n\n",
+                topo.name.c_str(), correct, test.size(),
+                100.0 * correct / test.size(), train.size(),
+                topt.epochs);
+    prime.stats().dump(std::cout);
+    std::printf("\n");
+    prime.mainMemory().stats().dump(std::cout);
+
+    writeStats(opt, {{"system", &prime.stats()},
+                     {"memory", &prime.mainMemory().stats()}});
     return 0;
 }
 
@@ -159,6 +286,22 @@ cmdArea(int argc, char **argv)
     return 0;
 }
 
+int
+dispatch(int argc, char **argv, const CliOptions &opt)
+{
+    if (std::strcmp(argv[1], "map") == 0)
+        return cmdMap(argc, argv);
+    if (std::strcmp(argv[1], "bench") == 0)
+        return cmdBench(argc, argv, opt);
+    if (std::strcmp(argv[1], "suite") == 0)
+        return cmdSuite(argc, argv, opt);
+    if (std::strcmp(argv[1], "run") == 0)
+        return cmdRun(argc, argv, opt);
+    if (std::strcmp(argv[1], "area") == 0)
+        return cmdArea(argc, argv);
+    return usage();
+}
+
 } // namespace
 
 int
@@ -166,18 +309,33 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
+    const CliOptions opt = optionsFromArgs(argc, argv);
+
+    telemetry::TraceSession trace;
+    if (!opt.traceFile.empty()) {
+        trace.enable();
+        telemetry::setGlobalTrace(&trace);
+    }
+
+    int rc = 1;
     try {
-        if (std::strcmp(argv[1], "map") == 0)
-            return cmdMap(argc, argv);
-        if (std::strcmp(argv[1], "bench") == 0)
-            return cmdBench(argc, argv);
-        if (std::strcmp(argv[1], "suite") == 0)
-            return cmdSuite(argc, argv);
-        if (std::strcmp(argv[1], "area") == 0)
-            return cmdArea(argc, argv);
-        return usage();
+        rc = dispatch(argc, argv, opt);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
     }
+
+    if (!opt.traceFile.empty()) {
+        telemetry::setGlobalTrace(nullptr);
+        trace.disable();
+        std::ofstream os(opt.traceFile);
+        if (os) {
+            trace.writeChromeTrace(os);
+            PRIME_INFORM("trace: wrote ", trace.eventCount(),
+                         " events on ", trace.laneCount(),
+                         " lane(s) to ", opt.traceFile);
+        } else {
+            PRIME_WARN("cannot open trace file ", opt.traceFile);
+        }
+    }
+    return rc;
 }
