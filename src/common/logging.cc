@@ -35,6 +35,8 @@ LogLevel
 levelFromEnv()
 {
     LogLevel level = LogLevel::Normal;
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup; the
+    // simulator never calls setenv/putenv after startup.
     if (const char *env = std::getenv("PRIME_LOG")) {
         if (!parseLogLevel(env, level) && *env)
             std::fprintf(stderr,

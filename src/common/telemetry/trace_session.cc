@@ -35,14 +35,19 @@ TraceSession::TraceSession()
 void
 TraceSession::enable()
 {
-    epoch_ = std::chrono::steady_clock::now();
-    enabled_.store(true, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        epoch_ = std::chrono::steady_clock::now();
+    }
+    // Release pairs with the acquire in enabled(): a thread that sees
+    // the session enabled also sees the new epoch.
+    enabled_.store(true, std::memory_order_release);
 }
 
 void
 TraceSession::disable()
 {
-    enabled_.store(false, std::memory_order_relaxed);
+    enabled_.store(false, std::memory_order_release);
 }
 
 std::int64_t
@@ -80,6 +85,28 @@ TraceSession::lane()
 }
 
 void
+TraceSession::append(TraceEvent event)
+{
+    Lane &l = lane();
+    // The owning thread is the sole writer of `committed`, so a
+    // relaxed self-read is exact.
+    const std::uint64_t n = l.committed.load(std::memory_order_relaxed);
+    const std::size_t chunk = static_cast<std::size_t>(n / kChunkSize);
+    if (chunk == l.chunks.size()) {
+        // Growing the chunk list is the only append step a concurrent
+        // reader could observe mid-flight; serialize it with them.
+        std::lock_guard<std::mutex> lock(mutex_);
+        l.chunks.push_back(
+            std::make_unique<std::array<TraceEvent, kChunkSize>>());
+    }
+    (*l.chunks[chunk])[static_cast<std::size_t>(n % kChunkSize)] =
+        std::move(event);
+    // Publish: readers that acquire-load `committed` and see n + 1 also
+    // see the fully-written slot above.
+    l.committed.store(n + 1, std::memory_order_release);
+}
+
+void
 TraceSession::completeSpan(std::string name, const char *category,
                            std::int64_t start_ns, std::int64_t end_ns)
 {
@@ -91,7 +118,7 @@ TraceSession::completeSpan(std::string name, const char *category,
     e.phase = 'X';
     e.tsNs = start_ns;
     e.durNs = end_ns > start_ns ? end_ns - start_ns : 0;
-    lane().events.push_back(std::move(e));
+    append(std::move(e));
 }
 
 void
@@ -104,7 +131,7 @@ TraceSession::instant(std::string name, const char *category)
     e.category = category;
     e.phase = 'i';
     e.tsNs = now();
-    lane().events.push_back(std::move(e));
+    append(std::move(e));
 }
 
 std::size_t
@@ -113,7 +140,7 @@ TraceSession::eventCount() const
     std::lock_guard<std::mutex> lock(mutex_);
     std::size_t n = 0;
     for (const auto &l : lanes_)
-        n += l->events.size();
+        n += l->committed.load(std::memory_order_acquire);
     return n;
 }
 
@@ -128,10 +155,12 @@ void
 TraceSession::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    // Keep the lanes themselves: recording threads may hold cached
-    // pointers to them.  Only the events are dropped.
+    // Keep the lanes (recording threads may hold cached pointers) and
+    // their chunks (capacity reuse); only the committed prefixes are
+    // dropped.  Writing another thread's counter is why clear() must
+    // not race with recording.
     for (const auto &l : lanes_)
-        l->events.clear();
+        l->committed.store(0, std::memory_order_release);
     epoch_ = std::chrono::steady_clock::now();
 }
 
@@ -155,7 +184,12 @@ TraceSession::writeChromeTrace(std::ostream &os) const
         os << "}}";
     }
     for (const auto &l : lanes_) {
-        for (const TraceEvent &e : l->events) {
+        const std::uint64_t committed =
+            l->committed.load(std::memory_order_acquire);
+        for (std::uint64_t i = 0; i < committed; ++i) {
+            const TraceEvent &e =
+                (*l->chunks[static_cast<std::size_t>(i / kChunkSize)])
+                    [static_cast<std::size_t>(i % kChunkSize)];
             sep();
             os << "{\"name\":";
             jsonString(os, e.name);
@@ -183,14 +217,14 @@ TraceSession *
 globalTrace()
 {
     static TraceSession inert;  // permanently disabled default
-    TraceSession *t = g_trace.load(std::memory_order_relaxed);
+    TraceSession *t = g_trace.load(std::memory_order_acquire);
     return t ? t : &inert;
 }
 
 void
 setGlobalTrace(TraceSession *session)
 {
-    g_trace.store(session, std::memory_order_relaxed);
+    g_trace.store(session, std::memory_order_release);
 }
 
 void

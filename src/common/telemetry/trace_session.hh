@@ -5,10 +5,10 @@
  *
  * A TraceSession records complete spans ("X" events) and instant events
  * ("i") into per-thread lanes: each recording thread appends to its own
- * buffer with no synchronization, so instrumentation in the thread-pool
- * fan-out paths neither serializes the workers nor interleaves their
- * events.  Lanes are created lazily under a mutex on a thread's first
- * event and become that thread's Perfetto track.
+ * lane, so instrumentation in the thread-pool fan-out paths neither
+ * serializes the workers nor interleaves their events.  Lanes are
+ * created lazily under a mutex on a thread's first event and become
+ * that thread's Perfetto track.
  *
  * Instrumentation uses the PRIME_SPAN RAII macro against the
  * process-wide session pointer (globalTrace()); a disabled session
@@ -17,15 +17,28 @@
  * The macro intentionally is NOT placed in per-element kernels (the
  * crossbar MVM inner loops): spans are command/transfer granular.
  *
- * Threading contract: recording is concurrent; enable(), disable(),
- * clear() and writeChromeTrace() must not race with recording threads
- * (callers quiesce the pool first, which every current call site does
- * by tracing around parallelFor rather than across it).
+ * Threading / memory-ordering contract (see also ARCHITECTURE.md):
+ *  - A lane's events live in fixed-size chunks that never move once
+ *    allocated; the owning thread is the only writer.  It publishes
+ *    each event with a release store of the lane's `committed`
+ *    counter after the slot is fully written.
+ *  - Readers (eventCount, laneCount, writeChromeTrace) take the
+ *    session mutex (stabilizing the lane and chunk lists) and load
+ *    `committed` with acquire, then touch only the published prefix.
+ *    They may therefore run concurrently with recording threads and
+ *    observe a consistent snapshot.
+ *  - enable(), disable() and clear() still must not race with
+ *    recording threads: they rewrite state the fast path reads without
+ *    synchronization (the epoch, and each lane's committed counter).
+ *    Callers quiesce the pool first, which every current call site
+ *    does by toggling/clearing around parallelFor rather than across
+ *    it.
  */
 
 #ifndef PRIME_COMMON_TELEMETRY_TRACE_SESSION_HH
 #define PRIME_COMMON_TELEMETRY_TRACE_SESSION_HH
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -64,7 +77,9 @@ class TraceSession
     void disable();
     bool enabled() const
     {
-        return enabled_.load(std::memory_order_relaxed);
+        // Acquire pairs with the release in enable(): seeing "enabled"
+        // implies seeing the epoch written just before it.
+        return enabled_.load(std::memory_order_acquire);
     }
 
     /** Nanoseconds since the session epoch. */
@@ -77,34 +92,62 @@ class TraceSession
     /** Record an instant event on the calling thread's lane. */
     void instant(std::string name, const char *category);
 
-    /** Total recorded events over all lanes. */
+    /**
+     * Total published events over all lanes.  Safe to call while other
+     * threads are recording: counts each lane's committed prefix.
+     */
     std::size_t eventCount() const;
 
     /** Number of lanes (threads that recorded at least one event). */
     std::size_t laneCount() const;
 
-    /** Drop all recorded events and lanes. */
+    /**
+     * Drop all recorded events (lanes are kept: recording threads may
+     * hold cached pointers to them).  Must not race with recording.
+     */
     void clear();
 
-    /** Write the Chrome trace_event JSON document. */
+    /**
+     * Write the Chrome trace_event JSON document.  Safe to call while
+     * other threads are recording: exports each lane's committed
+     * prefix.
+     */
     void writeChromeTrace(std::ostream &os) const;
 
   private:
+    /** Events per chunk; chunks never move or shrink once allocated. */
+    static constexpr std::size_t kChunkSize = 256;
+
     struct Lane
     {
         int tid = 0;
         std::string name;
         std::thread::id threadId;
-        std::vector<TraceEvent> events;
+        /**
+         * Number of fully-written events.  Written only by the owning
+         * thread (release); readers load with acquire and touch only
+         * slots below the loaded value.
+         */
+        std::atomic<std::uint64_t> committed{0};
+        /**
+         * Chunked event storage.  The vector itself grows only under
+         * the session mutex (by the owning thread); published slots
+         * are immutable until clear().
+         */
+        std::vector<std::unique_ptr<std::array<TraceEvent, kChunkSize>>>
+            chunks;
     };
 
     /** The calling thread's lane (created on first use). */
     Lane &lane();
 
+    /** Owner-thread append: write the slot, then publish (release). */
+    void append(TraceEvent event);
+
     const std::uint64_t serial_;  ///< process-unique session identity
     std::chrono::steady_clock::time_point epoch_;
     std::atomic<bool> enabled_{false};
-    mutable std::mutex mutex_;  ///< guards lanes_ growth
+    mutable std::mutex mutex_;  ///< guards lanes_ and chunk-list growth
     std::vector<std::unique_ptr<Lane>> lanes_;
 };
 

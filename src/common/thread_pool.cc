@@ -41,6 +41,8 @@ ThreadPool::~ThreadPool()
 int
 ThreadPool::defaultThreadCount()
 {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup; the
+    // simulator never calls setenv/putenv after startup.
     if (const char *env = std::getenv("PRIME_THREADS")) {
         const int n = std::atoi(env);
         if (n > 0)

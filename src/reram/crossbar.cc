@@ -14,8 +14,22 @@ namespace {
 // at "avx2" (no FMA target): mul-then-add per element is identically
 // rounded on every clone, keeping analog results bit-exact across
 // machines.
+//
+// Disabled under sanitizers: target_clones emits GNU ifunc resolvers,
+// which the dynamic linker runs during relocation -- before the
+// ASan/TSan runtime has initialized -- crashing every binary that
+// links this TU.  The PRIME_SANITIZE builds take the plain loop.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define PRIME_MVM_NO_CLONES 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define PRIME_MVM_NO_CLONES 1
+#endif
+#endif
+
 #if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
-    defined(__ELF__)
+    defined(__ELF__) && !defined(PRIME_MVM_NO_CLONES)
 #define PRIME_MVM_INT_CLONES \
     __attribute__((target_clones("default", "avx2", "arch=x86-64-v4")))
 #define PRIME_MVM_FP_CLONES \
@@ -65,6 +79,11 @@ Crossbar::index(int row, int col) const
 void
 Crossbar::rebuildPlanes() const
 {
+    std::lock_guard<std::mutex> lock(planesMutex_);
+    // Double-checked: a concurrent MVM may have rebuilt while this
+    // thread waited for the lock.
+    if (!planesDirty_.load(std::memory_order_acquire))
+        return;
     const std::size_t n = cells_.size();
     levelPlane_.resize(n);
     gEffPlane_.resize(n);
@@ -88,7 +107,7 @@ Crossbar::rebuildPlanes() const
             gEffPlane_[base + c] = g;
         }
     }
-    planesDirty_ = false;
+    planesDirty_.store(false, std::memory_order_release);
 }
 
 void

@@ -16,7 +16,9 @@
 #ifndef PRIME_RERAM_CROSSBAR_HH
 #define PRIME_RERAM_CROSSBAR_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -168,31 +170,36 @@ class Crossbar
      */
     Cell &mutableAt(int row, int col)
     {
-        planesDirty_ = true;
+        planesDirty_.store(true, std::memory_order_release);
         return cells_[index(row, col)];
     }
 
-    /** Rebuild the SoA planes from the Cell array. */
+    /** Rebuild the SoA planes from the Cell array (takes planesMutex_). */
     void rebuildPlanes() const;
 
     /** Planes, rebuilt if a mutation invalidated them. */
     void ensurePlanes() const
     {
-        if (planesDirty_)
+        if (planesDirty_.load(std::memory_order_acquire))
             rebuildPlanes();
     }
 
     CrossbarParams params_;
     std::vector<Cell> cells_;
 
-    // Cached structure-of-arrays planes for the MVM fast path.  Lazily
-    // (re)built from cells_; any mutation flips planesDirty_.  Not safe
-    // to build concurrently: do not share one Crossbar across threads
-    // while it is dirty (the evaluator's fan-out keeps whole engines
-    // thread-private, which satisfies this).
+    // Cached structure-of-arrays planes for the MVM fast path, lazily
+    // (re)built from cells_; any mutation flips planesDirty_.  The
+    // read path is safe to share across threads: the first MVM after a
+    // mutation rebuilds under planesMutex_ and publishes with a
+    // release store of planesDirty_, which the acquire load in
+    // ensurePlanes pairs with.  Mutations themselves must still be
+    // externally ordered against concurrent MVMs (the evaluator's
+    // fan-out keeps whole engines thread-private, and the controller
+    // programs cells only between compute phases).
+    mutable std::mutex planesMutex_;          ///< serializes rebuilds
     mutable std::vector<int> levelPlane_;     ///< rows x cols levels
     mutable std::vector<double> gEffPlane_;   ///< rows x cols uS, IR folded
-    mutable bool planesDirty_ = true;
+    mutable std::atomic<bool> planesDirty_{true};
 };
 
 /**

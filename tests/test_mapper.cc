@@ -249,8 +249,9 @@ TEST_P(MapperOptionSweep, PlanStaysConsistent)
                   plan.utilizationBefore - 1e-9)
             << name;
         // Parallelism switches behave.
-        if (!combo.bankParallelism)
+        if (!combo.bankParallelism) {
             EXPECT_EQ(plan.bankReplicas, 1) << name;
+        }
         if (!combo.replication) {
             EXPECT_EQ(plan.copiesPerBank, 1) << name;
             for (const LayerMapping &m : plan.layers)

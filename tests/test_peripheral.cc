@@ -161,11 +161,13 @@ TEST_P(MaxPoolSweep, AgreesWithStdMax)
 {
     const int seed = GetParam();
     MaxPoolUnit unit;
-    // Deterministic pseudo-random pattern from the seed.
-    std::int64_t state = seed;
+    // Deterministic pseudo-random pattern from the seed.  Unsigned
+    // state: the LCG relies on mod-2^64 wraparound, which would be UB
+    // on a signed type.
+    std::uint64_t state = static_cast<std::uint64_t>(seed);
     auto next = [&]() {
-        state = state * 6364136223846793005LL + 1442695040888963407LL;
-        return (state >> 33) % 1000 - 500;
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<std::int64_t>(state >> 33) % 1000 - 500;
     };
     for (int trial = 0; trial < 200; ++trial) {
         std::array<std::int64_t, 4> in = {next(), next(), next(), next()};

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""PRIME-specific lint: project invariants no generic analyzer knows.
+
+Checks
+------
+span-in-kernel
+    PRIME_SPAN must never appear under src/reram/: spans are
+    command/transfer granular, and the crossbar MVM inner loops are
+    exactly the per-element kernels the tracing layer promises to stay
+    out of (see trace_session.hh).
+
+command-spans
+    Every Table-I command (mapping::CommandOp) must have a "cmd."
+    mnemonic in commandOpName() and a handler case in
+    PrimeController::execute(), which itself must open a span through
+    commandOpName -- so every executed command shows up in traces.
+
+stats-naming
+    String literals registered via StatGroup get()/histogram()/
+    formula() must follow the dotted group.metric convention
+    (lowercase snake segments, at least one dot), keeping the stats
+    JSON stable for the Table-3/Figure-7 tooling.
+
+headers (opt-in: --check-headers)
+    Every header under src/ must be self-contained: a TU that includes
+    only that header must compile (include-what-you-use smoke).
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+FINDINGS: list[str] = []
+
+
+def finding(path: str, line: int, check: str, message: str) -> None:
+    FINDINGS.append(f"{path}:{line}: [{check}] {message}")
+
+
+def iter_source_files(root: str, subdir: str, exts: tuple[str, ...]):
+    base = os.path.join(root, subdir)
+    for dirpath, _dirnames, filenames in os.walk(base):
+        for name in sorted(filenames):
+            if name.endswith(exts):
+                yield os.path.join(dirpath, name)
+
+
+def relpath(root: str, path: str) -> str:
+    return os.path.relpath(path, root)
+
+
+def check_span_in_kernel(root: str) -> None:
+    """PRIME_SPAN is banned from the per-element kernel layer."""
+    for path in iter_source_files(root, "src/reram", (".hh", ".cc")):
+        with open(path, encoding="utf-8") as f:
+            for lineno, text in enumerate(f, 1):
+                if "PRIME_SPAN" in text and not text.lstrip().startswith("//"):
+                    finding(
+                        relpath(root, path), lineno, "span-in-kernel",
+                        "PRIME_SPAN in the crossbar/composing kernel layer;"
+                        " spans are command/transfer granular"
+                        " (trace_session.hh contract)")
+
+
+ENUM_RE = re.compile(r"enum\s+class\s+CommandOp[^{]*\{(?P<body>.*?)\}",
+                     re.DOTALL)
+ENUMERATOR_RE = re.compile(r"^\s*(?P<name>[A-Z]\w*)\s*=", re.MULTILINE)
+
+
+def parse_command_ops(root: str) -> list[str]:
+    path = os.path.join(root, "src/mapping/commands.hh")
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    m = ENUM_RE.search(text)
+    if not m:
+        finding("src/mapping/commands.hh", 1, "command-spans",
+                "could not locate 'enum class CommandOp'")
+        return []
+    return ENUMERATOR_RE.findall(m.group("body"))
+
+
+def check_command_spans(root: str) -> None:
+    ops = parse_command_ops(root)
+    if not ops:
+        return
+
+    # commandOpName must give every op a "cmd." mnemonic.
+    commands_cc = os.path.join(root, "src/mapping/commands.cc")
+    with open(commands_cc, encoding="utf-8") as f:
+        commands_text = f.read()
+    for op in ops:
+        case_re = re.compile(
+            r"case\s+CommandOp::%s\s*:\s*\n?\s*return\s+\"(?P<name>[^\"]+)\""
+            % re.escape(op))
+        m = case_re.search(commands_text)
+        if not m:
+            finding("src/mapping/commands.cc", 1, "command-spans",
+                    f"commandOpName has no case returning a name for"
+                    f" CommandOp::{op}")
+        elif not m.group("name").startswith("cmd."):
+            finding("src/mapping/commands.cc", 1, "command-spans",
+                    f"commandOpName for CommandOp::{op} is"
+                    f" '{m.group('name')}'; span names must start with"
+                    f" 'cmd.'")
+
+    # The controller must handle every op and span the dispatch.
+    controller_cc = os.path.join(root, "src/prime/controller.cc")
+    with open(controller_cc, encoding="utf-8") as f:
+        controller_text = f.read()
+    execute_m = re.search(
+        r"PrimeController::execute\b.*?\n\{(?P<body>.*?)\n\}",
+        controller_text, re.DOTALL)
+    if not execute_m:
+        finding("src/prime/controller.cc", 1, "command-spans",
+                "could not locate PrimeController::execute")
+        return
+    body = execute_m.group("body")
+    if not re.search(r"PRIME_SPAN\([^;]*commandOpName", body, re.DOTALL):
+        finding("src/prime/controller.cc", 1, "command-spans",
+                "PrimeController::execute does not open a span through"
+                " commandOpName: executed commands would be invisible"
+                " in traces")
+    for op in ops:
+        if not re.search(r"case\s+CommandOp::%s\s*:" % re.escape(op), body):
+            finding("src/prime/controller.cc", 1, "command-spans",
+                    f"PrimeController::execute has no case for"
+                    f" CommandOp::{op}")
+
+
+STAT_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+STAT_CALL_RE = re.compile(
+    r"(?:\.|->)(?P<fn>get|histogram|formula)\(\s*\"(?P<name>[^\"]*)\"")
+
+
+def check_stats_naming(root: str) -> None:
+    for path in iter_source_files(root, "src", (".hh", ".cc")):
+        if path.endswith(os.path.join("common", "stats.cc")):
+            continue  # the registry itself manipulates raw names
+        with open(path, encoding="utf-8") as f:
+            for lineno, text in enumerate(f, 1):
+                for m in STAT_CALL_RE.finditer(text):
+                    name = m.group("name")
+                    if not STAT_NAME_RE.match(name):
+                        finding(
+                            relpath(root, path), lineno, "stats-naming",
+                            f"stat name '{name}' does not follow the"
+                            f" dotted group.metric convention"
+                            f" (lowercase snake segments, >= 1 dot)")
+
+
+def check_headers(root: str, compiler: str) -> None:
+    headers = sorted(iter_source_files(root, "src", (".hh",)))
+    with tempfile.TemporaryDirectory() as tmp:
+        tu = os.path.join(tmp, "tu.cc")
+        for path in headers:
+            rel = os.path.relpath(path, os.path.join(root, "src"))
+            with open(tu, "w", encoding="utf-8") as f:
+                f.write(f'#include "{rel}"\n')
+            proc = subprocess.run(
+                [compiler, "-std=c++20", "-fsyntax-only",
+                 "-I", os.path.join(root, "src"), "-Wall", "-Wextra", tu],
+                capture_output=True, text=True)
+            if proc.returncode != 0:
+                first = next(
+                    (ln for ln in proc.stderr.splitlines() if "error" in ln),
+                    proc.stderr.strip().splitlines()[0]
+                    if proc.stderr.strip() else "unknown error")
+                finding(relpath(root, path), 1, "headers",
+                        f"not self-contained: {first}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo", default=None,
+                        help="repository root (default: the tool's parent)")
+    parser.add_argument("--check-headers", action="store_true",
+                        help="also compile each header standalone (slow)")
+    parser.add_argument("--compiler", default=os.environ.get("CXX", "c++"),
+                        help="compiler for --check-headers (default: $CXX"
+                             " or c++)")
+    args = parser.parse_args()
+
+    root = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"prime_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    check_span_in_kernel(root)
+    check_command_spans(root)
+    check_stats_naming(root)
+    if args.check_headers:
+        check_headers(root, args.compiler)
+
+    for f in FINDINGS:
+        print(f)
+    if FINDINGS:
+        print(f"prime_lint: {len(FINDINGS)} finding(s)", file=sys.stderr)
+        return 1
+    print("prime_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
