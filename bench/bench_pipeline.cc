@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Inter-bank pipeline throughput bench (paper Section V-A's inter-bank
+ * parallelism): a Large-scale mapping spreads a 4-layer MLP over four
+ * banks, and the batched front end runs one bank stage per sample
+ * concurrently.
+ *
+ * Throughput is reported in the modeled (simulated-hardware) domain,
+ * like every other bench here: sequential time/image is the sum of the
+ * per-stage costs, the pipelined interval is the bottleneck stage, and
+ * their ratio is the pipeline speedup.  The functional engine runs the
+ * same batch both ways to check the outputs stay bit-identical and to
+ * cross-check the analytic bottleneck against the measured per-stage
+ * wall-clock shares; host wall-clock is recorded as secondary data
+ * (it only shows a speedup when the host has cores to spare).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/thread_pool.hh"
+#include "nn/topology.hh"
+#include "prime/prime_system.hh"
+#include "sim/prime_model.hh"
+
+using namespace prime;
+
+namespace {
+
+/** One FF mat per bank: each weighted layer becomes its own bank stage. */
+nvmodel::TechParams
+pipelineTech()
+{
+    nvmodel::TechParams tech = nvmodel::defaultTechParams();
+    tech.geometry.ffSubarraysPerBank = 1;
+    tech.geometry.matsPerSubarray = 1;
+    return tech;
+}
+
+double
+elapsedNs(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchRun run("pipeline", argc, argv);
+    bench::header("inter-bank pipeline throughput");
+
+    // Four balanced 256-wide FC layers so no single stage starves the
+    // others; on the 1-mat-per-bank geometry this maps Large across
+    // four banks.
+    nn::Topology topo = nn::parseTopology(
+        "mlp-pipeline", "64-256-256-256-256", 1, 8, 8);
+    Rng rng(7);
+    nn::Network net = nn::buildNetwork(topo, rng);
+
+    core::PrimeSystem prime(pipelineTech());
+    const mapping::MappingPlan &plan = prime.mapTopology(topo);
+    prime.programWeight(net);
+    prime.configDatapath();
+    std::printf("mapping: scale %s, %d bank(s), %zu pipeline stage(s)\n",
+                mapping::nnScaleName(plan.scale), plan.banksUsed,
+                prime.stages().size());
+
+    const int batch = 64;
+    Rng input_rng(11);
+    std::vector<nn::Tensor> inputs;
+    for (int i = 0; i < batch; ++i) {
+        nn::Tensor t({1, 8, 8});
+        for (std::size_t k = 0; k < t.size(); ++k)
+            t[k] = input_rng.uniform(0.0, 1.0);
+        inputs.push_back(std::move(t));
+    }
+
+    ThreadPool::setGlobalThreadCount(
+        std::max<int>(4, static_cast<int>(prime.stages().size())));
+
+    // Warm-up (page in weights, spin up the pool), then timed runs.
+    core::PrimeSystem::RunBatchOptions sequential;
+    sequential.pipeline = false;
+    core::PrimeSystem::RunBatchOptions pipelined;
+    pipelined.pipeline = true;
+    (void)prime.runBatch(std::span<const nn::Tensor>(inputs), pipelined);
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<nn::Tensor> seq_out =
+        prime.runBatch(std::span<const nn::Tensor>(inputs), sequential);
+    const double seq_ns = elapsedNs(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    std::vector<nn::Tensor> pipe_out =
+        prime.runBatch(std::span<const nn::Tensor>(inputs), pipelined);
+    const double pipe_ns = elapsedNs(t0);
+    ThreadPool::setGlobalThreadCount(0);
+
+    // The engine's determinism contract: bit-identical outputs.
+    for (std::size_t i = 0; i < seq_out.size(); ++i)
+        for (std::size_t k = 0; k < seq_out[i].size(); ++k)
+            if (seq_out[i][k] != pipe_out[i][k]) {
+                std::fprintf(stderr,
+                             "FAIL: pipelined output diverges at sample "
+                             "%zu element %zu\n",
+                             i, k);
+                return 1;
+            }
+
+    // Modeled throughput: a batch drains at one image per bottleneck-
+    // stage interval instead of one per whole-network traversal.
+    sim::PrimeModel model(pipelineTech());
+    const std::vector<Ns> stage_costs = model.stageCosts(topo, plan);
+    Ns total_ns = 0.0, bottleneck_ns = 0.0;
+    for (Ns c : stage_costs) {
+        total_ns += c;
+        bottleneck_ns = std::max(bottleneck_ns, c);
+    }
+    const std::size_t n_stages = stage_costs.size();
+    // Fill the pipeline, then one image per interval.
+    const double pipe_batch_ns =
+        total_ns + (batch - 1) * bottleneck_ns;
+    const double seq_batch_ns = batch * total_ns;
+    const double speedup = seq_batch_ns / pipe_batch_ns;
+    std::printf("modeled sequential: %9.2f us/batch (%7.0f Kimages/s)\n",
+                seq_batch_ns / 1e3, batch / (seq_batch_ns / 1e9) / 1e3);
+    std::printf("modeled pipelined:  %9.2f us/batch (%7.0f Kimages/s)\n",
+                pipe_batch_ns / 1e3, batch / (pipe_batch_ns / 1e9) / 1e3);
+    std::printf("modeled speedup:    %9.2fx (ideal %.2fx at this "
+                "balance)\n",
+                speedup, total_ns / bottleneck_ns);
+
+    // Cross-check the analytic bottleneck against the engine's measured
+    // per-stage wall-clock: the heaviest stage should claim a similar
+    // share of the total in both domains.
+    const telemetry::Histogram &stage_wall =
+        prime.stats().histogram("pipeline.stage_ns");
+    const double measured_bottleneck_share =
+        prime.stats().get("pipeline.measured_bottleneck_ns").sum() /
+        (stage_wall.mean() * static_cast<double>(n_stages) * 2.0);
+    std::printf("measured stage wall: mean %.1f us, bottleneck share "
+                "%.2f (analytic %.2f), occupancy mean %.2f\n",
+                stage_wall.mean() / 1e3, measured_bottleneck_share,
+                bottleneck_ns / total_ns,
+                prime.stats().histogram("pipeline.occupancy").mean());
+    std::printf("host wall-clock: sequential %.2f ms, pipelined %.2f ms "
+                "(%.2fx; 1.0x expected on a single-core host)\n",
+                seq_ns / 1e6, pipe_ns / 1e6, seq_ns / pipe_ns);
+
+    StatGroup &stats = run.stats();
+    stats.get("pipeline.batch").add(batch);
+    stats.get("pipeline.stages").add(static_cast<double>(n_stages));
+    stats.get("pipeline.sequential_ns").add(seq_batch_ns);
+    stats.get("pipeline.pipelined_ns").add(pipe_batch_ns);
+    stats.get("pipeline.speedup").add(speedup);
+    stats.get("pipeline.sequential_images_per_s")
+        .add(batch / (seq_batch_ns / 1e9));
+    stats.get("pipeline.pipelined_images_per_s")
+        .add(batch / (pipe_batch_ns / 1e9));
+    stats.get("pipeline.analytic_total_ns").add(total_ns);
+    stats.get("pipeline.analytic_bottleneck_ns").add(bottleneck_ns);
+    stats.get("pipeline.host_sequential_ns").add(seq_ns);
+    stats.get("pipeline.host_pipelined_ns").add(pipe_ns);
+    stats.get("pipeline.host_speedup").add(seq_ns / pipe_ns);
+
+    if (speedup < 2.0) {
+        std::printf("FAIL: modeled pipeline speedup %.2fx below the 2x "
+                    "target\n",
+                    speedup);
+        run.finish();
+        return 1;
+    }
+    run.finish();
+    return 0;
+}

@@ -73,7 +73,14 @@ Histogram::quantile(double q) const
 {
     if (count_ == 0)
         return 0.0;
-    q = std::clamp(q, 0.0, 1.0);
+    // Explicit comparisons instead of std::clamp: NaN passes through
+    // clamp unchanged (its comparisons are all false) and would reach
+    // the uint64 cast below as undefined behavior.  !(q > 0) routes
+    // NaN, zero and negatives to the minimum rank.
+    if (!(q > 0.0))
+        q = 0.0;
+    else if (q > 1.0)
+        q = 1.0;
     // Nearest-rank: the value below which at least ceil(q * count)
     // samples fall.
     const std::uint64_t rank = std::max<std::uint64_t>(

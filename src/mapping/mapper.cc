@@ -1,6 +1,7 @@
 #include "mapping/mapper.hh"
 
 #include <algorithm>
+#include <set>
 
 #include "common/logging.hh"
 
@@ -43,6 +44,60 @@ MappingPlan::totalSynapseCells() const
             n += static_cast<long long>(t.rowsUsed) * t.colsUsed *
                  l.inMatReplicas;
     return n;
+}
+
+std::vector<PipelineStage>
+MappingPlan::pipelineStages(std::size_t topology_layer_count) const
+{
+    std::vector<PipelineStage> stages;
+    if (layers.empty()) {
+        PipelineStage all;
+        all.banks = {0};
+        all.endLayer = topology_layer_count;
+        return {all};
+    }
+
+    // Replica-0 bank set of every weighted layer.  The placement cursor
+    // is monotonic, so these sets are intervals and a stage break
+    // happens exactly where consecutive layers stop sharing a bank.
+    std::vector<std::set<int>> layer_banks(layers.size());
+    for (std::size_t i = 0; i < layers.size(); ++i)
+        for (const MatTile &t : layers[i].tiles)
+            if (t.replica == 0)
+                layer_banks[i].insert(t.bank);
+
+    PipelineStage cur;
+    std::set<int> banks = layer_banks[0];
+    for (std::size_t i = 1; i <= layers.size(); ++i) {
+        bool close = i == layers.size();
+        if (!close) {
+            bool overlap = false;
+            for (int b : layer_banks[i])
+                overlap = overlap || banks.count(b) > 0;
+            close = !overlap;
+        }
+        if (!close) {
+            banks.insert(layer_banks[i].begin(), layer_banks[i].end());
+            continue;
+        }
+        cur.endWeighted = i;
+        // A stage owns its weighted layers plus the activation/pool
+        // layers that follow them, up to the next stage's first
+        // weighted layer.
+        cur.endLayer = i == layers.size()
+                           ? topology_layer_count
+                           : static_cast<std::size_t>(
+                                 layers[i].info.layerIndex);
+        cur.banks.assign(banks.begin(), banks.end());
+        stages.push_back(cur);
+        if (i < layers.size()) {
+            cur = PipelineStage{};
+            cur.firstWeighted = i;
+            cur.firstLayer = stages.back().endLayer;
+            banks = layer_banks[i];
+        }
+    }
+    return stages;
 }
 
 Mapper::Mapper(const nvmodel::Geometry &geometry,
@@ -199,44 +254,73 @@ Mapper::map(const nn::Topology &topology) const
     }
 
     // 5. Physical placement: walk mats in (bank, subarray, mat) order.
-    long long cursor = 0;
-    auto place = [&](MatTile &tile) {
-        const long long in_bank = cursor % mats_per_bank;
-        tile.bank = static_cast<int>(cursor / mats_per_bank);
-        tile.subarray = static_cast<int>(in_bank /
-                                         geometry_.matsPerSubarray);
-        tile.mat = static_cast<int>(in_bank % geometry_.matsPerSubarray);
-        ++cursor;
-    };
-    for (LayerMapping &m : plan.layers) {
-        for (int rep = 0; rep < m.crossMatReplicas; ++rep) {
-            for (int rt = 0; rt < m.rowTiles; ++rt) {
-                for (int ct = 0; ct < m.colTiles; ++ct) {
-                    MatTile t;
-                    t.layerIndex = m.info.layerIndex;
-                    t.rowTile = rt;
-                    t.colTile = ct;
-                    t.replica = rep;
-                    t.rowsUsed = std::min(mat_rows,
-                                          m.info.rows - rt * mat_rows);
-                    t.colsUsed = std::min(mat_cols,
-                                          m.info.cols - ct * mat_cols);
-                    place(t);
-                    m.tiles.push_back(t);
+    // Large plans additionally align each layer's tile block to a bank
+    // boundary when the current bank's remainder cannot hold it: the
+    // inter-bank pipeline then gets clean bank-disjoint stage
+    // boundaries instead of adjacent layers straddling a shared bank.
+    // If the alignment holes would overflow the memory, fall back to
+    // dense placement (still a valid pipeline; consecutive layers just
+    // merge into wider stages).
+    auto place_all = [&](bool align) -> long long {
+        long long cursor = 0;
+        auto place = [&](MatTile &tile) {
+            const long long in_bank = cursor % mats_per_bank;
+            tile.bank = static_cast<int>(cursor / mats_per_bank);
+            tile.subarray = static_cast<int>(in_bank /
+                                             geometry_.matsPerSubarray);
+            tile.mat =
+                static_cast<int>(in_bank % geometry_.matsPerSubarray);
+            ++cursor;
+        };
+        for (LayerMapping &m : plan.layers) {
+            m.tiles.clear();
+            if (align) {
+                const long long block =
+                    static_cast<long long>(m.crossMatReplicas) *
+                    m.matsPerReplica();
+                const long long rem =
+                    mats_per_bank - cursor % mats_per_bank;
+                if (rem < mats_per_bank && block > rem)
+                    cursor += rem;
+            }
+            for (int rep = 0; rep < m.crossMatReplicas; ++rep) {
+                for (int rt = 0; rt < m.rowTiles; ++rt) {
+                    for (int ct = 0; ct < m.colTiles; ++ct) {
+                        MatTile t;
+                        t.layerIndex = m.info.layerIndex;
+                        t.rowTile = rt;
+                        t.colTile = ct;
+                        t.replica = rep;
+                        t.rowsUsed = std::min(
+                            mat_rows, m.info.rows - rt * mat_rows);
+                        t.colsUsed = std::min(
+                            mat_cols, m.info.cols - ct * mat_cols);
+                        place(t);
+                        m.tiles.push_back(t);
+                    }
                 }
             }
         }
-    }
+        return cursor;
+    };
+    long long end_cursor = place_all(plan.scale == NnScale::Large);
+    if (end_cursor > total_mats)
+        end_cursor = place_all(false);
 
     plan.utilizationAfter =
         static_cast<double>(plan.totalMats() +
                             static_cast<long long>(plan.copiesPerBank - 1) *
                                 base_mats) /
         reserved_mats;
-    // Replicas may spill into further banks; report the real footprint.
+    // Replicas and alignment holes may push tiles into further banks;
+    // report the real footprint and rescale bank-level parallelism to
+    // the banks actually left over.
     plan.banksUsed = static_cast<int>(std::max<long long>(
         plan.banksUsed,
-        (plan.totalMats() + mats_per_bank - 1) / mats_per_bank));
+        (end_cursor + mats_per_bank - 1) / mats_per_bank));
+    if (options_.enableBankParallelism)
+        plan.bankReplicas =
+            std::max(1, geometry_.totalBanks() / plan.banksUsed);
     return plan;
 }
 

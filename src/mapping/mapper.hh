@@ -23,6 +23,7 @@
 #ifndef PRIME_MAPPING_MAPPER_HH
 #define PRIME_MAPPING_MAPPER_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,26 @@ struct LayerMapping
     long long serialRounds() const;
 };
 
+/**
+ * One stage of the inter-bank pipeline a Large plan executes as
+ * (Section IV-B): a maximal run of consecutive weighted layers whose
+ * replica-0 tiles share banks.  Stages are bank-disjoint by
+ * construction (the placement cursor is monotonic), so they can run
+ * concurrently on different samples.  Small/medium plans collapse to a
+ * single stage covering the whole NN.
+ */
+struct PipelineStage
+{
+    /** Banks hosting this stage's replica-0 tiles (sorted, unique). */
+    std::vector<int> banks;
+    /** Topology layer range [firstLayer, endLayer) this stage executes
+     *  (weighted layers plus the activation/pool layers that follow
+     *  them). */
+    std::size_t firstLayer = 0, endLayer = 0;
+    /** Range [firstWeighted, endWeighted) into MappingPlan::layers. */
+    std::size_t firstWeighted = 0, endWeighted = 0;
+};
+
 /** The full compile-time plan. */
 struct MappingPlan
 {
@@ -126,6 +147,16 @@ struct MappingPlan
 
     long long totalMats() const;
     long long totalSynapseCells() const;
+
+    /**
+     * Group the plan's layers into bank-disjoint pipeline stages.
+     * @p topology_layer_count is the total layer count of the mapped
+     * Topology (so trailing activation/pool layers land in the last
+     * stage).  Always returns at least one stage; the stages partition
+     * both the topology layers and the weighted layers in order.
+     */
+    std::vector<PipelineStage>
+    pipelineStages(std::size_t topology_layer_count) const;
 };
 
 /** The compile-time mapper. */

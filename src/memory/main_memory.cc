@@ -44,6 +44,13 @@ MainMemory::bank(int global_bank)
 RequestResult
 MainMemory::access(const Request &request)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return accessLocked(request);
+}
+
+RequestResult
+MainMemory::accessLocked(const Request &request)
+{
     PRIME_SPAN(telemetry::globalTrace(),
                request.isWrite ? "mem.write" : "mem.read", "memory");
     RequestResult result;
@@ -79,6 +86,13 @@ MainMemory::access(const Request &request)
 std::vector<RequestResult>
 MainMemory::scheduleBatch(std::vector<Request> requests, int window)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return scheduleBatchLocked(std::move(requests), window);
+}
+
+std::vector<RequestResult>
+MainMemory::scheduleBatchLocked(std::vector<Request> requests, int window)
+{
     PRIME_ASSERT(window >= 1, "window=", window);
     std::vector<RequestResult> results;
     results.reserve(requests.size());
@@ -104,7 +118,7 @@ MainMemory::scheduleBatch(std::vector<Request> requests, int window)
         }
         Request next = pending[static_cast<std::size_t>(chosen)];
         pending.erase(pending.begin() + chosen);
-        results.push_back(access(next));
+        results.push_back(accessLocked(next));
     }
     return results;
 }
@@ -115,6 +129,7 @@ MainMemory::scheduleBytes(std::uint64_t addr, std::size_t bytes,
 {
     if (bytes == 0)
         return {};
+    std::lock_guard<std::mutex> lock(mutex_);
     const Ns issue = channelFree_;
     std::vector<Request> requests;
     requests.reserve((bytes + 63) / 64);
@@ -127,7 +142,7 @@ MainMemory::scheduleBytes(std::uint64_t addr, std::size_t bytes,
         r.issue = issue;
         requests.push_back(r);
     }
-    return scheduleBatch(std::move(requests));
+    return scheduleBatchLocked(std::move(requests), 16);
 }
 
 void
@@ -135,6 +150,7 @@ MainMemory::writeData(std::uint64_t addr,
                       const std::vector<std::uint8_t> &data)
 {
     PRIME_SPAN(telemetry::globalTrace(), "mem.write_data", "memory");
+    std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < data.size(); ++i)
         store_[addr + i] = data[i];
 }
@@ -143,6 +159,7 @@ std::vector<std::uint8_t>
 MainMemory::readData(std::uint64_t addr, std::size_t size) const
 {
     PRIME_SPAN(telemetry::globalTrace(), "mem.read_data", "memory");
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::uint8_t> out(size, 0);
     for (std::size_t i = 0; i < size; ++i) {
         auto it = store_.find(addr + i);
@@ -166,6 +183,7 @@ MainMemory::rowTag(const Location &loc) const
 double
 MainMemory::rowHitRate() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::uint64_t hits = 0, total = 0;
     for (const BankModel &b : banks_) {
         hits += b.rowHits();

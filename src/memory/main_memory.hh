@@ -13,6 +13,7 @@
 #define PRIME_MEMORY_MAIN_MEMORY_HH
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -48,6 +49,16 @@ struct RequestResult
  * of bank/channel availability forward; functional reads/writes touch
  * the sparse backing store (so PRIME's mode-morphing data migration can
  * be checked end to end).
+ *
+ * Thread safety: the timed/functional entry points (access,
+ * scheduleBatch, scheduleBytes, writeData, readData, channelFree,
+ * rowHitRate) serialize on an internal mutex so per-bank pipeline
+ * stages can share the memory.  Functional reads/writes at disjoint
+ * addresses are then order-independent; the *timing* state interleaves
+ * in arrival order, so latency stats under concurrency are
+ * schedule-dependent (functional results stay deterministic).  The
+ * bank() accessor and stats() are not synchronized -- inspect them
+ * only while no concurrent accesses run.
  */
 class MainMemory
 {
@@ -86,7 +97,11 @@ class MainMemory
     BankModel &bank(int global_bank);
 
     /** Earliest time the shared channel is free. */
-    Ns channelFree() const { return channelFree_; }
+    Ns channelFree() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return channelFree_;
+    }
 
     /** Aggregate row-buffer hit rate over all banks. */
     double rowHitRate() const;
@@ -98,12 +113,20 @@ class MainMemory
     /** Physical wordline tag for the row buffer (row x subarray x mat). */
     int rowTag(const Location &loc) const;
 
+    /** access() body; caller holds mutex_. */
+    RequestResult accessLocked(const Request &request);
+    /** scheduleBatch() body; caller holds mutex_. */
+    std::vector<RequestResult>
+    scheduleBatchLocked(std::vector<Request> requests, int window);
+
     nvmodel::TechParams params_;
     AddressMapper mapper_;
     std::vector<BankModel> banks_;
     Ns channelFree_ = 0.0;
     std::unordered_map<std::uint64_t, std::uint8_t> store_;
     StatGroup stats_;
+    /** Guards the timing state, the backing store and stats_. */
+    mutable std::mutex mutex_;
 };
 
 } // namespace prime::memory

@@ -318,10 +318,16 @@ mlBench()
 Topology
 mlBenchByName(const std::string &name)
 {
-    for (Topology &t : mlBench())
+    std::string valid;
+    for (Topology &t : mlBench()) {
         if (t.name == name)
             return t;
-    PRIME_FATAL("unknown MlBench benchmark: ", name);
+        if (!valid.empty())
+            valid += ", ";
+        valid += t.name;
+    }
+    PRIME_FATAL("unknown MlBench benchmark: ", name,
+                " (valid names: ", valid, ")");
 }
 
 } // namespace prime::nn

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The functional inter-bank pipeline engine (paper Section IV-B).
+ *
+ * A Large MappingPlan assigns consecutive layer groups to disjoint
+ * banks; PipelineEngine executes a batch of inputs as a real pipeline
+ * over those stages: every round, each stage that has an input and
+ * room in its output queue fires concurrently on the shared
+ * ThreadPool, then the coordinator advances the bounded inter-stage
+ * queues (backpressure -- no unbounded buffering).  Occupancy and
+ * per-stage wall time land in pipeline.* stats; every stage execution
+ * emits a "pipeline.stage" trace span.
+ *
+ * Determinism contract: each sample passes through the stages in
+ * order, touching per-stage-disjoint hardware (banks), staging windows
+ * and StatGroups, so the output tensors are bit-identical to
+ * sequential PrimeSystem::run() calls at any thread count, batch size
+ * and queue capacity.  Timing-derived stats (pipeline.stage_ns,
+ * mem.queue_ns under concurrency) are schedule-dependent.
+ */
+
+#ifndef PRIME_PRIME_PIPELINE_HH
+#define PRIME_PRIME_PIPELINE_HH
+
+#include <span>
+#include <vector>
+
+#include "prime/prime_system.hh"
+
+namespace prime::core {
+
+/** Executes one batch through the bank-stage pipeline. */
+class PipelineEngine
+{
+  public:
+    PipelineEngine(PrimeSystem &system,
+                   const PrimeSystem::RunBatchOptions &options);
+
+    /** Stream @p inputs through the stages; results in input order. */
+    std::vector<nn::Tensor> run(std::span<const nn::Tensor> inputs);
+
+  private:
+    PrimeSystem &system_;
+    PrimeSystem::RunBatchOptions options_;
+};
+
+} // namespace prime::core
+
+#endif // PRIME_PRIME_PIPELINE_HH

@@ -2,31 +2,87 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/logging.hh"
 #include "common/telemetry/trace_session.hh"
 #include "nn/network.hh"
+#include "prime/pipeline.hh"
 
 namespace prime::core {
 
+PrimeSystem::BankUnit::BankUnit(const nvmodel::TechParams &tech,
+                                memory::MainMemory *mem, StatGroup *stats)
+    : ff([&] {
+          std::vector<FfSubarray> v;
+          v.reserve(static_cast<std::size_t>(
+              tech.geometry.ffSubarraysPerBank));
+          for (int i = 0; i < tech.geometry.ffSubarraysPerBank; ++i)
+              v.emplace_back(tech, stats);
+          return v;
+      }()),
+      buffer(tech, stats), controller(tech, mem, &ff, &buffer, stats)
+{
+}
+
 PrimeSystem::PrimeSystem(const nvmodel::TechParams &tech,
                          const mapping::MapperOptions &mapper_options)
-    : tech_(tech), mapperOptions_(mapper_options), mem_(tech),
-      buffer_(tech, &stats_),
-      controller_(tech, &mem_, &ff_, &buffer_, &stats_)
+    : tech_(tech), mapperOptions_(mapper_options), mem_(tech)
 {
-    // One bank's FF subarrays carry the functional model; bank-level
-    // parallelism replicates this configuration unchanged.
-    for (int i = 0; i < tech.geometry.ffSubarraysPerBank; ++i)
-        ff_.emplace_back(tech, &stats_);
-    // Rebind the controller now that ff_ has its final storage.
-    controller_ = PrimeController(tech, &mem_, &ff_, &buffer_, &stats_);
+    // Bank 0 always exists (small/medium NNs execute entirely in it);
+    // programWeight instantiates further banks as the plan needs them.
+    ensureBank(0);
     // Run-time I/O staging windows, clear of the migration region that
     // grows up from address 0 (derived from the configured geometry so
     // tiny test geometries stay within decode range).
     const std::uint64_t capacity = mem_.mapper().capacityBytes();
     inputStageAddr_ = capacity / 2;
     outputStageAddr_ = capacity / 2 + capacity / 4;
+}
+
+void
+PrimeSystem::ensureBank(int bank)
+{
+    PRIME_ASSERT(bank >= 0, "bank ", bank);
+    while (static_cast<int>(banks_.size()) <= bank) {
+        const int index = static_cast<int>(banks_.size());
+        StatGroup *stats =
+            index == 0 ? &stats_
+                       : &stats_.child("bank" + std::to_string(index));
+        banks_.push_back(
+            std::make_unique<BankUnit>(tech_, &mem_, stats));
+        banks_.back()->controller.setAnalogCompute(analog_,
+                                                   analogNoiseRng_);
+    }
+}
+
+PrimeSystem::BankUnit &
+PrimeSystem::unit(int bank)
+{
+    PRIME_ASSERT(bank >= 0 && bank < static_cast<int>(banks_.size()),
+                 "bank ", bank, " of ", banks_.size());
+    return *banks_[static_cast<std::size_t>(bank)];
+}
+
+PrimeController &
+PrimeSystem::controller(int bank)
+{
+    return unit(bank).controller;
+}
+
+BufferSubarray &
+PrimeSystem::buffer(int bank)
+{
+    return unit(bank).buffer;
+}
+
+void
+PrimeSystem::setAnalogCompute(bool analog, Rng *noise_rng)
+{
+    analog_ = analog;
+    analogNoiseRng_ = noise_rng;
+    for (const std::unique_ptr<BankUnit> &b : banks_)
+        b->controller.setAnalogCompute(analog, noise_rng);
 }
 
 const mapping::MappingPlan &
@@ -39,6 +95,8 @@ PrimeSystem::mapTopology(const nn::Topology &topology)
     plan_ = mapper.map(topology);
     programs_.clear();
     configCommands_.clear();
+    stages_.clear();
+    stageContexts_.clear();
     programmed_ = false;
     configured_ = false;
     return *plan_;
@@ -59,12 +117,42 @@ PrimeSystem::topology() const
 }
 
 int
-PrimeSystem::globalMat(const mapping::MatTile &tile) const
+PrimeSystem::matInBank(const mapping::MatTile &tile) const
 {
-    PRIME_ASSERT(tile.bank == 0,
-                 "functional execution is single-bank; tile in bank ",
-                 tile.bank);
     return tile.subarray * tech_.geometry.matsPerSubarray + tile.mat;
+}
+
+void
+PrimeSystem::buildStages()
+{
+    stages_ = plan_->pipelineStages(topology_->layers.size());
+    stageContexts_.clear();
+    // Concurrent stages stage their Fetch/Commit traffic through
+    // disjoint slices of the input/output windows; stage 0 keeps the
+    // base addresses, so a single-stage plan is byte-identical to the
+    // sequential path.
+    const std::uint64_t capacity = mem_.mapper().capacityBytes();
+    const std::uint64_t stride =
+        (capacity / 4 / stages_.size()) & ~std::uint64_t{63};
+    PRIME_ASSERT(stride >= 64,
+                 "staging stride ", stride, " too small for ",
+                 stages_.size(), " stages");
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+        ExecContext ctx;
+        ctx.stats = s == 0 ? &stats_
+                           : &stats_.child("stage" + std::to_string(s));
+        ctx.inputStageAddr = inputStageAddr_ + s * stride;
+        ctx.outputStageAddr = outputStageAddr_ + s * stride;
+        stageContexts_.push_back(ctx);
+    }
+}
+
+PrimeSystem::ExecContext &
+PrimeSystem::stageContext(std::size_t stage)
+{
+    PRIME_ASSERT(stage < stageContexts_.size(),
+                 "stage ", stage, " of ", stageContexts_.size());
+    return stageContexts_[stage];
 }
 
 void
@@ -72,12 +160,10 @@ PrimeSystem::programWeight(const nn::Network &trained, Rng *rng)
 {
     PRIME_SPAN(telemetry::globalTrace(), "phase.program_weight", "phase");
     PRIME_ASSERT(plan_.has_value(), "mapTopology must precede");
-    PRIME_FATAL_IF(plan_->banksUsed > 1,
-                   "functional execution supports single-bank plans; ",
-                   topology_->name, " spans ", plan_->banksUsed,
-                   " banks (use the analytic PrimeModel instead)");
-    PRIME_ASSERT(topology_->layers.size() == trained.layerCount(),
-                 "trained network does not match the mapped topology");
+    PRIME_FATAL_IF(topology_->layers.size() != trained.layerCount(),
+                   "trained network (", trained.layerCount(),
+                   " layers) does not match the mapped topology (",
+                   topology_->layers.size(), " layers)");
 
     const int max_w = (1 << tech_.weightBits) - 1;
     programs_.clear();
@@ -137,7 +223,7 @@ PrimeSystem::programWeight(const nn::Network &trained, Rng *rng)
             }
         }
 
-        // Program the replica-0 tiles and collect their mats.
+        // Program the replica-0 tiles and collect their placements.
         for (const mapping::MatTile &t : m.tiles) {
             if (t.replica != 0)
                 continue;
@@ -153,13 +239,30 @@ PrimeSystem::programWeight(const nn::Network &trained, Rng *rng)
                              [static_cast<std::size_t>(
                                  t.colTile * tech_.geometry.matCols + c)];
 
-            const int mat_idx = globalMat(t);
+            ensureBank(t.bank);
+            TileRef ref;
+            ref.bank = t.bank;
+            ref.mat = matInBank(t);
+            // Per-bank output slot + the bank's compute-mat list.
+            std::size_t bank_pos = 0;
+            while (bank_pos < lp.banks.size() &&
+                   lp.banks[bank_pos] != t.bank)
+                ++bank_pos;
+            if (bank_pos == lp.banks.size()) {
+                lp.banks.push_back(t.bank);
+                lp.matsPerBank.emplace_back();
+            }
+            ref.slot = static_cast<int>(lp.matsPerBank[bank_pos].size());
+            lp.matsPerBank[bank_pos].push_back(ref.mat);
+            lp.matOf.push_back(ref);
+
+            PrimeController &ctrl = unit(t.bank).controller;
             // Morphing step 1+2: migrate resident data, program weights.
             std::vector<std::uint8_t> migrated =
-                controller_.mat(mat_idx).morphToCompute(slice, rng);
+                ctrl.mat(ref.mat).morphToCompute(slice, rng);
             // Static SA-window fallback: cover the worst-case dot
             // product of the programmed tile (calibrate() refines it).
-            controller_.mat(mat_idx).engine().calibrateOutputShift();
+            ctrl.mat(ref.mat).engine().calibrateOutputShift();
             // The migration is real memory traffic: timed write bursts
             // through the bank/channel model plus the functional copy.
             mem_.scheduleBytes(migrationAddr_, migrated.size(), true);
@@ -168,33 +271,37 @@ PrimeSystem::programWeight(const nn::Network &trained, Rng *rng)
             stats_.get("morph.migrated_bytes").add(
                 static_cast<double>(migrated.size()));
             stats_.get("morph.mats_to_compute").increment();
-            lp.matOf.push_back(mat_idx);
 
             // Datapath configuration for this mat (Table I, left half).
+            // The command's mat address is system-global
+            // (bank * matsPerBank + local mat); configDatapath routes it
+            // to the owning bank's controller.  Bank 0 keeps the plain
+            // local index, so single-bank command streams are unchanged.
+            const int mats_per_bank = tech_.geometry.ffSubarraysPerBank *
+                                      tech_.geometry.matsPerSubarray;
+            const std::uint32_t mat_addr = static_cast<std::uint32_t>(
+                ref.bank * mats_per_bank + ref.mat);
             using mapping::Command;
             using mapping::CommandOp;
             configCommands_.push_back(Command{
-                CommandOp::SetMatFunction,
-                static_cast<std::uint32_t>(mat_idx),
+                CommandOp::SetMatFunction, mat_addr,
                 static_cast<std::uint8_t>(mapping::MatFunction::Compute),
                 0, 0, 0});
             configCommands_.push_back(Command{
-                CommandOp::BypassSigmoid,
-                static_cast<std::uint32_t>(mat_idx),
+                CommandOp::BypassSigmoid, mat_addr,
                 static_cast<std::uint8_t>(m.info.sigmoidAfter ? 0 : 1),
                 0, 0, 0});
             configCommands_.push_back(
-                Command{CommandOp::BypassSa,
-                        static_cast<std::uint32_t>(mat_idx), 0, 0, 0, 0});
+                Command{CommandOp::BypassSa, mat_addr, 0, 0, 0, 0});
             configCommands_.push_back(
-                Command{CommandOp::InputSource,
-                        static_cast<std::uint32_t>(mat_idx),
+                Command{CommandOp::InputSource, mat_addr,
                         static_cast<std::uint8_t>(
                             mapping::InputSource::Buffer),
                         0, 0, 0});
         }
         programs_.push_back(std::move(lp));
     }
+    buildStages();
     programmed_ = true;
 }
 
@@ -203,7 +310,17 @@ PrimeSystem::configDatapath()
 {
     PRIME_SPAN(telemetry::globalTrace(), "phase.config_datapath", "phase");
     PRIME_ASSERT(programmed_, "programWeight must precede");
-    controller_.executeAll(configCommands_);
+    // Route every command to the controller of the bank its system-wide
+    // mat address falls into (the controller sees the local index).
+    const int mats_per_bank = tech_.geometry.ffSubarraysPerBank *
+                              tech_.geometry.matsPerSubarray;
+    for (const mapping::Command &c : configCommands_) {
+        mapping::Command local = c;
+        const int bank = static_cast<int>(c.matAddr) / mats_per_bank;
+        local.matAddr = c.matAddr % static_cast<std::uint32_t>(
+                                        mats_per_bank);
+        unit(bank).controller.execute(local);
+    }
     configured_ = true;
 }
 
@@ -230,7 +347,8 @@ PrimeSystem::quantizeToCodes(const std::vector<double> &values,
 
 std::vector<double>
 PrimeSystem::tiledMvm(const LayerProgram &lp,
-                      const std::vector<std::uint8_t> &codes, int in_frac)
+                      const std::vector<std::uint8_t> &codes, int in_frac,
+                      ExecContext &ctx)
 {
     using mapping::Command;
     using mapping::CommandOp;
@@ -239,8 +357,18 @@ PrimeSystem::tiledMvm(const LayerProgram &lp,
     PRIME_ASSERT(static_cast<int>(codes.size()) == m.info.rows,
                  "input codes ", codes.size(), " vs rows ", m.info.rows);
 
+    // Buffer-local layout: inputs stage in the low half, output slots
+    // in the high half.  Derived from the geometry so small test
+    // configurations (one mat per subarray) stay in range.
+    const nvmodel::Geometry &g = tech_.geometry;
+    const std::size_t buffer_bytes = static_cast<std::size_t>(g.matRows) *
+                                     g.matCols * g.arraysPerFfMat / 8 *
+                                     g.matsPerSubarray;
     const std::size_t buf_in = 0;
-    const std::size_t buf_out = 1 << 16;
+    const std::size_t buf_out = buffer_bytes / 2;
+    PRIME_ASSERT(codes.size() <= buf_out,
+                 "input codes overflow the buffer input window: ",
+                 codes.size(), " > ", buf_out);
 
     std::size_t tile_index = 0;
     std::vector<const mapping::MatTile *> tiles;
@@ -254,16 +382,17 @@ PrimeSystem::tiledMvm(const LayerProgram &lp,
         std::vector<double> out(static_cast<std::size_t>(m.info.cols),
                                 0.0);
         for (const mapping::MatTile *t : tiles) {
-            const int mat_idx = lp.matOf[tile_index++];
+            const TileRef ref = lp.matOf[tile_index++];
             const reram::ComposedMatrixEngine &engine =
-                controller_.mat(mat_idx).engine();
+                unit(ref.bank).controller.mat(ref.mat).engine();
             std::vector<int> seg(static_cast<std::size_t>(t->rowsUsed));
             for (int r = 0; r < t->rowsUsed; ++r)
                 seg[static_cast<std::size_t>(r)] =
                     codes[static_cast<std::size_t>(
                         t->rowTile * tech_.geometry.matRows + r)];
             std::vector<std::int64_t> full = engine.mvmFull(seg);
-            std::int64_t &peak = calibrationPeaks_[mat_idx];
+            std::int64_t &peak =
+                calibrationPeaks_[{ref.bank, ref.mat}];
             for (int c = 0; c < t->colsUsed; ++c) {
                 peak = std::max(peak, std::abs(full[
                     static_cast<std::size_t>(c)]));
@@ -277,65 +406,74 @@ PrimeSystem::tiledMvm(const LayerProgram &lp,
     }
 
     // Input codes arrive from main memory: the CPU side stages them in
-    // the input window, then a Fetch command moves them into the Buffer
-    // subarray through the timed bank/channel model.
-    mem_.writeData(inputStageAddr_, codes);
-    controller_.execute(Command{CommandOp::Fetch, 0, 0, inputStageAddr_,
-                                buf_in,
-                                static_cast<std::uint32_t>(codes.size())});
+    // the context's input window, then every bank hosting tiles of this
+    // layer Fetches them into its Buffer subarray through the timed
+    // bank/channel model (the input broadcast over the internal bus).
+    mem_.writeData(ctx.inputStageAddr, codes);
+    for (int bank : lp.banks)
+        unit(bank).controller.execute(
+            Command{CommandOp::Fetch, 0, 0, ctx.inputStageAddr, buf_in,
+                    static_cast<std::uint32_t>(codes.size())});
 
     // Load, compute, store (Table I data-flow commands).  All input
-    // latches fill first, then the tiles fire together through the
-    // controller's fan-out -- the functional analog of the hardware
+    // latches fill first, then each bank's tiles fire together through
+    // its controller's fan-out -- the functional analog of the hardware
     // evaluating every replica/tile concurrently -- and the output
-    // registers drain back to the buffer.
+    // registers drain back to the per-bank buffers.
     for (const mapping::MatTile *t : tiles) {
-        const int mat_idx = lp.matOf[tile_index++];
-        controller_.execute(Command{
+        const TileRef ref = lp.matOf[tile_index++];
+        unit(ref.bank).controller.execute(Command{
             CommandOp::Load, 0, 0,
             buf_in + static_cast<std::uint64_t>(t->rowTile) *
                          tech_.geometry.matRows,
-            static_cast<std::uint64_t>(mat_idx) *
+            static_cast<std::uint64_t>(ref.mat) *
                 PrimeController::kFfMatStride,
             static_cast<std::uint32_t>(t->rowsUsed)});
     }
-    controller_.computeMats(
-        std::vector<int>(lp.matOf.begin(),
-                         lp.matOf.begin() +
-                             static_cast<std::ptrdiff_t>(tile_index)));
+    for (std::size_t b = 0; b < lp.banks.size(); ++b)
+        unit(lp.banks[b]).controller.computeMats(lp.matsPerBank[b]);
     tile_index = 0;
     for (const mapping::MatTile *t : tiles) {
-        const int mat_idx = lp.matOf[tile_index];
-        controller_.execute(Command{
+        const TileRef ref = lp.matOf[tile_index];
+        unit(ref.bank).controller.execute(Command{
             CommandOp::Store, 0, 0,
-            static_cast<std::uint64_t>(mat_idx) *
+            static_cast<std::uint64_t>(ref.mat) *
                 PrimeController::kFfMatStride,
-            buf_out + tile_index * 2 *
+            buf_out + static_cast<std::size_t>(ref.slot) * 2 *
                           static_cast<std::size_t>(
                               tech_.geometry.matCols),
             static_cast<std::uint32_t>(2 * t->colsUsed)});
         ++tile_index;
     }
 
-    // Results leave through the same boundary: Commit drains the whole
-    // output window back to memory as timed write bursts.
-    controller_.execute(Command{
-        CommandOp::Commit, 0, 0, buf_out, outputStageAddr_,
-        static_cast<std::uint32_t>(
-            tiles.size() * 2 *
-            static_cast<std::size_t>(tech_.geometry.matCols))});
+    // Results leave through the same boundary: each bank Commits its
+    // output slots back to memory as timed write bursts, packed
+    // back-to-back in the context's output window.
+    std::uint64_t commit_addr = ctx.outputStageAddr;
+    for (std::size_t b = 0; b < lp.banks.size(); ++b) {
+        const std::uint32_t bank_bytes = static_cast<std::uint32_t>(
+            lp.matsPerBank[b].size() * 2 *
+            static_cast<std::size_t>(tech_.geometry.matCols));
+        unit(lp.banks[b]).controller.execute(Command{
+            CommandOp::Commit, 0, 0, buf_out, commit_addr, bank_bytes});
+        commit_addr += bank_bytes;
+    }
 
     // Merge: partial target codes of row tiles accumulate per output
     // column; each tile's code scale depends on its own input count.
+    // Accumulation order is the global tile order regardless of bank
+    // placement, keeping the floating-point sums bit-identical to the
+    // single-bank path.
     std::vector<double> out(static_cast<std::size_t>(m.info.cols), 0.0);
     tile_index = 0;
     for (const mapping::MatTile *t : tiles) {
-        std::vector<std::uint8_t> raw = buffer_.read(
-            buf_out + tile_index * 2 *
+        const TileRef ref = lp.matOf[tile_index];
+        std::vector<std::uint8_t> raw = unit(ref.bank).buffer.read(
+            buf_out + static_cast<std::size_t>(ref.slot) * 2 *
                           static_cast<std::size_t>(tech_.geometry.matCols),
             static_cast<std::size_t>(2 * t->colsUsed));
         // The tile's SA window sets the code scale.
-        const int shift = controller_.mat(lp.matOf[tile_index])
+        const int shift = unit(ref.bank).controller.mat(ref.mat)
                               .engine().outputShift();
         for (int c = 0; c < t->colsUsed; ++c) {
             const std::int16_t code = static_cast<std::int16_t>(
@@ -348,17 +486,18 @@ PrimeSystem::tiledMvm(const LayerProgram &lp,
         }
         ++tile_index;
     }
-    stats_.get("run.tiled_mvms").increment();
+    ctx.stats->get("run.tiled_mvms").increment();
     return out;
 }
 
 nn::Tensor
-PrimeSystem::runFc(const LayerProgram &lp, const nn::Tensor &x)
+PrimeSystem::runFc(const LayerProgram &lp, const nn::Tensor &x,
+                   ExecContext &ctx)
 {
     PRIME_SPAN(telemetry::globalTrace(), "layer.fc", "compute");
     int in_frac = 0;
     std::vector<std::uint8_t> codes = quantizeToCodes(x.flat(), in_frac);
-    std::vector<double> mvm = tiledMvm(lp, codes, in_frac);
+    std::vector<double> mvm = tiledMvm(lp, codes, in_frac, ctx);
     nn::Tensor y({lp.spec.outFeatures});
     for (int o = 0; o < lp.spec.outFeatures; ++o)
         y[static_cast<std::size_t>(o)] =
@@ -368,7 +507,8 @@ PrimeSystem::runFc(const LayerProgram &lp, const nn::Tensor &x)
 }
 
 nn::Tensor
-PrimeSystem::runConv(const LayerProgram &lp, const nn::Tensor &x)
+PrimeSystem::runConv(const LayerProgram &lp, const nn::Tensor &x,
+                     ExecContext &ctx)
 {
     PRIME_SPAN(telemetry::globalTrace(), "layer.conv", "compute");
     const nn::LayerSpec &s = lp.spec;
@@ -399,7 +539,7 @@ PrimeSystem::runConv(const LayerProgram &lp, const nn::Tensor &x)
                             codes[idx++] = all_codes[flat];
                         }
                     }
-            std::vector<double> mvm = tiledMvm(lp, codes, in_frac);
+            std::vector<double> mvm = tiledMvm(lp, codes, in_frac, ctx);
             for (int oc = 0; oc < s.outC; ++oc)
                 y.at3(oc, oy, ox) =
                     mvm[static_cast<std::size_t>(oc)] +
@@ -420,15 +560,84 @@ PrimeSystem::calibrate(const std::vector<nn::Sample> &samples)
     for (const nn::Sample &s : samples)
         run(s.input);
     calibrating_ = false;
-    for (const auto &[mat_idx, peak] : calibrationPeaks_) {
+    for (const auto &[key, peak] : calibrationPeaks_) {
         const std::int64_t bound = std::max<std::int64_t>(2 * peak, 1);
         int bits = 0;
         while ((std::int64_t{1} << bits) <= bound)
             ++bits;
-        controller_.mat(mat_idx).engine().setOutputShift(
-            std::max(0, bits - tech_.outputBits));
+        unit(key.first).controller.mat(key.second).engine()
+            .setOutputShift(std::max(0, bits - tech_.outputBits));
     }
     stats_.get("run.calibrations").increment();
+}
+
+nn::Tensor
+PrimeSystem::runStageImpl(const nn::Tensor &x, std::size_t stage,
+                          ExecContext &ctx)
+{
+    const mapping::PipelineStage &ps = stages_[stage];
+    nn::Tensor y = x;
+    std::size_t next_program = ps.firstWeighted;
+    for (std::size_t li = ps.firstLayer; li < ps.endLayer; ++li) {
+        const nn::LayerSpec &spec = topology_->layers[li];
+        switch (spec.kind) {
+          case nn::LayerKind::FullyConnected:
+          case nn::LayerKind::Convolution: {
+            PRIME_ASSERT(next_program < ps.endWeighted,
+                         "program/topology mismatch");
+            const LayerProgram &lp = programs_[next_program++];
+            y = spec.kind == nn::LayerKind::FullyConnected
+                    ? runFc(lp, y, ctx)
+                    : runConv(lp, y, ctx);
+            break;
+          }
+          case nn::LayerKind::MaxPool:
+          case nn::LayerKind::MeanPool: {
+            nn::Tensor p({spec.outC, spec.outH, spec.outW});
+            for (int c = 0; c < spec.outC; ++c)
+                for (int oy = 0; oy < spec.outH; ++oy)
+                    for (int ox = 0; ox < spec.outW; ++ox) {
+                        double best = -1.0e300, sum = 0.0;
+                        for (int dy = 0; dy < spec.poolK; ++dy)
+                            for (int dx = 0; dx < spec.poolK; ++dx) {
+                                const double v = y.at3(
+                                    c, oy * spec.poolK + dy,
+                                    ox * spec.poolK + dx);
+                                best = std::max(best, v);
+                                sum += v;
+                            }
+                        p.at3(c, oy, ox) =
+                            spec.kind == nn::LayerKind::MaxPool
+                                ? best
+                                : sum / (spec.poolK * spec.poolK);
+                    }
+            y = p;
+            break;
+          }
+          case nn::LayerKind::Sigmoid:
+            for (std::size_t i = 0; i < y.size(); ++i)
+                y[i] = 1.0 / (1.0 + std::exp(-y[i]));
+            break;
+          case nn::LayerKind::Relu:
+            for (std::size_t i = 0; i < y.size(); ++i)
+                y[i] = y[i] < 0.0 ? 0.0 : y[i];
+            break;
+          case nn::LayerKind::Flatten:
+            y = y.reshaped({static_cast<int>(y.size())});
+            break;
+        }
+    }
+    return y;
+}
+
+nn::Tensor
+PrimeSystem::runStage(const nn::Tensor &x, std::size_t stage,
+                      ExecContext &ctx)
+{
+    PRIME_SPAN(telemetry::globalTrace(), "pipeline.stage", "pipeline");
+    PRIME_ASSERT(stage < stages_.size(),
+                 "stage ", stage, " of ", stages_.size());
+    return runStageImpl(x, stage, ctx);
 }
 
 nn::Tensor
@@ -438,58 +647,39 @@ PrimeSystem::run(const nn::Tensor &input)
     PRIME_ASSERT(programmed_, "programWeight must precede run");
     PRIME_ASSERT(configured_, "configDatapath must precede run");
 
+    ExecContext ctx{&stats_, inputStageAddr_, outputStageAddr_};
     nn::Tensor x = input;
-    std::size_t next_program = 0;
-    for (const nn::LayerSpec &spec : topology_->layers) {
-        switch (spec.kind) {
-          case nn::LayerKind::FullyConnected:
-          case nn::LayerKind::Convolution: {
-            PRIME_ASSERT(next_program < programs_.size(),
-                         "program/topology mismatch");
-            const LayerProgram &lp = programs_[next_program++];
-            x = spec.kind == nn::LayerKind::FullyConnected
-                    ? runFc(lp, x)
-                    : runConv(lp, x);
-            break;
-          }
-          case nn::LayerKind::MaxPool:
-          case nn::LayerKind::MeanPool: {
-            nn::Tensor y({spec.outC, spec.outH, spec.outW});
-            for (int c = 0; c < spec.outC; ++c)
-                for (int oy = 0; oy < spec.outH; ++oy)
-                    for (int ox = 0; ox < spec.outW; ++ox) {
-                        double best = -1.0e300, sum = 0.0;
-                        for (int dy = 0; dy < spec.poolK; ++dy)
-                            for (int dx = 0; dx < spec.poolK; ++dx) {
-                                const double v = x.at3(
-                                    c, oy * spec.poolK + dy,
-                                    ox * spec.poolK + dx);
-                                best = std::max(best, v);
-                                sum += v;
-                            }
-                        y.at3(c, oy, ox) =
-                            spec.kind == nn::LayerKind::MaxPool
-                                ? best
-                                : sum / (spec.poolK * spec.poolK);
-                    }
-            x = y;
-            break;
-          }
-          case nn::LayerKind::Sigmoid:
-            for (std::size_t i = 0; i < x.size(); ++i)
-                x[i] = 1.0 / (1.0 + std::exp(-x[i]));
-            break;
-          case nn::LayerKind::Relu:
-            for (std::size_t i = 0; i < x.size(); ++i)
-                x[i] = x[i] < 0.0 ? 0.0 : x[i];
-            break;
-          case nn::LayerKind::Flatten:
-            x = x.reshaped({static_cast<int>(x.size())});
-            break;
-        }
-    }
+    for (std::size_t s = 0; s < stages_.size(); ++s)
+        x = runStageImpl(x, s, ctx);
     stats_.get("run.inferences").increment();
     return x;
+}
+
+std::vector<nn::Tensor>
+PrimeSystem::runBatch(std::span<const nn::Tensor> inputs)
+{
+    return runBatch(inputs, RunBatchOptions{});
+}
+
+std::vector<nn::Tensor>
+PrimeSystem::runBatch(std::span<const nn::Tensor> inputs,
+                      const RunBatchOptions &options)
+{
+    PRIME_ASSERT(programmed_, "programWeight must precede runBatch");
+    PRIME_ASSERT(configured_, "configDatapath must precede runBatch");
+    // The analog noise Rng's draw order is only defined sequentially
+    // (the RNG-ordering contract), so it forces the sequential path.
+    const bool sequential = !options.pipeline || stages_.size() <= 1 ||
+                            (analog_ && analogNoiseRng_ != nullptr);
+    if (sequential) {
+        std::vector<nn::Tensor> out;
+        out.reserve(inputs.size());
+        for (const nn::Tensor &in : inputs)
+            out.push_back(run(in));
+        return out;
+    }
+    PipelineEngine engine(*this, options);
+    return engine.run(inputs);
 }
 
 std::vector<double>
@@ -502,11 +692,13 @@ void
 PrimeSystem::release()
 {
     PRIME_SPAN(telemetry::globalTrace(), "phase.release", "phase");
-    for (FfSubarray &sub : ff_) {
-        for (int i = 0; i < sub.matCount(); ++i) {
-            if (sub.mat(i).mode() == reram::FfMode::Computation) {
-                sub.mat(i).morphToMemory();
-                stats_.get("morph.mats_to_memory").increment();
+    for (const std::unique_ptr<BankUnit> &b : banks_) {
+        for (FfSubarray &sub : b->ff) {
+            for (int i = 0; i < sub.matCount(); ++i) {
+                if (sub.mat(i).mode() == reram::FfMode::Computation) {
+                    sub.mat(i).morphToMemory();
+                    stats_.get("morph.mats_to_memory").increment();
+                }
             }
         }
     }
@@ -519,8 +711,9 @@ std::size_t
 PrimeSystem::availableFfMemoryBytes() const
 {
     std::size_t bytes = 0;
-    for (const FfSubarray &sub : ff_)
-        bytes += sub.memoryModeBytes();
+    for (const std::unique_ptr<BankUnit> &b : banks_)
+        for (const FfSubarray &sub : b->ff)
+            bytes += sub.memoryModeBytes();
     return bytes;
 }
 

@@ -11,17 +11,25 @@
  *                                         data moved by Table I commands
  *   Post_Proc       -> postProc()         softmax over the logits
  *
- * The functional path executes on one bank's FF subarrays (bank-level
- * parallelism replicates the same configuration across banks, so one
- * bank is sufficient for functional fidelity).  Performance and energy
- * are estimated by the analytic PrimeModel over the same MappingPlan.
+ * The functional path instantiates one bank unit (FF subarrays + Buffer
+ * subarray + controller) per bank the plan places tiles into, so Large
+ * plans execute across real bank boundaries.  runBatch() drives those
+ * banks as the paper's inter-bank pipeline (Section IV-B: one stage per
+ * bank-disjoint layer group) via the PipelineEngine; run() executes the
+ * same stages sequentially.  Bank-level parallelism (identical copies
+ * of a small/medium NN across banks) still needs only bank 0 for
+ * functional fidelity.  Performance and energy are estimated by the
+ * analytic PrimeModel over the same MappingPlan.
  */
 
 #ifndef PRIME_PRIME_PRIME_SYSTEM_HH
 #define PRIME_PRIME_PRIME_SYSTEM_HH
 
 #include <map>
+#include <memory>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/fixed_point.hh"
@@ -70,16 +78,66 @@ class PrimeSystem
      * programmed with an Rng) and optional read noise then reach the
      * results.
      */
-    void setAnalogCompute(bool analog, Rng *noise_rng = nullptr)
-    {
-        controller_.setAnalogCompute(analog, noise_rng);
-    }
+    void setAnalogCompute(bool analog, Rng *noise_rng = nullptr);
 
     /** One inference through the mapped crossbars. */
     nn::Tensor run(const nn::Tensor &input);
 
+    /**
+     * Batched inference.  With `pipeline` enabled and a multi-stage
+     * plan, the batch streams through the inter-bank pipeline engine
+     * (one thread per stage, bounded inter-stage queues); otherwise the
+     * samples run sequentially through run().  Results are bit-identical
+     * to per-sample run() calls at any thread count and batch size --
+     * except under analog compute with a noise Rng, where the draw
+     * order is only defined sequentially, so the engine falls back.
+     */
+    struct RunBatchOptions
+    {
+        /** Use the inter-bank pipeline when the plan has > 1 stage. */
+        bool pipeline = true;
+        /** Bounded depth of each inter-stage queue (backpressure). */
+        int queueCapacity = 2;
+    };
+    std::vector<nn::Tensor> runBatch(std::span<const nn::Tensor> inputs,
+                                     const RunBatchOptions &options);
+    std::vector<nn::Tensor> runBatch(std::span<const nn::Tensor> inputs);
+
     /** Softmax post-processing on the CPU side. */
     std::vector<double> postProc(const nn::Tensor &logits) const;
+
+    // ------------------------------------------------ pipeline view --
+
+    /**
+     * Execution context of one pipeline stage (or the sequential
+     * default path): the StatGroup its run.* stats land in and the
+     * main-memory staging windows its Fetch/Commit traffic uses.
+     * Concurrent stages get disjoint windows and disjoint StatGroups,
+     * which is what makes the pipeline rounds race-free.
+     */
+    struct ExecContext
+    {
+        StatGroup *stats = nullptr;
+        std::uint64_t inputStageAddr = 0;
+        std::uint64_t outputStageAddr = 0;
+    };
+
+    /** The plan's pipeline stages (valid after programWeight). */
+    const std::vector<mapping::PipelineStage> &stages() const
+    {
+        return stages_;
+    }
+
+    /** The prebuilt context of one stage (valid after programWeight). */
+    ExecContext &stageContext(std::size_t stage);
+
+    /**
+     * Execute one stage's topology-layer slice on @p x inside @p ctx
+     * (the pipeline engine's worker entry point; emits a
+     * "pipeline.stage" span).
+     */
+    nn::Tensor runStage(const nn::Tensor &x, std::size_t stage,
+                        ExecContext &ctx);
 
     // ------------------------------------------------- morphing / OS --
 
@@ -102,8 +160,11 @@ class PrimeSystem
     const mapping::MappingPlan &plan() const;
     const nn::Topology &topology() const;
     StatGroup &stats() { return stats_; }
-    PrimeController &controller() { return controller_; }
-    BufferSubarray &buffer() { return buffer_; }
+    /** Number of instantiated bank units. */
+    int bankCount() const { return static_cast<int>(banks_.size()); }
+    /** Bank @p bank's controller / Buffer subarray (default: bank 0). */
+    PrimeController &controller(int bank = 0);
+    BufferSubarray &buffer(int bank = 0);
     memory::MainMemory &mainMemory() { return mem_; }
 
     /** The datapath-configuration command stream (for inspection). */
@@ -113,6 +174,29 @@ class PrimeSystem
     }
 
   private:
+    /** One bank's functional hardware: FF subarrays, Buffer subarray
+     *  and the per-bank controller, all reporting into one StatGroup
+     *  (bank 0 -> the system root, bank N -> the "bankN" child). */
+    struct BankUnit
+    {
+        std::vector<FfSubarray> ff;
+        BufferSubarray buffer;
+        PrimeController controller;
+        BankUnit(const nvmodel::TechParams &tech, memory::MainMemory *mem,
+                 StatGroup *stats);
+    };
+
+    /** A replica-0 tile's placement as the execution path needs it. */
+    struct TileRef
+    {
+        int bank = 0;
+        /** Mat index within the bank (controller addressing). */
+        int mat = 0;
+        /** Ordinal among the layer's replica-0 tiles in this bank
+         *  (per-bank Buffer-subarray output slot). */
+        int slot = 0;
+    };
+
     /** Per weighted layer: quantization scales and digital-side bias. */
     struct LayerProgram
     {
@@ -120,12 +204,22 @@ class PrimeSystem
         nn::LayerSpec spec;
         int weightFrac = 0;
         std::vector<double> bias;
-        /** Global mat index of each replica-0 tile (rowTile-major). */
-        std::vector<int> matOf;
+        /** Placement of each replica-0 tile (rowTile-major). */
+        std::vector<TileRef> matOf;
+        /** Banks hosting replica-0 tiles, in first-tile order. */
+        std::vector<int> banks;
+        /** Per entry of banks: the bank's mats in tile order. */
+        std::vector<std::vector<int>> matsPerBank;
     };
 
-    /** Global mat index of a tile within this bank. */
-    int globalMat(const mapping::MatTile &tile) const;
+    /** The bank unit hosting @p bank (instantiated by programWeight). */
+    BankUnit &unit(int bank);
+
+    /** Instantiate bank units (and their stat children) up to @p bank. */
+    void ensureBank(int bank);
+
+    /** Mat index of a tile within its bank. */
+    int matInBank(const mapping::MatTile &tile) const;
 
     /** Quantize a non-negative activation vector to Pin-bit codes. */
     std::vector<std::uint8_t>
@@ -134,29 +228,42 @@ class PrimeSystem
     /** MVM through the mapped tiles of one layer (split-merge). */
     std::vector<double>
     tiledMvm(const LayerProgram &lp,
-             const std::vector<std::uint8_t> &codes, int in_frac);
+             const std::vector<std::uint8_t> &codes, int in_frac,
+             ExecContext &ctx);
 
-    nn::Tensor runFc(const LayerProgram &lp, const nn::Tensor &x);
-    nn::Tensor runConv(const LayerProgram &lp, const nn::Tensor &x);
+    nn::Tensor runFc(const LayerProgram &lp, const nn::Tensor &x,
+                     ExecContext &ctx);
+    nn::Tensor runConv(const LayerProgram &lp, const nn::Tensor &x,
+                       ExecContext &ctx);
+
+    /** runStage without the span (run()'s sequential loop body). */
+    nn::Tensor runStageImpl(const nn::Tensor &x, std::size_t stage,
+                            ExecContext &ctx);
+
+    /** Build stages_ + stageContexts_ from the plan (programWeight). */
+    void buildStages();
 
     nvmodel::TechParams tech_;
     mapping::MapperOptions mapperOptions_;
     StatGroup stats_;
     memory::MainMemory mem_;
-    std::vector<FfSubarray> ff_;
-    BufferSubarray buffer_;
-    PrimeController controller_;
+    /** Bank units indexed by bank; banks_[0] always exists. */
+    std::vector<std::unique_ptr<BankUnit>> banks_;
+    bool analog_ = false;
+    Rng *analogNoiseRng_ = nullptr;
 
     std::optional<nn::Topology> topology_;
     std::optional<mapping::MappingPlan> plan_;
     std::vector<LayerProgram> programs_;
     std::vector<mapping::Command> configCommands_;
+    std::vector<mapping::PipelineStage> stages_;
+    std::vector<ExecContext> stageContexts_;
     bool programmed_ = false;
     bool configured_ = false;
     /** True while calibrate() drives inferences. */
     bool calibrating_ = false;
-    /** Peak |integer dot product| per global mat during calibration. */
-    std::map<int, std::int64_t> calibrationPeaks_;
+    /** Peak |integer dot product| per (bank, mat) during calibration. */
+    std::map<std::pair<int, int>, std::int64_t> calibrationPeaks_;
     /** Cursor for migrating FF-resident data into Mem space. */
     std::uint64_t migrationAddr_ = 0;
     /** Memory staging window for per-inference input codes (the CPU

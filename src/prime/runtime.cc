@@ -9,23 +9,25 @@ namespace prime::core {
 void
 PageMissTracker::record(bool miss)
 {
-    events_.push_back(miss);
+    // head_ is the oldest entry once the window is full: overwrite it
+    // (aging it out of the running miss count) and advance.
+    if (fill_ == window_)
+        missesInWindow_ -= ring_[head_];
+    else
+        ++fill_;
+    ring_[head_] = miss ? 1 : 0;
     if (miss)
         ++missesInWindow_;
-    if (events_.size() > window_) {
-        if (events_.front())
-            --missesInWindow_;
-        events_.pop_front();
-    }
+    head_ = head_ + 1 == window_ ? 0 : head_ + 1;
     ++total_;
 }
 
 double
 PageMissTracker::missRate() const
 {
-    if (events_.empty())
+    if (fill_ == 0)
         return 0.0;
-    return static_cast<double>(missesInWindow_) / events_.size();
+    return static_cast<double>(missesInWindow_) / fill_;
 }
 
 OsRuntime::OsRuntime(const nvmodel::TechParams &tech,
@@ -42,12 +44,18 @@ OsRuntime::OsRuntime(const nvmodel::TechParams &tech,
 RuntimeAction
 OsRuntime::step()
 {
+    // One rate sample per step, taken before branching, so both the
+    // release and reclaim decisions (and the stat) see the same value.
     const double rate = tracker_.missRate();
     if (stats_)
         stats_->get("runtime.miss_rate").sample(rate);
+    const bool warm = tracker_.warm();
 
-    // Release: memory pressure while the crossbars sit idle.
-    if (!ffBusy_ && rate > options_.releaseThreshold &&
+    // Release: memory pressure while the crossbars sit idle.  Rate-
+    // driven, so it waits for a warm window: a partially-filled window
+    // swings between 0 and 1 on a handful of events and would make the
+    // policy oscillate release/reclaim on startup.
+    if (!ffBusy_ && warm && rate > options_.releaseThreshold &&
         matsReleased_ < totalMats_) {
         matsReleased_ = std::min(totalMats_,
                                  matsReleased_ + options_.matsPerStep);
@@ -56,9 +64,11 @@ OsRuntime::step()
         return RuntimeAction::ReleaseMats;
     }
 
-    // Reclaim: NN work queued, or pressure has subsided.
+    // Reclaim: NN work queued (unconditional -- computation always wins
+    // the FF mats back), or pressure has subsided, with the warm-window
+    // guard symmetric to the release path.
     if (matsReleased_ > 0 &&
-        (ffBusy_ || rate < options_.reclaimThreshold)) {
+        (ffBusy_ || (warm && rate < options_.reclaimThreshold))) {
         matsReleased_ = std::max(0, matsReleased_ - options_.matsPerStep);
         if (stats_)
             stats_->get("runtime.reclaims").increment();

@@ -12,19 +12,23 @@
 #define PRIME_PRIME_RUNTIME_HH
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "common/stats.hh"
 #include "nvmodel/tech_params.hh"
 
 namespace prime::core {
 
-/** Sliding-window page-miss-rate tracker (after Zhou et al. [80]). */
+/**
+ * Sliding-window page-miss-rate tracker (after Zhou et al. [80]).
+ * Fixed ring buffer: one allocation at construction, O(1) per event
+ * (the policy sits on the page-fault path, so no per-event allocation).
+ */
 class PageMissTracker
 {
   public:
     explicit PageMissTracker(std::size_t window = 4096)
-        : window_(window)
+        : window_(window), ring_(window, 0)
     {}
 
     /** Record one page access. */
@@ -33,11 +37,16 @@ class PageMissTracker
     /** Miss rate over the current window (0 when no samples). */
     double missRate() const;
 
+    /** Whether a full window of history backs missRate(). */
+    bool warm() const { return fill_ == window_; }
+
     std::uint64_t samples() const { return total_; }
 
   private:
     std::size_t window_;
-    std::deque<bool> events_;
+    std::vector<std::uint8_t> ring_;  ///< 1 = miss, oldest at head_
+    std::size_t head_ = 0;            ///< next slot to overwrite
+    std::size_t fill_ = 0;            ///< valid entries (<= window_)
     std::size_t missesInWindow_ = 0;
     std::uint64_t total_ = 0;
 };

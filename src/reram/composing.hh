@@ -23,6 +23,11 @@
  * reference offset, so conversions round to nearest).  Each component
  * contributes at most half a target-scale ULP of rounding error and the
  * dropped LL part less than one, so |composed - exact shifted| <= 4 ULP.
+ *
+ * The LL term is always part of the assembly; "empty" above refers only
+ * to its window under the defaults (Po=6 full-scale shift leaves hi_0).
+ * At Po = 8, or under a calibrated (smaller) SA shift, LL carries real
+ * bits -- see the OutputBits8KeepsLlTerm regression test.
  */
 
 #ifndef PRIME_RERAM_COMPOSING_HH

@@ -56,6 +56,22 @@ PrimeModel::layerCosts(const mapping::MappingPlan &plan) const
     return costs;
 }
 
+std::vector<Ns>
+PrimeModel::stageCosts(const nn::Topology &topology,
+                       const mapping::MappingPlan &plan) const
+{
+    const std::vector<PrimeLayerCost> costs = layerCosts(plan);
+    const std::vector<mapping::PipelineStage> stages =
+        plan.pipelineStages(topology.layers.size());
+    std::vector<Ns> out(stages.size(), 0.0);
+    for (std::size_t s = 0; s < stages.size(); ++s)
+        for (std::size_t i = stages[s].firstWeighted;
+             i < stages[s].endWeighted; ++i)
+            out[s] += costs[i].mvmTime +
+                      std::max(0.0, costs[i].bufferTime - costs[i].mvmTime);
+    return out;
+}
+
 PlatformResult
 PrimeModel::evaluate(const nn::Topology &topology,
                      const mapping::MappingPlan &plan) const

@@ -53,6 +53,15 @@ class PrimeModel
     std::vector<PrimeLayerCost>
     layerCosts(const mapping::MappingPlan &plan) const;
 
+    /**
+     * Analytic per-stage cost of the plan's inter-bank pipeline: the
+     * layer times of evaluate()'s traversal summed per PipelineStage.
+     * The slowest entry is the analytic stage bottleneck the pipeline
+     * engine's measured pipeline.stage_ns can be cross-checked against.
+     */
+    std::vector<Ns> stageCosts(const nn::Topology &topology,
+                               const mapping::MappingPlan &plan) const;
+
     /** Latency of one full logical mat MVM. */
     Ns matMvmLatency(bool with_sigmoid) const
     {

@@ -252,5 +252,48 @@ INSTANTIATE_TEST_SUITE_P(
                       ComposingConfig{2, 1, 2, 1, 2},
                       ComposingConfig{4, 2, 4, 2, 4}));
 
+TEST(Composing, OutputBits8KeepsLlTerm)
+{
+    // Regression guard: at Po = 8 the LL partial product must stay in
+    // the assembly.  Under the full-scale shift its window hi_{Po-8}
+    // is hi_0 (the header's "empty with default parameters" note), but
+    // a calibrated SA window gives LL real bits -- a datapath that
+    // dropped the term outright would zero out low-phase-only inputs
+    // against low-cell-only weights.
+    ComposingParams p;
+    p.inputBits = 8;
+    p.inputPhaseBits = 4;
+    p.weightBits = 8;
+    p.cellBits = 4;
+    p.outputBits = 8;
+    ASSERT_TRUE(p.consistent());
+
+    // Direct assembly: only the LL component nonzero, window at 2^8.
+    EXPECT_EQ(composedAssemble(0, 0, 0, 512, p, 8), 2);
+
+    // Inputs below 2^(Pin/2) and weights below 2^(Pw/2) make the HH,
+    // HL and LH partials vanish (high phase and high cell are zero),
+    // so everything the composed path produces flows through LL.
+    const int n = 32;
+    Rng rng(77);
+    std::vector<int> in(n), w(n);
+    for (int i = 0; i < n; ++i) {
+        in[i] = static_cast<int>(rng.uniformInt(1, 15));
+        w[i] = static_cast<int>(rng.uniformInt(1, 15));
+    }
+    std::vector<std::vector<int>> rows;
+    for (int v : w)
+        rows.push_back({v});
+    const int shift = calibratedOutputShift(rows, p);
+    std::int64_t full = 0;
+    for (int i = 0; i < n; ++i)
+        full += static_cast<std::int64_t>(in[i]) * w[i];
+    const std::int64_t target = takeHighBits(full, shift);
+    const std::int64_t approx = composedApproxShifted(in, w, p, shift);
+    ASSERT_GT(target, 0);
+    EXPECT_GT(approx, 0) << "LL term dropped from the Po=8 assembly";
+    EXPECT_LE(std::llabs(approx - target), 4);
+}
+
 } // namespace
 } // namespace prime::reram

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
+#include "common/rng.hh"
 #include "prime/buffer_subarray.hh"
 #include "prime/controller.hh"
 #include "prime/ff_subarray.hh"
@@ -303,6 +306,74 @@ TEST(OsRuntime, HysteresisHoldsInBetween)
     for (int i = 0; i < 100; ++i)
         rt.recordPageAccess(i % 32 == 0);
     EXPECT_EQ(rt.step(), RuntimeAction::None);
+}
+
+TEST(PageMissTracker, RingMatchesNaiveDeque)
+{
+    // The O(1) ring buffer must report exactly what the straightforward
+    // deque-based sliding window reports, at every step of a random
+    // access stream (including the partially-filled warm-up phase).
+    const std::size_t window = 32;
+    PageMissTracker ring(window);
+    std::deque<bool> naive;
+    Rng rng(123);
+    for (int i = 0; i < 500; ++i) {
+        const bool miss = rng.uniform() < 0.3;
+        ring.record(miss);
+        naive.push_back(miss);
+        if (naive.size() > window)
+            naive.pop_front();
+        double miss_count = 0;
+        for (bool m : naive)
+            miss_count += m ? 1 : 0;
+        EXPECT_DOUBLE_EQ(ring.missRate(), miss_count / naive.size())
+            << "event " << i;
+        EXPECT_EQ(ring.warm(), naive.size() == window);
+    }
+    EXPECT_EQ(ring.samples(), 500u);
+}
+
+TEST(OsRuntime, ColdWindowTakesNoRateDrivenAction)
+{
+    // Before a full window of history, the miss rate swings on a
+    // handful of events; neither release nor rate-driven reclaim may
+    // act on it.
+    RuntimeOptions opt;
+    opt.window = 16;
+    StatGroup stats;
+    OsRuntime rt(tech(), opt, &stats);
+    rt.recordPageAccess(true);  // rate = 1.0, but 1 of 16 events
+    EXPECT_EQ(rt.step(), RuntimeAction::None);
+    // Busy-driven reclaim stays unconditional: queued NN work wins the
+    // mats back regardless of the window state.
+    rt.setFfBusy(true);
+    EXPECT_EQ(rt.step(), RuntimeAction::None);  // nothing released yet
+}
+
+TEST(OsRuntime, NoOscillationAroundThresholds)
+{
+    // A steady miss rate between the two thresholds must leave the
+    // policy parked after the initial release instead of alternating
+    // release/reclaim; both branches decide on the same sampled rate.
+    RuntimeOptions opt;
+    opt.window = 100;
+    StatGroup stats;
+    OsRuntime rt(tech(), opt, &stats);
+    for (int i = 0; i < 100; ++i)
+        rt.recordPageAccess(true);  // pressure: 100% misses
+    ASSERT_EQ(rt.step(), RuntimeAction::ReleaseMats);
+    const int released = rt.matsServingMemory();
+
+    // Drop to ~3%: between reclaim (1%) and release (5%).
+    for (int i = 0; i < 100; ++i)
+        rt.recordPageAccess(i % 32 == 0);
+    for (int i = 0; i < 50; ++i) {
+        rt.recordPageAccess(i % 32 == 0);
+        EXPECT_EQ(rt.step(), RuntimeAction::None) << "step " << i;
+        EXPECT_EQ(rt.matsServingMemory(), released) << "step " << i;
+    }
+    // One miss-rate sample per step() call, regardless of branch.
+    EXPECT_EQ(stats.get("runtime.miss_rate").count(), 51u);
 }
 
 TEST(OsRuntime, RejectsInvertedThresholds)

@@ -178,13 +178,16 @@ TEST(PrimeSystem, RunStatsAccumulate)
     EXPECT_GT(prime.buffer().trafficBytes(), 0u);
 }
 
-TEST(PrimeSystem, LargeScalePlansRefuseFunctionalRun)
+TEST(PrimeSystem, ProgramWeightRejectsMismatchedNetwork)
 {
+    // Multi-bank plans execute functionally now, but programWeight
+    // still validates the trained network against the mapped topology
+    // before touching any bank.
     PrimeSystem prime;
     prime.mapTopology(nn::mlBenchByName("VGG-D"));
-    Rng rng(1);
-    nn::Network dummy;  // never reached: banksUsed > 1 is fatal first
+    nn::Network dummy;  // empty: layer count cannot match VGG-D
     EXPECT_THROW(prime.programWeight(dummy), std::runtime_error);
+    EXPECT_EQ(prime.stats().get("morph.mats_to_compute").count(), 0u);
 }
 
 TEST(PrimeSystem, CnnEndToEnd)

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <sstream>
@@ -276,6 +277,37 @@ TEST(Histogram, QuantilesOfUniformSamples)
     // The ends clamp to the exact extrema.
     EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
     EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, QuantileEdgeCases)
+{
+    telemetry::Histogram empty;
+    // Empty histogram: every quantile is 0, including out-of-range and
+    // NaN arguments.
+    EXPECT_EQ(empty.quantile(0.0), 0.0);
+    EXPECT_EQ(empty.quantile(1.0), 0.0);
+    EXPECT_EQ(empty.quantile(std::nan("")), 0.0);
+
+    // Single sample: any quantile is that sample, exactly.
+    telemetry::Histogram one;
+    one.sample(7.5);
+    for (double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(one.quantile(q), 7.5) << "q=" << q;
+
+    // Populated histogram: q=0 / q=1 are the exact extrema, arguments
+    // outside [0, 1] clamp to them, and NaN maps to the minimum rank
+    // instead of propagating (regression: std::clamp passes NaN
+    // through to an undefined double->uint64 cast).
+    telemetry::Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.sample(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(-3.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), 100.0);
+    const double at_nan = h.quantile(std::nan(""));
+    EXPECT_FALSE(std::isnan(at_nan));
+    EXPECT_DOUBLE_EQ(at_nan, 1.0);
 }
 
 TEST(Histogram, Reset)

@@ -1,0 +1,27 @@
+# Smoke check: `prime_cli run <unknown>` must fail with a non-zero exit
+# code and name the valid benchmarks in its diagnostic, instead of
+# aborting or silently succeeding.  Driven by ctest:
+#   cmake -DPRIME_CLI=<path> -P check_cli_unknown.cmake
+if(NOT DEFINED PRIME_CLI)
+    message(FATAL_ERROR "pass -DPRIME_CLI=<path to prime_cli>")
+endif()
+
+execute_process(
+    COMMAND ${PRIME_CLI} run no-such-benchmark
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+if(rc EQUAL 0)
+    message(FATAL_ERROR
+        "prime_cli run no-such-benchmark exited 0; expected failure")
+endif()
+
+set(all "${out}${err}")
+if(NOT all MATCHES "valid names")
+    message(FATAL_ERROR
+        "diagnostic does not list the valid benchmarks: ${all}")
+endif()
+if(NOT all MATCHES "MLP-S")
+    message(FATAL_ERROR "diagnostic is missing MLP-S: ${all}")
+endif()

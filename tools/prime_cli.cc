@@ -22,14 +22,20 @@
  *   --stats-json <file>   write the versioned JSON stats document
  *   --trace <file>        record a Chrome trace_event JSON file of the
  *                         run (open in Perfetto / chrome://tracing)
- * `run` options: --images N (test set), --train N, --epochs N.
+ * `run` options: --images N (test set), --train N, --epochs N,
+ *   --batch N (run inference through the batched front end in batches
+ *   of N; multi-bank plans execute on the inter-bank pipeline engine),
+ *   --no-pipeline (batched but sequential, for A/B comparisons).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "common/config.hh"
 #include "common/logging.hh"
@@ -54,6 +60,8 @@ struct CliOptions
     int images = 50;        ///< run: test images
     int train = 400;        ///< run: training images
     int epochs = 1;         ///< run: training epochs
+    int batch = 0;          ///< run: batch size (0 = per-image run())
+    bool pipeline = true;   ///< run: pipeline batched execution
 };
 
 /** Parsed --set overrides applied to the default TechParams. */
@@ -85,6 +93,12 @@ optionsFromArgs(int argc, char **argv)
             opt.train = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc)
             opt.epochs = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc)
+            opt.batch = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--pipeline") == 0)
+            opt.pipeline = true;
+        else if (std::strcmp(argv[i], "--no-pipeline") == 0)
+            opt.pipeline = false;
     }
     return opt;
 }
@@ -120,7 +134,8 @@ usage()
         "options: --set key=value         override TechParams\n"
         "         --stats-json <file>     write JSON stats document\n"
         "         --trace <file>          write Chrome trace JSON\n"
-        "run:     --images N --train N --epochs N\n");
+        "run:     --images N --train N --epochs N\n"
+        "         --batch N [--no-pipeline]  batched front end\n");
     return 2;
 }
 
@@ -253,16 +268,42 @@ cmdRun(int argc, char **argv, const CliOptions &opt)
                                             train.begin() + calib_n));
 
     int correct = 0;
-    for (const nn::Sample &s : test)
-        if (static_cast<int>(prime.run(s.input).argmax()) == s.label)
-            ++correct;
+    if (opt.batch > 0) {
+        core::PrimeSystem::RunBatchOptions ropt;
+        ropt.pipeline = opt.pipeline;
+        const std::size_t batch = static_cast<std::size_t>(opt.batch);
+        for (std::size_t i = 0; i < test.size(); i += batch) {
+            const std::size_t n = std::min(batch, test.size() - i);
+            std::vector<nn::Tensor> inputs;
+            for (std::size_t k = 0; k < n; ++k)
+                inputs.push_back(test[i + k].input);
+            std::vector<nn::Tensor> outputs = prime.runBatch(
+                std::span<const nn::Tensor>(inputs), ropt);
+            for (std::size_t k = 0; k < n; ++k)
+                if (static_cast<int>(outputs[k].argmax()) ==
+                    test[i + k].label)
+                    ++correct;
+        }
+    } else {
+        for (const nn::Sample &s : test)
+            if (static_cast<int>(prime.run(s.input).argmax()) == s.label)
+                ++correct;
+    }
     prime.release();
 
     std::printf("%s on PrimeSystem: %d/%zu correct (%.1f%%), trained "
-                "%zu images x %d epoch(s)\n\n",
+                "%zu images x %d epoch(s)\n",
                 topo.name.c_str(), correct, test.size(),
                 100.0 * correct / test.size(), train.size(),
                 topt.epochs);
+    if (opt.batch > 0)
+        std::printf("batched front end: batch %d, %zu pipeline stage(s), "
+                    "%s execution\n",
+                    opt.batch, prime.stages().size(),
+                    opt.pipeline && prime.stages().size() > 1
+                        ? "pipelined"
+                        : "sequential");
+    std::printf("\n");
     prime.stats().dump(std::cout);
     std::printf("\n");
     prime.mainMemory().stats().dump(std::cout);
