@@ -11,6 +11,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hh"
@@ -26,9 +27,13 @@ namespace prime::bench {
  *   --stats-json <file>   stats destination (default BENCH_<name>.json)
  *   --trace <file>        also record a Chrome trace of the run
  *
- * The stats document is {"version":N,"bench":"<name>","stats":{...}},
+ * The stats document is
+ * {"version":N,"bench":"<name>",<top-level fields...>,"stats":{...}},
  * so every reproduction run leaves a machine-readable data point next
- * to the human-readable tables.
+ * to the human-readable tables.  Headline metrics a CI gate or a
+ * dashboard should not have to dig out of the stats tree (speedups,
+ * wall-clock totals) are promoted to top-level numeric fields via
+ * topLevel().
  */
 class BenchRun
 {
@@ -59,6 +64,24 @@ class BenchRun
 
     StatGroup &stats() { return stats_; }
 
+    /**
+     * Promote a headline metric to a top-level field of the JSON
+     * document: {"<name>":<value>} next to "bench", before "stats".
+     * Re-setting a name overwrites its value; emission keeps the
+     * first-set order.
+     */
+    void
+    topLevel(const std::string &name, double value)
+    {
+        for (auto &[existing, v] : topLevel_) {
+            if (existing == name) {
+                v = value;
+                return;
+            }
+        }
+        topLevel_.emplace_back(name, value);
+    }
+
     /** Write the stats document (and trace, if enabled). */
     void finish()
     {
@@ -75,7 +98,10 @@ class BenchRun
             if (!os)
                 return;
             os << "{\"version\":" << StatGroup::kJsonVersion
-               << ",\"bench\":\"" << name_ << "\",\"stats\":";
+               << ",\"bench\":\"" << name_ << "\"";
+            for (const auto &[name, value] : topLevel_)
+                os << ",\"" << name << "\":" << value;
+            os << ",\"stats\":";
             stats_.dumpJsonObject(os);
             os << "}\n";
         }
@@ -85,6 +111,7 @@ class BenchRun
     std::string name_;
     std::string statsPath_;
     std::string tracePath_;
+    std::vector<std::pair<std::string, double>> topLevel_;
     StatGroup stats_;
     telemetry::TraceSession trace_;
     bool finished_ = false;

@@ -59,6 +59,24 @@ Histogram::sample(double value)
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);

@@ -37,6 +37,14 @@ class Histogram
     /** Record one value. */
     void sample(double value);
 
+    /**
+     * Fold another histogram's samples into this one (bucket counts,
+     * count/sum and exact extrema all combine).  The shard-aggregation
+     * primitive: per-thread / per-bank histograms accumulate lock-free
+     * on their owner and merge into the published histogram afterwards.
+     */
+    void merge(const Histogram &other);
+
     /** Reset to empty. */
     void reset();
 

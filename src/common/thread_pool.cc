@@ -125,6 +125,42 @@ ThreadPool::parallelFor(std::size_t n,
     jobSize_ = 0;
 }
 
+WorkerGroup::WorkerGroup(const std::string &name_prefix,
+                         std::size_t count,
+                         std::function<void(std::size_t)> body)
+{
+    threads_.reserve(count);
+    // One shared copy of the body; workers only call it, so sharing is
+    // safe and keeps captured state (rings, result buffers) in one
+    // place.
+    auto shared = std::make_shared<std::function<void(std::size_t)>>(
+        std::move(body));
+    for (std::size_t i = 0; i < count; ++i) {
+        threads_.emplace_back([shared, name_prefix, i] {
+            telemetry::setTraceThreadName(name_prefix + "-" +
+                                          std::to_string(i));
+            // Pool-context marker: nested parallelFor runs inline (a
+            // blocked stage worker must never park the whole group on
+            // the shared pool's serial job slot).
+            tls_in_pool = true;
+            (*shared)(i);
+        });
+    }
+}
+
+WorkerGroup::~WorkerGroup()
+{
+    join();
+}
+
+void
+WorkerGroup::join()
+{
+    for (std::thread &t : threads_)
+        if (t.joinable())
+            t.join();
+}
+
 namespace {
 
 std::unique_ptr<ThreadPool> g_pool;

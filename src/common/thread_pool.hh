@@ -93,6 +93,38 @@ class ThreadPool
     std::atomic<std::size_t> next_{0};
 };
 
+/**
+ * A group of dedicated long-lived worker threads, for free-running
+ * executors that pin one thread to one role (e.g. one pipeline stage)
+ * instead of fanning an index range out over the shared pool.  Each
+ * worker runs body(i) once, start to finish; join() (or destruction)
+ * waits for all of them.
+ *
+ * Workers are pool-context threads: each gets a named trace lane
+ * ("<prefix>-<i>") for per-stage telemetry, and nested
+ * ThreadPool::parallelFor calls from inside a worker run inline rather
+ * than serializing the group on the shared pool's job slot.
+ */
+class WorkerGroup
+{
+  public:
+    /** Spawn @p count workers running body(0) .. body(count-1). */
+    WorkerGroup(const std::string &name_prefix, std::size_t count,
+                std::function<void(std::size_t)> body);
+    ~WorkerGroup();
+
+    WorkerGroup(const WorkerGroup &) = delete;
+    WorkerGroup &operator=(const WorkerGroup &) = delete;
+
+    /** Wait for every worker to return (idempotent). */
+    void join();
+
+    std::size_t size() const { return threads_.size(); }
+
+  private:
+    std::vector<std::thread> threads_;
+};
+
 } // namespace prime
 
 #endif // PRIME_COMMON_THREAD_POOL_HH

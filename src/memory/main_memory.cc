@@ -1,6 +1,7 @@
 #include "memory/main_memory.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/telemetry/trace_session.hh"
@@ -11,11 +12,15 @@ MainMemory::MainMemory(const nvmodel::TechParams &params,
                        PagePolicy policy)
     : params_(params), mapper_(params.geometry)
 {
-    banks_.reserve(params.geometry.totalBanks());
+    shards_.reserve(static_cast<std::size_t>(
+        params.geometry.totalBanks()));
     for (int b = 0; b < params.geometry.totalBanks(); ++b)
-        banks_.emplace_back(params.timing, policy);
+        shards_.push_back(
+            std::make_unique<BankShard>(params.timing, policy));
     // Derived at read time from the hit/miss counters (std::map nodes
-    // are address-stable, so the captured pointers stay valid).
+    // are address-stable, so the captured pointers stay valid; the
+    // counters themselves are refreshed from the bank shards by
+    // syncStats before any read).
     stats_.formula("mem.row_hit_rate",
                    [hits = &stats_.get("mem.row_hits"),
                     misses = &stats_.get("mem.row_misses")] {
@@ -25,100 +30,143 @@ MainMemory::MainMemory(const nvmodel::TechParams &params,
                    });
 }
 
+MainMemory::BankShard &
+MainMemory::shard(int global_bank) const
+{
+    PRIME_ASSERT(global_bank >= 0 &&
+                     global_bank < static_cast<int>(shards_.size()),
+                 "bank ", global_bank);
+    return *shards_[static_cast<std::size_t>(global_bank)];
+}
+
 const BankModel &
 MainMemory::bank(int global_bank) const
 {
-    PRIME_ASSERT(global_bank >= 0 &&
-                     global_bank < static_cast<int>(banks_.size()),
-                 "bank ", global_bank);
-    return banks_[static_cast<std::size_t>(global_bank)];
+    return shard(global_bank).bank;
 }
 
 BankModel &
 MainMemory::bank(int global_bank)
 {
-    return const_cast<BankModel &>(
-        static_cast<const MainMemory &>(*this).bank(global_bank));
+    return shard(global_bank).bank;
+}
+
+Ns
+MainMemory::reserveChannel(Ns earliest, Ns transfer)
+{
+    // Lock-free exclusive reservation: advance the cursor from its
+    // current value to max(earliest, cursor) + transfer.  Competing
+    // requests retry, so granted slots never overlap; the grant order
+    // under concurrency is the arrival order at the CAS (documented as
+    // schedule-dependent timing).
+    Ns free = channelFree_.load(std::memory_order_relaxed);
+    for (;;) {
+        const Ns start = std::max(earliest, free);
+        if (channelFree_.compare_exchange_weak(
+                free, start + transfer, std::memory_order_acq_rel,
+                std::memory_order_relaxed))
+            return start + transfer;
+    }
 }
 
 RequestResult
 MainMemory::access(const Request &request)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return accessLocked(request);
+    const Location loc = mapper_.decode(request.addr);
+    BankShard &sh = shard(loc.globalBank);
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    return accessShardLocked(sh, request, loc);
 }
 
 RequestResult
-MainMemory::accessLocked(const Request &request)
+MainMemory::accessShardLocked(BankShard &sh, const Request &request,
+                              const Location &loc)
 {
     PRIME_SPAN(telemetry::globalTrace(),
                request.isWrite ? "mem.write" : "mem.read", "memory");
     RequestResult result;
     result.request = request;
-    result.location = mapper_.decode(request.addr);
+    result.location = loc;
 
-    BankModel &b = bank(result.location.globalBank);
-    result.bank = b.access(request.issue, rowTag(result.location),
-                           request.isWrite);
+    result.bank = sh.bank.access(request.issue, rowTag(loc),
+                                 request.isWrite);
 
     // The data burst serializes on the shared channel after the bank has
     // the data (read) or before the bank commits it (write, modeled
     // symmetrically).
     const Ns transfer = request.bytes /
                         params_.timing.channelBandwidth();
-    const Ns start = std::max(result.bank.complete, channelFree_);
-    result.dataReady = start + transfer;
-    channelFree_ = result.dataReady;
+    result.dataReady = reserveChannel(result.bank.complete, transfer);
 
-    stats_.get(request.isWrite ? "mem.writes" : "mem.reads").increment();
-    stats_.get("mem.bytes").add(request.bytes);
-    stats_.get(result.bank.rowHit ? "mem.row_hits" : "mem.row_misses")
-        .increment();
+    // Stat shard: sampled under the bank lock we already hold, so the
+    // hot path never touches a shared StatGroup (row hits/misses stay
+    // in the BankModel counters).
+    (request.isWrite ? sh.writes : sh.reads) += 1;
+    sh.bytes += request.bytes;
     // Modeled latency split: time queued behind the bank/row state vs.
     // total service (queue + bank + channel burst).
-    stats_.histogram("mem.queue_ns")
-        .sample(result.bank.start - request.issue);
-    stats_.histogram("mem.service_ns")
-        .sample(result.dataReady - request.issue);
+    sh.queueNs.sample(result.bank.start - request.issue);
+    sh.serviceNs.sample(result.dataReady - request.issue);
     return result;
 }
 
 std::vector<RequestResult>
 MainMemory::scheduleBatch(std::vector<Request> requests, int window)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return scheduleBatchLocked(std::move(requests), window);
-}
-
-std::vector<RequestResult>
-MainMemory::scheduleBatchLocked(std::vector<Request> requests, int window)
-{
     PRIME_ASSERT(window >= 1, "window=", window);
     std::vector<RequestResult> results;
     results.reserve(requests.size());
 
-    // Keep requests sorted by issue time; repeatedly pick, within the
-    // first `window` pending entries, a row-hit request if one exists,
-    // otherwise the oldest.
+    // Keep requests sorted by issue time, then partition by bank: the
+    // row-hit reordering window only ever matters within a bank, and
+    // per-bank groups let the FR-FCFS loop hold exactly one bank lock
+    // at a time (banks appear in first-request order).
     std::stable_sort(requests.begin(), requests.end(),
                      [](const Request &a, const Request &b) {
                          return a.issue < b.issue;
                      });
-    std::vector<Request> pending = std::move(requests);
-    while (!pending.empty()) {
-        const int limit = std::min<int>(window,
-                                        static_cast<int>(pending.size()));
-        int chosen = 0;
-        for (int i = 0; i < limit; ++i) {
-            Location loc = mapper_.decode(pending[i].addr);
-            if (bank(loc.globalBank).openRow() == rowTag(loc)) {
-                chosen = i;
-                break;
-            }
+    struct Pending
+    {
+        Request request;
+        Location location;
+    };
+    std::vector<int> bank_order;
+    std::vector<std::vector<Pending>> groups;
+    for (const Request &r : requests) {
+        const Location loc = mapper_.decode(r.addr);
+        std::size_t g = 0;
+        while (g < bank_order.size() && bank_order[g] != loc.globalBank)
+            ++g;
+        if (g == bank_order.size()) {
+            bank_order.push_back(loc.globalBank);
+            groups.emplace_back();
         }
-        Request next = pending[static_cast<std::size_t>(chosen)];
-        pending.erase(pending.begin() + chosen);
-        results.push_back(accessLocked(next));
+        groups[g].push_back(Pending{r, loc});
+    }
+
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        BankShard &sh = shard(bank_order[g]);
+        std::lock_guard<std::mutex> lock(sh.mutex);
+        std::vector<Pending> &pending = groups[g];
+        // Repeatedly pick, within the first `window` pending entries,
+        // a row-hit request if one exists, otherwise the oldest.
+        while (!pending.empty()) {
+            const int limit = std::min<int>(
+                window, static_cast<int>(pending.size()));
+            int chosen = 0;
+            for (int i = 0; i < limit; ++i) {
+                const Pending &p =
+                    pending[static_cast<std::size_t>(i)];
+                if (sh.bank.openRow() == rowTag(p.location)) {
+                    chosen = i;
+                    break;
+                }
+            }
+            Pending next = pending[static_cast<std::size_t>(chosen)];
+            pending.erase(pending.begin() + chosen);
+            results.push_back(
+                accessShardLocked(sh, next.request, next.location));
+        }
     }
     return results;
 }
@@ -129,8 +177,7 @@ MainMemory::scheduleBytes(std::uint64_t addr, std::size_t bytes,
 {
     if (bytes == 0)
         return {};
-    std::lock_guard<std::mutex> lock(mutex_);
-    const Ns issue = channelFree_;
+    const Ns issue = channelFree();
     std::vector<Request> requests;
     requests.reserve((bytes + 63) / 64);
     for (std::size_t off = 0; off < bytes; off += 64) {
@@ -142,7 +189,7 @@ MainMemory::scheduleBytes(std::uint64_t addr, std::size_t bytes,
         r.issue = issue;
         requests.push_back(r);
     }
-    return scheduleBatchLocked(std::move(requests), 16);
+    return scheduleBatch(std::move(requests), 16);
 }
 
 void
@@ -150,21 +197,39 @@ MainMemory::writeData(std::uint64_t addr,
                       const std::vector<std::uint8_t> &data)
 {
     PRIME_SPAN(telemetry::globalTrace(), "mem.write_data", "memory");
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t i = 0; i < data.size(); ++i)
-        store_[addr + i] = data[i];
+    // Walk the range one 64B line at a time, locking that line's store
+    // stripe: disjoint transfers (the pipeline stages' staging windows)
+    // land on different stripes and proceed in parallel.
+    std::size_t i = 0;
+    while (i < data.size()) {
+        const std::uint64_t line_end = ((addr + i) | 63) + 1;
+        const std::size_t end = std::min<std::size_t>(
+            data.size(), i + static_cast<std::size_t>(
+                                 line_end - (addr + i)));
+        StoreStripe &stripe = store_[storeStripe(addr + i)];
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        for (; i < end; ++i)
+            stripe.bytes[addr + i] = data[i];
+    }
 }
 
 std::vector<std::uint8_t>
 MainMemory::readData(std::uint64_t addr, std::size_t size) const
 {
     PRIME_SPAN(telemetry::globalTrace(), "mem.read_data", "memory");
-    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::uint8_t> out(size, 0);
-    for (std::size_t i = 0; i < size; ++i) {
-        auto it = store_.find(addr + i);
-        if (it != store_.end())
-            out[i] = it->second;
+    std::size_t i = 0;
+    while (i < size) {
+        const std::uint64_t line_end = ((addr + i) | 63) + 1;
+        const std::size_t end = std::min<std::size_t>(
+            size, i + static_cast<std::size_t>(line_end - (addr + i)));
+        const StoreStripe &stripe = store_[storeStripe(addr + i)];
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        for (; i < end; ++i) {
+            auto it = stripe.bytes.find(addr + i);
+            if (it != stripe.bytes.end())
+                out[i] = it->second;
+        }
     }
     return out;
 }
@@ -183,13 +248,58 @@ MainMemory::rowTag(const Location &loc) const
 double
 MainMemory::rowHitRate() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     std::uint64_t hits = 0, total = 0;
-    for (const BankModel &b : banks_) {
-        hits += b.rowHits();
-        total += b.rowHits() + b.rowMisses();
+    for (const std::unique_ptr<BankShard> &sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh->mutex);
+        hits += sh->bank.rowHits();
+        total += sh->bank.rowHits() + sh->bank.rowMisses();
     }
     return total ? static_cast<double>(hits) / total : 0.0;
+}
+
+StatGroup &
+MainMemory::stats()
+{
+    syncStats();
+    return stats_;
+}
+
+void
+MainMemory::syncStats()
+{
+    std::uint64_t reads = 0, writes = 0, row_hits = 0, row_misses = 0;
+    double bytes = 0.0;
+    telemetry::Histogram queue_ns, service_ns;
+    for (const std::unique_ptr<BankShard> &sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh->mutex);
+        reads += sh->reads;
+        writes += sh->writes;
+        bytes += sh->bytes;
+        row_hits += sh->bank.rowHits();
+        row_misses += sh->bank.rowMisses();
+        queue_ns.merge(sh->queueNs);
+        service_ns.merge(sh->serviceNs);
+    }
+    // Rebuild the published totals from the absolute shard sums, so the
+    // refresh is idempotent and never double-counts.
+    auto set_counter = [this](const char *name, std::uint64_t count) {
+        Stat &s = stats_.get(name);
+        s.reset();
+        s.increment(count);
+    };
+    set_counter("mem.reads", reads);
+    set_counter("mem.writes", writes);
+    set_counter("mem.row_hits", row_hits);
+    set_counter("mem.row_misses", row_misses);
+    Stat &b = stats_.get("mem.bytes");
+    b.reset();
+    b.add(bytes);
+    telemetry::Histogram &q = stats_.histogram("mem.queue_ns");
+    q.reset();
+    q.merge(queue_ns);
+    telemetry::Histogram &s = stats_.histogram("mem.service_ns");
+    s.reset();
+    s.merge(service_ns);
 }
 
 } // namespace prime::memory

@@ -12,12 +12,16 @@
 #ifndef PRIME_MEMORY_MAIN_MEMORY_HH
 #define PRIME_MEMORY_MAIN_MEMORY_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/telemetry/histogram.hh"
 #include "memory/address.hh"
 #include "memory/bank.hh"
 #include "nvmodel/tech_params.hh"
@@ -50,15 +54,29 @@ struct RequestResult
  * the sparse backing store (so PRIME's mode-morphing data migration can
  * be checked end to end).
  *
- * Thread safety: the timed/functional entry points (access,
- * scheduleBatch, scheduleBytes, writeData, readData, channelFree,
- * rowHitRate) serialize on an internal mutex so per-bank pipeline
- * stages can share the memory.  Functional reads/writes at disjoint
- * addresses are then order-independent; the *timing* state interleaves
- * in arrival order, so latency stats under concurrency are
- * schedule-dependent (functional results stay deterministic).  The
- * bank() accessor and stats() are not synchronized -- inspect them
- * only while no concurrent accesses run.
+ * Thread safety -- bank-sharded locking (the free-running pipeline
+ * executor's Fetch/Commit traffic from different bank stages must not
+ * serialize on one global lock):
+ *  - Each bank's timing state machine and its latency/count stat shard
+ *    are guarded by that bank's own mutex; requests to different banks
+ *    proceed fully in parallel.
+ *  - The shared channel is an atomic reservation cursor: a request
+ *    claims its burst slot with a CAS max-advance, so channel time
+ *    stays exclusive without any lock.
+ *  - The functional backing store is striped 64-byte-line-wise over a
+ *    small mutex array; reads/writes at disjoint addresses proceed in
+ *    parallel and never contend with the timing path.
+ *  - FR-FCFS batches are scheduled per bank (row hits only exist
+ *    within a bank, so the reordering window never crossed banks
+ *    anyway); a batch touching several banks holds one bank lock at a
+ *    time.
+ * Functional reads/writes at disjoint addresses are order-independent;
+ * the *timing* state interleaves in arrival order, so latency stats
+ * under concurrency are schedule-dependent (functional results stay
+ * deterministic).  stats() aggregates the per-bank shards into the
+ * published StatGroup at call time -- cheap, but like the bank()
+ * accessor it snapshots: call it while no concurrent accesses run when
+ * exact totals matter.
  */
 class MainMemory
 {
@@ -72,7 +90,8 @@ class MainMemory
     /**
      * FR-FCFS: schedule a batch, preferring row-buffer hits within a
      * lookahead window of @p window requests, never starving the oldest
-     * request beyond the window.  Results are in completion order.
+     * request beyond the window.  Results are grouped by bank in
+     * first-appearance order, completion-ordered within each bank.
      */
     std::vector<RequestResult>
     scheduleBatch(std::vector<Request> requests, int window = 16);
@@ -97,36 +116,86 @@ class MainMemory
     BankModel &bank(int global_bank);
 
     /** Earliest time the shared channel is free. */
-    Ns channelFree() const
+    Ns
+    channelFree() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return channelFree_;
+        return channelFree_.load(std::memory_order_acquire);
     }
 
     /** Aggregate row-buffer hit rate over all banks. */
     double rowHitRate() const;
 
-    StatGroup &stats() { return stats_; }
+    /**
+     * The published stats, refreshed from the per-bank shards on every
+     * call (see the thread-safety notes above for when the totals are
+     * exact).
+     */
+    StatGroup &stats();
     const nvmodel::TechParams &params() const { return params_; }
 
   private:
+    /** Store stripes: 64B lines spread over this many mutexes. */
+    static constexpr std::size_t kStoreStripes = 16;
+
+    /**
+     * One bank's lock domain: the timing state machine plus the stat
+     * shard its accesses sample into, all updated under `mutex`.
+     */
+    struct BankShard
+    {
+        alignas(64) mutable std::mutex mutex;
+        BankModel bank;
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        double bytes = 0.0;
+        telemetry::Histogram queueNs;
+        telemetry::Histogram serviceNs;
+
+        BankShard(const nvmodel::TimingParams &timing, PagePolicy policy)
+            : bank(timing, policy)
+        {}
+    };
+
     /** Physical wordline tag for the row buffer (row x subarray x mat). */
     int rowTag(const Location &loc) const;
 
-    /** access() body; caller holds mutex_. */
-    RequestResult accessLocked(const Request &request);
-    /** scheduleBatch() body; caller holds mutex_. */
-    std::vector<RequestResult>
-    scheduleBatchLocked(std::vector<Request> requests, int window);
+    /** The shard owning @p global_bank. */
+    BankShard &shard(int global_bank) const;
+
+    /** Store stripe covering the 64B line of @p addr. */
+    std::size_t storeStripe(std::uint64_t addr) const
+    {
+        return (addr >> 6) % kStoreStripes;
+    }
+
+    /**
+     * Claim an exclusive channel slot of @p transfer ns starting at or
+     * after @p earliest; returns the slot's end (= dataReady).
+     */
+    Ns reserveChannel(Ns earliest, Ns transfer);
+
+    /** access() body; caller holds the target bank's shard mutex. */
+    RequestResult accessShardLocked(BankShard &sh, const Request &request,
+                                    const Location &loc);
+
+    /** Fold the per-bank shards into stats_ (absolute, idempotent). */
+    void syncStats();
 
     nvmodel::TechParams params_;
     AddressMapper mapper_;
-    std::vector<BankModel> banks_;
-    Ns channelFree_ = 0.0;
-    std::unordered_map<std::uint64_t, std::uint8_t> store_;
+    /** unique_ptr: BankShard owns a mutex and must stay pinned. */
+    std::vector<std::unique_ptr<BankShard>> shards_;
+    std::atomic<Ns> channelFree_{0.0};
+
+    /** Functional backing store, striped by 64B line. */
+    struct StoreStripe
+    {
+        alignas(64) mutable std::mutex mutex;
+        std::unordered_map<std::uint64_t, std::uint8_t> bytes;
+    };
+    mutable std::array<StoreStripe, kStoreStripes> store_;
+
     StatGroup stats_;
-    /** Guards the timing state, the backing store and stats_. */
-    mutable std::mutex mutex_;
 };
 
 } // namespace prime::memory

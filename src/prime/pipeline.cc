@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/spsc_ring.hh"
+#include "common/telemetry/histogram.hh"
 #include "common/telemetry/trace_session.hh"
 #include "common/thread_pool.hh"
 
@@ -18,6 +22,27 @@ struct Item
 {
     std::size_t index = 0;
     nn::Tensor tensor;
+};
+
+/** What one inter-stage handoff carries: a batch of tiles. */
+using HandoffBatch = std::vector<Item>;
+
+/**
+ * Per-stage accumulator, owned exclusively by that stage's worker
+ * while the pipeline runs and merged into the StatGroup after the
+ * workers join -- the tile path samples stats without any lock or
+ * string-keyed lookup.  Cache-line aligned so neighbouring workers'
+ * counters never false-share.
+ */
+struct alignas(64) StageLocal
+{
+    telemetry::Histogram stageNs;      ///< wall ns per stage execution
+    telemetry::Histogram handoffItems; ///< tiles per outbound handoff
+    double busyNs = 0.0;
+    std::uint64_t items = 0;
+    std::uint64_t handoffs = 0;
+    std::uint64_t pushWaits = 0; ///< failed tryPush attempts (full ring)
+    std::uint64_t popWaits = 0;  ///< failed tryPop attempts (empty ring)
 };
 
 } // namespace
@@ -34,107 +59,131 @@ PipelineEngine::run(std::span<const nn::Tensor> inputs)
     PRIME_SPAN(telemetry::globalTrace(), "pipeline.batch", "pipeline");
     const std::size_t n_stages = system_.stages().size();
     PRIME_ASSERT(n_stages >= 1, "no pipeline stages");
-    const std::size_t cap = static_cast<std::size_t>(
+    const std::size_t ring_capacity = static_cast<std::size_t>(
         std::max(1, options_.queueCapacity));
+    const std::size_t batch_size = static_cast<std::size_t>(
+        std::max(1, options_.handoffBatch));
 
     std::vector<nn::Tensor> results(inputs.size());
     if (inputs.empty())
         return results;
+    const std::size_t total = inputs.size();
 
-    // The coordinator owns the queues; during a round only the firing
-    // stages' bodies run, each writing per-stage-disjoint state (the
-    // ThreadPool determinism contract), and all StatGroup updates
-    // happen between rounds on this thread.
-    std::vector<std::deque<Item>> queues(n_stages);
-    std::vector<Item> in_flight(n_stages);
-    std::vector<nn::Tensor> fired_out(n_stages);
-    std::vector<double> fired_ns(n_stages, 0.0);
-    std::vector<std::size_t> firing;
-    std::vector<double> stage_total_ns(n_stages, 0.0);
-    std::vector<long long> stage_fires(n_stages, 0);
+    // Ring s connects stage s to stage s+1.  Capacity is counted in
+    // handoff batches; each worker is the sole producer of its output
+    // ring and sole consumer of its input ring (the SPSC contract).
+    std::vector<std::unique_ptr<SpscRing<HandoffBatch>>> rings;
+    rings.reserve(n_stages > 0 ? n_stages - 1 : 0);
+    for (std::size_t s = 0; s + 1 < n_stages; ++s)
+        rings.push_back(
+            std::make_unique<SpscRing<HandoffBatch>>(ring_capacity));
 
-    StatGroup &stats = system_.stats();
-    ThreadPool &pool = ThreadPool::global();
-    std::size_t next_input = 0, done = 0;
-    std::uint64_t rounds = 0;
+    std::vector<StageLocal> locals(n_stages);
 
-    while (done < inputs.size()) {
-        // Feed the front of the pipeline up to the queue bound.
-        while (next_input < inputs.size() && queues[0].size() < cap) {
-            queues[0].push_back(Item{next_input, inputs[next_input]});
-            ++next_input;
-        }
-
-        // Firing set: a stage fires when it has an input and its output
-        // queue has room; the last stage always drains.  The deepest
-        // non-empty stage always qualifies, so every round progresses.
-        firing.clear();
-        for (std::size_t s = 0; s < n_stages; ++s) {
-            if (queues[s].empty())
-                continue;
-            if (s + 1 < n_stages && queues[s + 1].size() >= cap)
-                continue;
-            firing.push_back(s);
-        }
-        PRIME_ASSERT(!firing.empty(), "pipeline stalled");
-        for (std::size_t s : firing) {
-            in_flight[s] = std::move(queues[s].front());
-            queues[s].pop_front();
-        }
-
-        pool.parallelFor(
-            firing.size(), [&](std::size_t i) {
-                const std::size_t s = firing[i];
+    // Free-running stage body: pop (or slice, for stage 0) a batch,
+    // run every tile through this stage's banks, hand the batch
+    // downstream (or scatter results, for the last stage).  Each
+    // worker exits after exactly `total` tiles -- no sentinels, no
+    // coordinator round trips, and bounded rings mean a slow stage
+    // backpressures its producer instead of buffering the batch.
+    auto stage_loop = [&](std::size_t s) {
+        StageLocal &local = locals[s];
+        PrimeSystem::ExecContext &ctx = system_.stageContext(s);
+        const bool first = s == 0;
+        const bool last = s + 1 == n_stages;
+        std::size_t processed = 0;
+        HandoffBatch in, out;
+        in.reserve(batch_size);
+        out.reserve(batch_size);
+        while (processed < total) {
+            if (first) {
+                const std::size_t take =
+                    std::min(batch_size, total - processed);
+                in.clear();
+                for (std::size_t i = 0; i < take; ++i)
+                    in.push_back(Item{processed + i,
+                                      inputs[processed + i]});
+            } else {
+                while (!rings[s - 1]->tryPop(in)) {
+                    ++local.popWaits;
+                    std::this_thread::yield();
+                }
+            }
+            out.clear();
+            for (Item &item : in) {
                 const auto start = std::chrono::steady_clock::now();
-                fired_out[s] = system_.runStage(
-                    in_flight[s].tensor, s, system_.stageContext(s));
-                fired_ns[s] =
+                nn::Tensor y =
+                    system_.runStage(item.tensor, s, ctx);
+                const double ns =
                     std::chrono::duration<double, std::nano>(
                         std::chrono::steady_clock::now() - start)
                         .count();
-            });
-
-        // Advance items and sample stats between rounds.
-        std::size_t depth = 0;
-        for (std::size_t s : firing) {
-            if (s + 1 == n_stages) {
-                results[in_flight[s].index] = std::move(fired_out[s]);
-                ++done;
-            } else {
-                queues[s + 1].push_back(
-                    Item{in_flight[s].index, std::move(fired_out[s])});
+                local.stageNs.sample(ns);
+                local.busyNs += ns;
+                ++local.items;
+                if (last)
+                    results[item.index] = std::move(y);
+                else
+                    out.push_back(Item{item.index, std::move(y)});
             }
-            stats.histogram("pipeline.stage_ns").sample(fired_ns[s]);
-            stage_total_ns[s] += fired_ns[s];
-            ++stage_fires[s];
+            processed += in.size();
+            if (!last) {
+                local.handoffItems.sample(
+                    static_cast<double>(out.size()));
+                ++local.handoffs;
+                while (!rings[s]->tryPush(std::move(out))) {
+                    ++local.pushWaits;
+                    std::this_thread::yield();
+                }
+                out = HandoffBatch();
+                out.reserve(batch_size);
+            }
         }
-        stats.histogram("pipeline.occupancy")
-            .sample(static_cast<double>(firing.size()) /
-                    static_cast<double>(n_stages));
-        for (const std::deque<Item> &q : queues)
-            depth = std::max(depth, q.size());
-        stats.histogram("pipeline.queue_depth")
-            .sample(static_cast<double>(depth));
-        ++rounds;
+    };
+
+    {
+        WorkerGroup workers("pipe-stage", n_stages, stage_loop);
+        workers.join();
     }
 
-    stats.get("pipeline.rounds").add(static_cast<double>(rounds));
+    // Merge the worker-local accumulators (single-threaded again; the
+    // join above is the happens-before edge covering `results` too).
+    StatGroup &stats = system_.stats();
+    telemetry::Histogram &stage_ns =
+        stats.histogram("pipeline.stage_ns");
+    telemetry::Histogram &handoff_items =
+        stats.histogram("pipeline.handoff_items");
+    double bottleneck = 0.0;
+    std::uint64_t handoffs = 0, push_waits = 0, pop_waits = 0;
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        const StageLocal &local = locals[s];
+        stage_ns.merge(local.stageNs);
+        handoff_items.merge(local.handoffItems);
+        handoffs += local.handoffs;
+        push_waits += local.pushWaits;
+        pop_waits += local.popWaits;
+        if (local.items > 0)
+            bottleneck = std::max(
+                bottleneck,
+                local.busyNs / static_cast<double>(local.items));
+        const std::string prefix =
+            "pipeline.stage" + std::to_string(s);
+        stats.get(prefix + ".busy_ns").add(local.busyNs);
+        stats.get(prefix + ".items").increment(local.items);
+        stats.get(prefix + ".push_waits").increment(local.pushWaits);
+        stats.get(prefix + ".pop_waits").increment(local.popWaits);
+    }
+    stats.get("pipeline.handoffs").increment(handoffs);
+    stats.get("pipeline.push_waits").increment(push_waits);
+    stats.get("pipeline.pop_waits").increment(pop_waits);
     stats.get("pipeline.batches").increment();
-    stats.get("pipeline.samples").add(
-        static_cast<double>(inputs.size()));
+    stats.get("pipeline.samples").increment(total);
     // Measured stage bottleneck (mean wall ns of the slowest stage),
     // the empirical counterpart of PrimeModel::stageCosts' analytic
     // maximum.
-    double bottleneck = 0.0;
-    for (std::size_t s = 0; s < n_stages; ++s)
-        if (stage_fires[s] > 0)
-            bottleneck = std::max(
-                bottleneck,
-                stage_total_ns[s] /
-                    static_cast<double>(stage_fires[s]));
     stats.get("pipeline.measured_bottleneck_ns").add(bottleneck);
     // Stat parity with the sequential path, which counts per run().
-    stats.get("run.inferences").add(static_cast<double>(inputs.size()));
+    stats.get("run.inferences").increment(total);
     return results;
 }
 

@@ -1,22 +1,34 @@
 /**
  * @file
- * The functional inter-bank pipeline engine (paper Section IV-B).
+ * The functional inter-bank pipeline executor (paper Section IV-B).
  *
  * A Large MappingPlan assigns consecutive layer groups to disjoint
- * banks; PipelineEngine executes a batch of inputs as a real pipeline
- * over those stages: every round, each stage that has an input and
- * room in its output queue fires concurrently on the shared
- * ThreadPool, then the coordinator advances the bounded inter-stage
- * queues (backpressure -- no unbounded buffering).  Occupancy and
- * per-stage wall time land in pipeline.* stats; every stage execution
- * emits a "pipeline.stage" trace span.
+ * banks; PipelineEngine executes a batch of inputs as a free-running
+ * pipeline over those stages: one dedicated long-lived worker per
+ * stage (a prime::WorkerGroup, one trace lane each), connected by
+ * bounded SPSC ring queues (prime::SpscRing) that carry *batches* of
+ * tiles per handoff, so the per-sample synchronization cost is two
+ * atomic operations amortized over RunBatchOptions::handoffBatch
+ * samples.  No global round barrier exists: a stage runs as long as
+ * its input ring has work and its output ring has room, which is what
+ * turns the modeled bank concurrency into host wall-clock speedup
+ * (the event-driven controller/interconnect idiom of McSim's
+ * PTSMemoryController/PTSXbar, decoupled stages communicating through
+ * queues).
  *
  * Determinism contract: each sample passes through the stages in
- * order, touching per-stage-disjoint hardware (banks), staging windows
- * and StatGroups, so the output tensors are bit-identical to
- * sequential PrimeSystem::run() calls at any thread count, batch size
- * and queue capacity.  Timing-derived stats (pipeline.stage_ns,
+ * order, and each stage's hardware (its banks, staging windows and
+ * StatGroup) is touched only by that stage's worker, in sample-index
+ * order -- so the output tensors are bit-identical to sequential
+ * PrimeSystem::run() calls at any thread count, ring capacity and
+ * handoff batch size.  Timing-derived stats (pipeline.stage_ns,
  * mem.queue_ns under concurrency) are schedule-dependent.
+ *
+ * Stats are sampled without any lock on the tile path: every worker
+ * accumulates into its own stage-indexed slot (histogram + counters,
+ * pre-resolved Stat references -- no string-keyed map lookups in the
+ * loop) and the coordinator merges the slots into pipeline.* after the
+ * workers join.
  */
 
 #ifndef PRIME_PRIME_PIPELINE_HH

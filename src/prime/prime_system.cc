@@ -143,6 +143,9 @@ PrimeSystem::buildStages()
                            : &stats_.child("stage" + std::to_string(s));
         ctx.inputStageAddr = inputStageAddr_ + s * stride;
         ctx.outputStageAddr = outputStageAddr_ + s * stride;
+        // Pre-resolved here, single-threaded, so the stage workers
+        // never do a creating map lookup on the tile path.
+        ctx.tiledMvms = &ctx.stats->get("run.tiled_mvms");
         stageContexts_.push_back(ctx);
     }
 }
@@ -486,7 +489,7 @@ PrimeSystem::tiledMvm(const LayerProgram &lp,
         }
         ++tile_index;
     }
-    ctx.stats->get("run.tiled_mvms").increment();
+    ctx.tiledMvms->increment();
     return out;
 }
 
@@ -647,7 +650,8 @@ PrimeSystem::run(const nn::Tensor &input)
     PRIME_ASSERT(programmed_, "programWeight must precede run");
     PRIME_ASSERT(configured_, "configDatapath must precede run");
 
-    ExecContext ctx{&stats_, inputStageAddr_, outputStageAddr_};
+    ExecContext ctx{&stats_, inputStageAddr_, outputStageAddr_,
+                    &stats_.get("run.tiled_mvms")};
     nn::Tensor x = input;
     for (std::size_t s = 0; s < stages_.size(); ++s)
         x = runStageImpl(x, s, ctx);

@@ -85,19 +85,30 @@ class PrimeSystem
 
     /**
      * Batched inference.  With `pipeline` enabled and a multi-stage
-     * plan, the batch streams through the inter-bank pipeline engine
-     * (one thread per stage, bounded inter-stage queues); otherwise the
-     * samples run sequentially through run().  Results are bit-identical
-     * to per-sample run() calls at any thread count and batch size --
+     * plan, the batch streams through the free-running inter-bank
+     * pipeline executor (one dedicated worker per stage, bounded SPSC
+     * ring queues between them); otherwise the samples run sequentially
+     * through run().  Results are bit-identical to per-sample run()
+     * calls at any thread count, queue capacity and handoff batch --
      * except under analog compute with a noise Rng, where the draw
-     * order is only defined sequentially, so the engine falls back.
+     * order is only defined sequentially, so the executor falls back.
      */
     struct RunBatchOptions
     {
         /** Use the inter-bank pipeline when the plan has > 1 stage. */
         bool pipeline = true;
-        /** Bounded depth of each inter-stage queue (backpressure). */
+        /**
+         * Bounded depth of each inter-stage ring, counted in handoff
+         * batches (backpressure: a slow stage stalls its producer
+         * after queueCapacity * handoffBatch buffered samples).
+         */
         int queueCapacity = 2;
+        /**
+         * Samples per inter-stage handoff: each ring slot carries up
+         * to this many tiles, amortizing the push/pop synchronization
+         * over the batch.
+         */
+        int handoffBatch = 4;
     };
     std::vector<nn::Tensor> runBatch(std::span<const nn::Tensor> inputs,
                                      const RunBatchOptions &options);
@@ -120,6 +131,12 @@ class PrimeSystem
         StatGroup *stats = nullptr;
         std::uint64_t inputStageAddr = 0;
         std::uint64_t outputStageAddr = 0;
+        /**
+         * Cached &stats->get("run.tiled_mvms"): the per-tile hot path
+         * bumps this directly instead of re-doing the string-keyed map
+         * lookup per MVM (StatGroup map nodes are address-stable).
+         */
+        Stat *tiledMvms = nullptr;
     };
 
     /** The plan's pipeline stages (valid after programWeight). */

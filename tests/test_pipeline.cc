@@ -1,15 +1,22 @@
 /**
  * @file
- * Inter-bank pipeline engine tests: stage extraction from the plan,
- * bit-identity of the pipelined batch path against sequential run()
- * across thread counts / queue bounds, pipeline stats, and the
- * analytic stage-cost cross-check.
+ * Inter-bank pipeline executor tests: the SPSC ring primitive (checked
+ * against a mutex-based reference queue), stage extraction from the
+ * plan, bit-identity of the free-running batch path against sequential
+ * run() across thread counts / queue bounds / handoff batch sizes,
+ * executor stats, and the analytic stage-cost cross-check.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "common/spsc_ring.hh"
 #include "common/thread_pool.hh"
 #include "nn/dataset.hh"
 #include "prime/pipeline.hh"
@@ -18,6 +25,137 @@
 
 namespace prime::core {
 namespace {
+
+// ------------------------------------------------------ SpscRing -----
+
+/** Mutex-based bounded FIFO with the exact SpscRing interface: the
+ *  reference implementation the lock-free ring is checked against. */
+class ReferenceRing
+{
+  public:
+    explicit ReferenceRing(std::size_t capacity) : capacity_(capacity) {}
+
+    bool
+    tryPush(int &&value)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.size() == capacity_)
+            return false;
+        queue_.push_back(value);
+        return true;
+    }
+
+    bool
+    tryPop(int &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        out = queue_.front();
+        queue_.pop_front();
+        return true;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::mutex mutex_;
+    std::deque<int> queue_;
+};
+
+TEST(SpscRing, FullAndEmptyBoundaries)
+{
+    SpscRing<int> ring(3);
+    EXPECT_EQ(ring.capacity(), 3u);
+    EXPECT_TRUE(ring.empty());
+    int out = -1;
+    EXPECT_FALSE(ring.tryPop(out));  // empty pop fails
+
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(ring.tryPush(int{i})) << i;
+    }
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_FALSE(ring.tryPush(99));  // full push fails...
+    EXPECT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(ring.tryPush(3));    // ...and succeeds after a pop
+    for (int want : {1, 2, 3}) {
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out, want);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, WraparoundMatchesMutexReference)
+{
+    // A deterministic push/pop script that forces many wraparounds on a
+    // tiny ring; every outcome (accepted/rejected, popped value) must
+    // match the mutex-based reference queue exactly.
+    SpscRing<int> ring(3);
+    ReferenceRing reference(3);
+    Rng rng(42);
+    int next = 0;
+    for (int step = 0; step < 2000; ++step) {
+        if (rng.uniform(0.0, 1.0) < 0.55) {
+            const bool a = ring.tryPush(int{next});
+            const bool b = reference.tryPush(int{next});
+            EXPECT_EQ(a, b) << "push step " << step;
+            if (a)
+                ++next;
+        } else {
+            int got = -1, want = -1;
+            const bool a = ring.tryPop(got);
+            const bool b = reference.tryPop(want);
+            ASSERT_EQ(a, b) << "pop step " << step;
+            if (a) {
+                EXPECT_EQ(got, want) << "pop step " << step;
+            }
+        }
+    }
+}
+
+TEST(SpscRing, TwoThreadOrderingAndCompleteness)
+{
+    // One producer, one consumer (the SPSC contract): every value
+    // arrives, in push order, across many wraparounds of a small ring.
+    constexpr int kCount = 20000;
+    SpscRing<int> ring(4);
+    std::vector<int> received;
+    received.reserve(kCount);
+    std::thread consumer([&] {
+        int out = -1;
+        while (static_cast<int>(received.size()) < kCount) {
+            if (ring.tryPop(out))
+                received.push_back(out);
+            else
+                std::this_thread::yield();
+        }
+    });
+    for (int i = 0; i < kCount; ++i)
+        while (!ring.tryPush(int{i}))
+            std::this_thread::yield();
+    consumer.join();
+    ASSERT_EQ(received.size(), static_cast<std::size_t>(kCount));
+    for (int i = 0; i < kCount; ++i) {
+        ASSERT_EQ(received[static_cast<std::size_t>(i)], i) << i;
+    }
+}
+
+TEST(SpscRing, FailedPushLeavesValueIntact)
+{
+    // tryPush takes an rvalue but must not consume it on failure (the
+    // executor re-offers the same batch until the ring has room).
+    SpscRing<std::vector<int>> ring(1);
+    EXPECT_TRUE(ring.tryPush(std::vector<int>{1, 2, 3}));
+    std::vector<int> batch{4, 5, 6};
+    EXPECT_FALSE(ring.tryPush(std::move(batch)));
+    EXPECT_EQ(batch.size(), 3u);  // still ours
+    std::vector<int> out;
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(ring.tryPush(std::move(batch)));
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out, (std::vector<int>{4, 5, 6}));
+}
 
 /** Tiny geometry: one FF mat per bank, so a 4-layer MLP maps Large
  *  across 4 banks and pipelines in 4 bank-disjoint stages. */
@@ -168,7 +306,7 @@ TEST(PipelineEngine, QueueBoundsPreserveResults)
         expected.push_back(prime.run(in));
 
     ThreadPool::setGlobalThreadCount(4);
-    for (int cap : {1, 2, 3}) {
+    for (int cap : {1, 2, 8}) {
         PrimeSystem::RunBatchOptions opt;
         opt.queueCapacity = cap;
         std::vector<nn::Tensor> got = prime.runBatch(
@@ -178,6 +316,34 @@ TEST(PipelineEngine, QueueBoundsPreserveResults)
             for (std::size_t k = 0; k < got[i].size(); ++k)
                 EXPECT_EQ(got[i][k], expected[i][k])
                     << "cap=" << cap << " sample=" << i;
+    }
+    ThreadPool::setGlobalThreadCount(0);
+}
+
+TEST(PipelineEngine, HandoffBatchSizesPreserveResults)
+{
+    // The batched-handoff parity check: whatever the handoff batch size
+    // (single-sample handoffs, odd sizes, larger than the input batch),
+    // outputs stay bit-identical to the sequential reference.
+    PrimeSystem prime(tinyBankParams());
+    programTiny(prime);
+    const std::vector<nn::Tensor> inputs = sampleInputs(10);
+    std::vector<nn::Tensor> expected;
+    for (const nn::Tensor &in : inputs)
+        expected.push_back(prime.run(in));
+
+    ThreadPool::setGlobalThreadCount(4);
+    for (int handoff : {1, 3, 16}) {
+        PrimeSystem::RunBatchOptions opt;
+        opt.queueCapacity = 1;
+        opt.handoffBatch = handoff;
+        std::vector<nn::Tensor> got = prime.runBatch(
+            std::span<const nn::Tensor>(inputs), opt);
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            for (std::size_t k = 0; k < got[i].size(); ++k)
+                EXPECT_EQ(got[i][k], expected[i][k])
+                    << "handoff=" << handoff << " sample=" << i;
     }
     ThreadPool::setGlobalThreadCount(0);
 }
@@ -195,9 +361,8 @@ TEST(PipelineEngine, PipelineDisabledFallsBackToSequential)
     opt.pipeline = false;
     std::vector<nn::Tensor> got =
         prime.runBatch(std::span<const nn::Tensor>(inputs), opt);
-    const double batches =
-        prime.stats().get("pipeline.batches").sum();
-    EXPECT_EQ(batches, 0.0);  // the engine never ran
+    EXPECT_EQ(prime.stats().get("pipeline.batches").count(),
+              0u);  // the engine never ran
     for (std::size_t i = 0; i < got.size(); ++i)
         for (std::size_t k = 0; k < got[i].size(); ++k)
             EXPECT_EQ(got[i][k], expected[i][k]);
@@ -215,25 +380,34 @@ TEST(PipelineEngine, StatsAccountForEveryStageExecution)
     StatGroup &stats = prime.stats();
     const std::size_t n = inputs.size();
     const std::size_t n_stages = prime.stages().size();
-    EXPECT_EQ(stats.get("pipeline.samples").sum(),
-              static_cast<double>(n));
+    EXPECT_EQ(stats.get("pipeline.samples").count(), n);
     EXPECT_EQ(stats.get("pipeline.batches").count(), 1u);
     // Every sample crosses every stage exactly once.
     EXPECT_EQ(stats.histogram("pipeline.stage_ns").count(),
               static_cast<std::uint64_t>(n * n_stages));
-    // A round fires at most one item per stage, so covering all
-    // n * n_stages executions takes at least n rounds; occupancy is
-    // sampled once per round.
-    const double rounds = stats.get("pipeline.rounds").sum();
-    EXPECT_GE(rounds, static_cast<double>(n));
-    EXPECT_EQ(stats.histogram("pipeline.occupancy").count(),
-              static_cast<std::uint64_t>(rounds));
+    // Batched handoffs: each non-last stage pushes ceil(n / handoff)
+    // batches downstream, which together carry every sample.
+    PrimeSystem::RunBatchOptions defaults;
+    const std::size_t per_stage =
+        (n + defaults.handoffBatch - 1) /
+        static_cast<std::size_t>(defaults.handoffBatch);
+    EXPECT_EQ(stats.get("pipeline.handoffs").count(),
+              per_stage * (n_stages - 1));
+    EXPECT_EQ(stats.histogram("pipeline.handoff_items").count(),
+              per_stage * (n_stages - 1));
+    EXPECT_EQ(stats.histogram("pipeline.handoff_items").sum(),
+              static_cast<double>(n * (n_stages - 1)));
     EXPECT_GT(stats.get("pipeline.measured_bottleneck_ns").sum(), 0.0);
-    // Bounded queues: the observed depth never exceeds the default cap.
-    EXPECT_LE(stats.histogram("pipeline.queue_depth").max(), 2.0);
+    // Per-stage executor counters: every stage saw every sample and
+    // accumulated nonzero busy time.
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        const std::string prefix =
+            "pipeline.stage" + std::to_string(s);
+        EXPECT_EQ(stats.get(prefix + ".items").count(), n) << s;
+        EXPECT_GT(stats.get(prefix + ".busy_ns").sum(), 0.0) << s;
+    }
     // Sequential-path parity for the inference counter.
-    EXPECT_EQ(stats.get("run.inferences").sum(),
-              static_cast<double>(n));
+    EXPECT_EQ(stats.get("run.inferences").count(), n);
 }
 
 TEST(PipelineEngine, AnalyticStageCostsCrossCheck)
