@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/telemetry/json.hh"
+#include "common/telemetry/metrics.hh"
 #include "common/telemetry/trace_session.hh"
 #include "sim/evaluator.hh"
 
@@ -28,12 +30,17 @@ namespace prime::bench {
  *   --trace <file>        also record a Chrome trace of the run
  *
  * The stats document is
- * {"version":N,"bench":"<name>",<top-level fields...>,"stats":{...}},
+ * {"version":N,"bench":"<name>",<top-level fields...>,
+ *  ["metrics":{...},]"stats":{...}},
  * so every reproduction run leaves a machine-readable data point next
  * to the human-readable tables.  Headline metrics a CI gate or a
  * dashboard should not have to dig out of the stats tree (speedups,
  * wall-clock totals) are promoted to top-level numeric fields via
- * topLevel().
+ * topLevel().  A bench that sampled a MetricsRegistry during the run
+ * attaches the per-series summaries with metrics(): each series emits
+ * {"samples":N,"min":..,"max":..,"mean":..,"last":..} under its name,
+ * so any BENCH_*.json can embed time-series evidence without
+ * hand-rolling JSON.
  */
 class BenchRun
 {
@@ -82,6 +89,17 @@ class BenchRun
         topLevel_.emplace_back(name, value);
     }
 
+    /**
+     * Attach the sampled time-series summaries of @p registry to the
+     * document's "metrics" section (replacing any previous set).  Call
+     * after the sampler stopped; summarize() snapshots at call time.
+     */
+    void
+    metrics(const telemetry::MetricsRegistry &registry)
+    {
+        metricsSummaries_ = registry.summarize();
+    }
+
     /** Write the stats document (and trace, if enabled). */
     void finish()
     {
@@ -101,6 +119,26 @@ class BenchRun
                << ",\"bench\":\"" << name_ << "\"";
             for (const auto &[name, value] : topLevel_)
                 os << ",\"" << name << "\":" << value;
+            if (!metricsSummaries_.empty()) {
+                os << ",\"metrics\":{";
+                bool first = true;
+                for (const auto &s : metricsSummaries_) {
+                    if (!first)
+                        os << ",";
+                    first = false;
+                    telemetry::jsonString(os, s.name);
+                    os << ":{\"samples\":" << s.samples << ",\"min\":";
+                    telemetry::jsonNumber(os, s.min);
+                    os << ",\"max\":";
+                    telemetry::jsonNumber(os, s.max);
+                    os << ",\"mean\":";
+                    telemetry::jsonNumber(os, s.mean);
+                    os << ",\"last\":";
+                    telemetry::jsonNumber(os, s.last);
+                    os << "}";
+                }
+                os << "}";
+            }
             os << ",\"stats\":";
             stats_.dumpJsonObject(os);
             os << "}\n";
@@ -112,6 +150,8 @@ class BenchRun
     std::string statsPath_;
     std::string tracePath_;
     std::vector<std::pair<std::string, double>> topLevel_;
+    std::vector<telemetry::MetricsRegistry::SeriesSummary>
+        metricsSummaries_;
     StatGroup stats_;
     telemetry::TraceSession trace_;
     bool finished_ = false;

@@ -13,10 +13,14 @@
  * cross-check the analytic bottleneck share against the measured
  * per-stage wall-clock shares, and to measure the *host* speedup the
  * executor delivers (the headline perf metric; it needs spare host
- * cores, so a shortfall WARNs with a stage-utilization breakdown
- * rather than failing).  Headline numbers land as top-level fields of
- * BENCH_pipeline.json so CI gates read them without digging through
- * the stats tree.
+ * cores, so a shortfall WARNs rather than failing).  The timed
+ * pipelined run executes under an enabled MetricsRegistry (sampler on,
+ * live ring/stage gauges registered), its flight-recorder attribution
+ * (busy / stall-upstream / stall-downstream / idle per stage) prints
+ * as a bottleneck report, and the end-to-end latency quantiles plus
+ * the per-stage attribution land in BENCH_pipeline.json -- headline
+ * numbers as top-level fields, the sampled series summarized in the
+ * "metrics" section.
  */
 
 #include <algorithm>
@@ -64,6 +68,11 @@ struct StageSnapshot
     std::uint64_t items = 0;
     std::uint64_t pushWaits = 0;
     std::uint64_t popWaits = 0;
+    /** Flight-recorder attribution (pipeline.attribution section). */
+    double stallUpNs = 0.0;
+    double stallDownNs = 0.0;
+    double idleNs = 0.0;
+    double wallNs = 0.0;
 };
 
 StageSnapshot
@@ -75,6 +84,12 @@ snapshotStage(StatGroup &stats, std::size_t s)
     snap.items = stats.get(prefix + ".items").count();
     snap.pushWaits = stats.get(prefix + ".push_waits").count();
     snap.popWaits = stats.get(prefix + ".pop_waits").count();
+    StatGroup &attr = stats.child("pipeline.attribution");
+    const std::string stage = "stage" + std::to_string(s);
+    snap.stallUpNs = attr.get(stage + ".stall_upstream_ns").sum();
+    snap.stallDownNs = attr.get(stage + ".stall_downstream_ns").sum();
+    snap.idleNs = attr.get(stage + ".idle_ns").sum();
+    snap.wallNs = attr.get(stage + ".wall_ns").sum();
     return snap;
 }
 
@@ -136,11 +151,28 @@ main(int argc, char **argv)
         before.push_back(snapshotStage(prime.stats(), s));
     const double bottleneck_before =
         prime.stats().get("pipeline.measured_bottleneck_ns").sum();
+    // Quantiles must cover the timed run only; the warm-up batch
+    // already fed this histogram.
+    prime.stats().histogram("pipeline.e2e_latency_ns").reset();
+
+    // The timed pipelined run executes fully observed: sampler thread
+    // on, live ring-depth/stage-state gauges registered by the
+    // executor, per-bank memory probes registered here.
+    telemetry::MetricsRegistry registry;
+    registry.enable();
+    telemetry::setGlobalMetrics(&registry);
+    prime.registerMetrics(registry);
+    registry.startSampler(1);
 
     t0 = std::chrono::steady_clock::now();
     std::vector<nn::Tensor> pipe_out =
         prime.runBatch(std::span<const nn::Tensor>(inputs), pipelined);
     const double pipe_ns = elapsedNs(t0);
+
+    registry.stopSampler();
+    prime.unregisterMetrics(registry);
+    telemetry::setGlobalMetrics(nullptr);
+    run.metrics(registry);
     ThreadPool::setGlobalThreadCount(0);
 
     // The engine's determinism contract: bit-identical outputs.
@@ -181,14 +213,23 @@ main(int argc, char **argv)
     // similar share of the total in both domains.
     std::vector<StageSnapshot> timed(n_stages);
     double busy_total = 0.0, busy_max = 0.0;
+    std::size_t busiest = 0;
     for (std::size_t s = 0; s < n_stages; ++s) {
         const StageSnapshot after = snapshotStage(prime.stats(), s);
         timed[s].busyNs = after.busyNs - before[s].busyNs;
         timed[s].items = after.items - before[s].items;
         timed[s].pushWaits = after.pushWaits - before[s].pushWaits;
         timed[s].popWaits = after.popWaits - before[s].popWaits;
+        timed[s].stallUpNs = after.stallUpNs - before[s].stallUpNs;
+        timed[s].stallDownNs =
+            after.stallDownNs - before[s].stallDownNs;
+        timed[s].idleNs = after.idleNs - before[s].idleNs;
+        timed[s].wallNs = after.wallNs - before[s].wallNs;
         busy_total += timed[s].busyNs;
-        busy_max = std::max(busy_max, timed[s].busyNs);
+        if (timed[s].busyNs > busy_max) {
+            busy_max = timed[s].busyNs;
+            busiest = s;
+        }
     }
     const double measured_bottleneck_ns =
         prime.stats().get("pipeline.measured_bottleneck_ns").sum() -
@@ -205,26 +246,43 @@ main(int argc, char **argv)
                 "(%.2fx on %u hardware threads)\n",
                 seq_ns / 1e6, pipe_ns / 1e6, host_speedup,
                 std::thread::hardware_concurrency());
-    if (host_speedup < 1.0) {
-        // The breakdown separates "stages starved for cores" (busy
-        // shares far below 1/n_stages with big pop-wait counts) from
-        // "one stage dominates" (its busy share near the wall-clock).
-        std::printf("WARN: host speedup %.2fx below 1.0x -- stage "
-                    "utilization over the %.2f ms pipelined wall:\n",
-                    host_speedup, pipe_ns / 1e6);
-        for (std::size_t s = 0; s < n_stages; ++s)
-            std::printf("WARN:   stage %zu: busy %8.3f ms (%5.1f%%), "
-                        "%llu items, %llu push-waits, %llu pop-waits\n",
-                        s, timed[s].busyNs / 1e6,
-                        pipe_ns > 0.0
-                            ? 100.0 * timed[s].busyNs / pipe_ns
-                            : 0.0,
-                        static_cast<unsigned long long>(timed[s].items),
-                        static_cast<unsigned long long>(
-                            timed[s].pushWaits),
-                        static_cast<unsigned long long>(
-                            timed[s].popWaits));
+
+    // Flight-recorder bottleneck report: where each stage worker's
+    // wall time went during the timed run.  Stall-upstream means the
+    // stage starved (look one stage up), stall-downstream means it is
+    // faster than its consumer (look one stage down), idle is
+    // slicing/stamping overhead and scheduler noise.
+    std::printf("\nbottleneck report (timed pipelined run, wall %.2f "
+                "ms):\n",
+                pipe_ns / 1e6);
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        const StageSnapshot &t = timed[s];
+        const double wall = t.wallNs > 0.0 ? t.wallNs : 1.0;
+        std::printf("  stage %zu: busy %5.1f%% | stall-up %5.1f%% | "
+                    "stall-down %5.1f%% | idle %5.1f%%  "
+                    "(busy %.3f ms, %llu items)\n",
+                    s, 100.0 * t.busyNs / wall,
+                    100.0 * t.stallUpNs / wall,
+                    100.0 * t.stallDownNs / wall,
+                    100.0 * t.idleNs / wall, t.busyNs / 1e6,
+                    static_cast<unsigned long long>(t.items));
     }
+    const telemetry::Histogram &e2e =
+        prime.stats().histogram("pipeline.e2e_latency_ns");
+    const double e2e_p50 = e2e.quantile(0.50);
+    const double e2e_p95 = e2e.quantile(0.95);
+    const double e2e_p99 = e2e.quantile(0.99);
+    std::printf("  bottleneck: stage %zu (%.2f of stage work); e2e "
+                "latency p50 %.1f us, p95 %.1f us, p99 %.1f us over "
+                "%llu samples\n",
+                busiest,
+                busy_total > 0.0 ? busy_max / busy_total : 0.0,
+                e2e_p50 / 1e3, e2e_p95 / 1e3, e2e_p99 / 1e3,
+                static_cast<unsigned long long>(e2e.count()));
+    if (host_speedup < 1.0)
+        std::printf("WARN: host speedup %.2fx below 1.0x (spare host "
+                    "cores needed; see the bottleneck report)\n",
+                    host_speedup);
 
     // Headline metrics as top-level JSON fields (CI gates read these).
     run.topLevel("pipeline.speedup", speedup);
@@ -233,8 +291,23 @@ main(int argc, char **argv)
                  measured_bottleneck_ns);
     run.topLevel("pipeline.host_sequential_ms", seq_ns / 1e6);
     run.topLevel("pipeline.host_pipelined_ms", pipe_ns / 1e6);
+    run.topLevel("pipeline.e2e_p50_ns", e2e_p50);
+    run.topLevel("pipeline.e2e_p95_ns", e2e_p95);
+    run.topLevel("pipeline.e2e_p99_ns", e2e_p99);
 
     StatGroup &stats = run.stats();
+    // The timed run's attribution diff, as a pipeline.attribution
+    // child of the bench stats (mirrors the system-side section).
+    StatGroup &attr = stats.child("pipeline.attribution");
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        const std::string stage = "stage" + std::to_string(s);
+        attr.get(stage + ".busy_ns").add(timed[s].busyNs);
+        attr.get(stage + ".stall_upstream_ns").add(timed[s].stallUpNs);
+        attr.get(stage + ".stall_downstream_ns")
+            .add(timed[s].stallDownNs);
+        attr.get(stage + ".idle_ns").add(timed[s].idleNs);
+        attr.get(stage + ".wall_ns").add(timed[s].wallNs);
+    }
     stats.get("pipeline.batch").add(batch);
     stats.get("pipeline.stages").add(static_cast<double>(n_stages));
     stats.get("pipeline.sequential_ns").add(seq_batch_ns);

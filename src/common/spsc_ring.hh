@@ -108,6 +108,25 @@ class SpscRing
 
     bool empty() const { return size() == 0; }
 
+    /**
+     * Lock-free occupancy estimate safe from *any* thread (the metrics
+     * sampler's probe).  Relaxed loads: the two cursors may be observed
+     * from different moments, so the raw difference can be transiently
+     * out of range -- the result is clamped to [0, capacity] and only
+     * ever approximate for non-owning threads.  Never synchronizes with
+     * the producer/consumer, so it adds no ordering to the fast path.
+     */
+    std::size_t
+    approxSize() const
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t raw = tail >= head
+                                    ? tail - head
+                                    : tail + slots_.size() - head;
+        return raw > capacity() ? capacity() : raw;
+    }
+
   private:
     std::size_t
     increment(std::size_t index) const

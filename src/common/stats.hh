@@ -14,6 +14,7 @@
 #ifndef PRIME_COMMON_STATS_HH
 #define PRIME_COMMON_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -26,7 +27,19 @@
 
 namespace prime {
 
-/** A named accumulating statistic (count + sum, enough for mean). */
+/**
+ * A named accumulating statistic (count + sum, enough for mean).
+ *
+ * Concurrency: a Stat has at most one writer at a time (gem5-style --
+ * concurrent updaters use per-worker shards merged post-join), but the
+ * metrics sampler thread may *read* any stat mid-run.  Every field
+ * access therefore goes through a relaxed std::atomic_ref: the writer's
+ * read-modify-write stays a plain load+store pair (exact, since it is
+ * the only writer) compiled to the same movs as before, while the
+ * sampler's loads are race-free torn-value-free snapshots.  Relaxed
+ * ordering is sufficient -- a sampled value needs no happens-before
+ * with other stats, only freedom from data races.
+ */
 class Stat
 {
   public:
@@ -36,14 +49,18 @@ class Stat
     void
     sample(double value)
     {
-        sum_ += value;
-        count_ += 1;
-        samples_ += 1;
-        if (samples_ == 1) {
-            min_ = max_ = value;
+        rstore(sum_, rload(sum_) + value);
+        rstore(count_, rload(count_) + 1);
+        const std::uint64_t samples = rload(samples_) + 1;
+        rstore(samples_, samples);
+        if (samples == 1) {
+            rstore(min_, value);
+            rstore(max_, value);
         } else {
-            min_ = value < min_ ? value : min_;
-            max_ = value > max_ ? value : max_;
+            if (value < rload(min_))
+                rstore(min_, value);
+            if (value > rload(max_))
+                rstore(max_, value);
         }
     }
 
@@ -51,37 +68,64 @@ class Stat
     void
     add(double value)
     {
-        sum_ += value;
+        rstore(sum_, rload(sum_) + value);
     }
 
     /** Increment a pure event counter. */
     void
     increment(std::uint64_t n = 1)
     {
-        count_ += n;
+        rstore(count_, rload(count_) + n);
     }
 
     /** Reset to empty. */
     void
     reset()
     {
-        *this = Stat();
+        rstore(sum_, 0.0);
+        rstore(count_, std::uint64_t{0});
+        rstore(samples_, std::uint64_t{0});
+        rstore(min_, 0.0);
+        rstore(max_, 0.0);
     }
 
-    double sum() const { return sum_; }
-    std::uint64_t count() const { return count_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double sum() const { return rload(sum_); }
+    std::uint64_t count() const { return rload(count_); }
+    double
+    mean() const
+    {
+        const std::uint64_t count = rload(count_);
+        return count ? rload(sum_) / count : 0.0;
+    }
 
     /**
      * Whether min()/max() are meaningful: only sample() records
      * extrema, so an add-/increment-only stat has none (the dump
      * renders '-', the JSON serializer null).
      */
-    bool hasSamples() const { return samples_ > 0; }
-    double min() const { return min_; }
-    double max() const { return max_; }
+    bool hasSamples() const { return rload(samples_) > 0; }
+    double min() const { return rload(min_); }
+    double max() const { return rload(max_); }
 
   private:
+    // atomic_ref disallows const referents, but these helpers only ever
+    // load through the const path, so the const_cast is benign.
+    template <typename T>
+    static T
+    rload(const T &field)
+    {
+        return std::atomic_ref<T>(const_cast<T &>(field))
+            .load(std::memory_order_relaxed);
+    }
+
+    template <typename T>
+    static void
+    rstore(T &field, T value)
+    {
+        std::atomic_ref<T>(field).store(value,
+                                        std::memory_order_relaxed);
+    }
+
     double sum_ = 0.0;
     std::uint64_t count_ = 0;
     std::uint64_t samples_ = 0;  ///< sample() calls (extrema validity)

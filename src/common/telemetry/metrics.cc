@@ -1,0 +1,285 @@
+#include "common/telemetry/metrics.hh"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/telemetry/json.hh"
+
+namespace prime::telemetry {
+
+MetricsRegistry::MetricsRegistry(std::size_t snapshot_capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(std::max<std::size_t>(1, snapshot_capacity))
+{
+}
+
+MetricsRegistry::~MetricsRegistry()
+{
+    stopSampler();
+}
+
+void
+MetricsRegistry::enable()
+{
+    epoch_ = std::chrono::steady_clock::now();
+    // Release pairs with the acquire in enabled(): a sampler seeing
+    // "enabled" also sees the epoch written just before it.
+    enabled_.store(true, std::memory_order_release);
+}
+
+void
+MetricsRegistry::disable()
+{
+    enabled_.store(false, std::memory_order_release);
+}
+
+void
+MetricsRegistry::probe(const std::string &name, MetricKind kind, Probe fn)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[existing, source] : sources_) {
+        if (existing == name) {
+            source = Source{kind, std::move(fn)};
+            return;
+        }
+    }
+    sources_.emplace_back(name, Source{kind, std::move(fn)});
+}
+
+void
+MetricsRegistry::gauge(const std::string &name, Probe fn)
+{
+    probe(name, MetricKind::Gauge, std::move(fn));
+}
+
+void
+MetricsRegistry::counter(const std::string &name, Probe fn)
+{
+    probe(name, MetricKind::Counter, std::move(fn));
+}
+
+void
+MetricsRegistry::unregister(const std::string &name)
+{
+    // Taking the sampling mutex serializes against an in-flight tick:
+    // once we hold it, no tick is mid-probe, and the erased source can
+    // never be called again.
+    std::lock_guard<std::mutex> lock(mutex_);
+    sources_.erase(
+        std::remove_if(sources_.begin(), sources_.end(),
+                       [&](const auto &s) { return s.first == name; }),
+        sources_.end());
+}
+
+std::size_t
+MetricsRegistry::sourceCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sources_.size();
+}
+
+bool
+MetricsRegistry::sampleOnce()
+{
+    if (!enabled())
+        return false;
+    const std::int64_t ts =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count();
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    snap.tsNs = ts;
+    snap.values.reserve(sources_.size());
+    for (const auto &[name, source] : sources_)
+        snap.values.push_back(Value{name, source.kind, source.fn()});
+    if (snapshots_.size() == capacity_) {
+        snapshots_.pop_front();
+        ++dropped_;
+    }
+    snapshots_.push_back(std::move(snap));
+    return true;
+}
+
+void
+MetricsRegistry::samplerLoop(int interval_ms)
+{
+    const auto interval = std::chrono::milliseconds(
+        std::max(1, interval_ms));
+    for (;;) {
+        sampleOnce();
+        std::unique_lock<std::mutex> lock(samplerMutex_);
+        if (samplerCv_.wait_for(lock, interval,
+                                [&] { return stopRequested_; }))
+            return;
+    }
+}
+
+void
+MetricsRegistry::startSampler(int interval_ms)
+{
+    if (!enabled() || sampler_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(samplerMutex_);
+        stopRequested_ = false;
+    }
+    sampler_ = std::thread(
+        [this, interval_ms] { samplerLoop(interval_ms); });
+}
+
+void
+MetricsRegistry::stopSampler()
+{
+    if (!sampler_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(samplerMutex_);
+        stopRequested_ = true;
+    }
+    samplerCv_.notify_all();
+    sampler_.join();
+    sampler_ = std::thread();
+    // Final tick: a run's end state is always the last snapshot.
+    sampleOnce();
+}
+
+bool
+MetricsRegistry::samplerRunning() const
+{
+    return sampler_.joinable();
+}
+
+std::size_t
+MetricsRegistry::snapshotCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return snapshots_.size();
+}
+
+std::uint64_t
+MetricsRegistry::droppedSnapshots() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshots_.clear();
+    dropped_ = 0;
+}
+
+void
+MetricsRegistry::writeJsonl(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Snapshot &snap : snapshots_) {
+        os << "{\"ts_ns\":" << snap.tsNs << ",\"metrics\":{";
+        bool first = true;
+        for (const Value &v : snap.values) {
+            if (!first)
+                os << ",";
+            first = false;
+            jsonString(os, v.name);
+            os << ":";
+            jsonNumber(os, v.value);
+        }
+        os << "}}\n";
+    }
+}
+
+std::string
+MetricsRegistry::prometheusName(const std::string &name)
+{
+    std::string out = "prime_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (snapshots_.empty())
+        return;
+    const Snapshot &last = snapshots_.back();
+    for (const Value &v : last.values) {
+        const std::string name = prometheusName(v.name);
+        os << "# TYPE " << name << " "
+           << (v.kind == MetricKind::Counter ? "counter" : "gauge")
+           << "\n"
+           << name << " ";
+        jsonNumber(os, v.value);  // integral values print bare
+        os << "\n";
+    }
+}
+
+std::vector<MetricsRegistry::SeriesSummary>
+MetricsRegistry::summarize() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, SeriesSummary> by_name;
+    for (const Snapshot &snap : snapshots_) {
+        for (const Value &v : snap.values) {
+            SeriesSummary &s = by_name[v.name];
+            if (s.samples == 0) {
+                s.name = v.name;
+                s.kind = v.kind;
+                s.min = s.max = v.value;
+            } else {
+                s.min = std::min(s.min, v.value);
+                s.max = std::max(s.max, v.value);
+            }
+            // mean accumulates the sum until read-out below.
+            s.mean += v.value;
+            s.last = v.value;
+            ++s.samples;
+        }
+    }
+    std::vector<SeriesSummary> out;
+    out.reserve(by_name.size());
+    for (auto &[name, s] : by_name) {
+        s.mean = s.samples ? s.mean / static_cast<double>(s.samples)
+                           : 0.0;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+namespace {
+
+/** The inert default: permanently disabled, accepts no samples. */
+MetricsRegistry &
+inertMetrics()
+{
+    static MetricsRegistry inert(1);
+    return inert;
+}
+
+std::atomic<MetricsRegistry *> g_metrics{nullptr};
+
+} // namespace
+
+MetricsRegistry *
+globalMetrics()
+{
+    MetricsRegistry *registry = g_metrics.load(std::memory_order_acquire);
+    return registry ? registry : &inertMetrics();
+}
+
+void
+setGlobalMetrics(MetricsRegistry *registry)
+{
+    g_metrics.store(registry, std::memory_order_release);
+}
+
+} // namespace prime::telemetry

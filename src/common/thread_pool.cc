@@ -128,22 +128,29 @@ ThreadPool::parallelFor(std::size_t n,
 WorkerGroup::WorkerGroup(const std::string &name_prefix,
                          std::size_t count,
                          std::function<void(std::size_t)> body)
+    : states_(std::make_shared<std::vector<std::atomic<int>>>(count))
 {
     threads_.reserve(count);
     // One shared copy of the body; workers only call it, so sharing is
     // safe and keeps captured state (rings, result buffers) in one
-    // place.
+    // place.  The state vector is shared the same way so a worker's
+    // final Done store stays valid even if the group is destroyed
+    // between the store and the thread's exit.
     auto shared = std::make_shared<std::function<void(std::size_t)>>(
         std::move(body));
     for (std::size_t i = 0; i < count; ++i) {
-        threads_.emplace_back([shared, name_prefix, i] {
+        threads_.emplace_back([shared, states = states_, name_prefix, i] {
             telemetry::setTraceThreadName(name_prefix + "-" +
                                           std::to_string(i));
             // Pool-context marker: nested parallelFor runs inline (a
             // blocked stage worker must never park the whole group on
             // the shared pool's serial job slot).
             tls_in_pool = true;
+            (*states)[i].store(static_cast<int>(WorkerState::Running),
+                               std::memory_order_relaxed);
             (*shared)(i);
+            (*states)[i].store(static_cast<int>(WorkerState::Done),
+                               std::memory_order_relaxed);
         });
     }
 }
@@ -159,6 +166,17 @@ WorkerGroup::join()
     for (std::thread &t : threads_)
         if (t.joinable())
             t.join();
+}
+
+std::size_t
+WorkerGroup::runningWorkers() const
+{
+    std::size_t running = 0;
+    for (const std::atomic<int> &state : *states_)
+        if (state.load(std::memory_order_relaxed) ==
+            static_cast<int>(WorkerState::Running))
+            ++running;
+    return running;
 }
 
 namespace {

@@ -27,7 +27,9 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -108,6 +110,14 @@ class ThreadPool
 class WorkerGroup
 {
   public:
+    /** Lifecycle of one worker, observable from any thread. */
+    enum class WorkerState : int
+    {
+        Pending = 0,  ///< spawned, body not yet entered
+        Running = 1,  ///< inside body(i)
+        Done = 2,     ///< body returned
+    };
+
     /** Spawn @p count workers running body(0) .. body(count-1). */
     WorkerGroup(const std::string &name_prefix, std::size_t count,
                 std::function<void(std::size_t)> body);
@@ -121,8 +131,21 @@ class WorkerGroup
 
     std::size_t size() const { return threads_.size(); }
 
+    /** Worker @p i's current state (relaxed; a metrics-probe view). */
+    WorkerState
+    workerState(std::size_t i) const
+    {
+        return static_cast<WorkerState>(
+            (*states_)[i].load(std::memory_order_relaxed));
+    }
+
+    /** Workers currently inside their body (relaxed snapshot). */
+    std::size_t runningWorkers() const;
+
   private:
     std::vector<std::thread> threads_;
+    /** Shared with the worker lambdas so state outlives join(). */
+    std::shared_ptr<std::vector<std::atomic<int>>> states_;
 };
 
 } // namespace prime

@@ -1,6 +1,7 @@
 #include "memory/main_memory.hh"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/logging.hh"
@@ -300,6 +301,42 @@ MainMemory::syncStats()
     telemetry::Histogram &s = stats_.histogram("mem.service_ns");
     s.reset();
     s.merge(service_ns);
+}
+
+void
+MainMemory::registerMetrics(telemetry::MetricsRegistry &registry) const
+{
+    registry.gauge("mem.channel_free_ns",
+                   [this] { return channelFree(); });
+    for (std::size_t b = 0; b < shards_.size(); ++b) {
+        const std::string prefix = "mem.bank" + std::to_string(b) + ".";
+        const BankShard *sh = shards_[b].get();
+        registry.gauge(prefix + "backlog_ns", [this, sh] {
+            std::lock_guard<std::mutex> lock(sh->mutex);
+            const Ns backlog = sh->bank.nextFree() - channelFree();
+            return backlog > 0.0 ? backlog : 0.0;
+        });
+        registry.counter(prefix + "reads", [sh] {
+            std::lock_guard<std::mutex> lock(sh->mutex);
+            return static_cast<double>(sh->reads);
+        });
+        registry.counter(prefix + "writes", [sh] {
+            std::lock_guard<std::mutex> lock(sh->mutex);
+            return static_cast<double>(sh->writes);
+        });
+    }
+}
+
+void
+MainMemory::unregisterMetrics(telemetry::MetricsRegistry &registry) const
+{
+    registry.unregister("mem.channel_free_ns");
+    for (std::size_t b = 0; b < shards_.size(); ++b) {
+        const std::string prefix = "mem.bank" + std::to_string(b) + ".";
+        registry.unregister(prefix + "backlog_ns");
+        registry.unregister(prefix + "reads");
+        registry.unregister(prefix + "writes");
+    }
 }
 
 } // namespace prime::memory

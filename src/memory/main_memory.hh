@@ -22,6 +22,7 @@
 
 #include "common/stats.hh"
 #include "common/telemetry/histogram.hh"
+#include "common/telemetry/metrics.hh"
 #include "memory/address.hh"
 #include "memory/bank.hh"
 #include "nvmodel/tech_params.hh"
@@ -132,6 +133,20 @@ class MainMemory
      */
     StatGroup &stats();
     const nvmodel::TechParams &params() const { return params_; }
+
+    /**
+     * Register per-bank occupancy probes with @p registry:
+     * mem.bankN.backlog_ns (gauge: how far bank N's timing cursor runs
+     * ahead of the shared channel, i.e. its queued-work depth in
+     * modeled ns) and mem.bankN.reads/writes (counters), plus the
+     * channel cursor mem.channel_free_ns.  Each probe takes the bank's
+     * shard lock for the two loads -- sampler-thread cost, never hot
+     * path.  Pair with unregisterMetrics before destroying the memory.
+     */
+    void registerMetrics(telemetry::MetricsRegistry &registry) const;
+
+    /** Remove every probe registerMetrics added to @p registry. */
+    void unregisterMetrics(telemetry::MetricsRegistry &registry) const;
 
   private:
     /** Store stripes: 64B lines spread over this many mutexes. */

@@ -1,6 +1,7 @@
 #include "prime/pipeline.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -10,6 +11,7 @@
 #include "common/logging.hh"
 #include "common/spsc_ring.hh"
 #include "common/telemetry/histogram.hh"
+#include "common/telemetry/metrics.hh"
 #include "common/telemetry/trace_session.hh"
 #include "common/thread_pool.hh"
 
@@ -17,11 +19,19 @@ namespace prime::core {
 
 namespace {
 
-/** One sample moving through the pipeline. */
+/**
+ * One sample moving through the pipeline, carrying its flight-recorder
+ * stamps: when stage 0 admitted it (the end-to-end latency epoch) and
+ * when its current batch was pushed into a ring (so the consumer can
+ * charge queue-wait time).  Stamps are ns since the run epoch; they
+ * ride along with the tensor and never affect the computed values.
+ */
 struct Item
 {
     std::size_t index = 0;
     nn::Tensor tensor;
+    double admitNs = 0.0;    ///< stage-0 pickup time (e2e epoch)
+    double enqueueNs = 0.0;  ///< last ring-push time (queue-wait epoch)
 };
 
 /** What one inter-stage handoff carries: a batch of tiles. */
@@ -38,11 +48,66 @@ struct alignas(64) StageLocal
 {
     telemetry::Histogram stageNs;      ///< wall ns per stage execution
     telemetry::Histogram handoffItems; ///< tiles per outbound handoff
+    telemetry::Histogram queueWaitNs;  ///< ring-resident ns per batch
+    telemetry::Histogram e2eNs;        ///< admit->complete ns (last stage)
     double busyNs = 0.0;
+    double stallUpNs = 0.0;   ///< waiting on an empty input ring
+    double stallDownNs = 0.0; ///< waiting on a full output ring
+    double wallNs = 0.0;      ///< worker body wall time
     std::uint64_t items = 0;
     std::uint64_t handoffs = 0;
     std::uint64_t pushWaits = 0; ///< failed tryPush attempts (full ring)
     std::uint64_t popWaits = 0;  ///< failed tryPop attempts (empty ring)
+};
+
+/**
+ * What a stage worker is doing right now, exported as the
+ * pipeline.stageN.state gauge (tools/metrics_report.py decodes it).
+ */
+enum StageState : int
+{
+    kStateIdle = 0,
+    kStateBusy = 1,
+    kStateStallUpstream = 2,
+    kStateStallDownstream = 3,
+    kStateDone = 4,
+};
+
+/** Unregisters a batch of metric names on scope exit. */
+class MetricGuard
+{
+  public:
+    explicit MetricGuard(telemetry::MetricsRegistry *registry)
+        : registry_(registry)
+    {}
+
+    ~MetricGuard()
+    {
+        for (const std::string &name : names_)
+            registry_->unregister(name);
+    }
+
+    MetricGuard(const MetricGuard &) = delete;
+    MetricGuard &operator=(const MetricGuard &) = delete;
+
+    void
+    gauge(const std::string &name, telemetry::MetricsRegistry::Probe fn)
+    {
+        registry_->gauge(name, std::move(fn));
+        names_.push_back(name);
+    }
+
+    void
+    counter(const std::string &name,
+            telemetry::MetricsRegistry::Probe fn)
+    {
+        registry_->counter(name, std::move(fn));
+        names_.push_back(name);
+    }
+
+  private:
+    telemetry::MetricsRegistry *registry_;
+    std::vector<std::string> names_;
 };
 
 } // namespace
@@ -69,6 +134,15 @@ PipelineEngine::run(std::span<const nn::Tensor> inputs)
         return results;
     const std::size_t total = inputs.size();
 
+    // Flight-recorder clock: every stamp is ns since this run's epoch,
+    // so stamps stay small doubles and subtract exactly.
+    const auto epoch = std::chrono::steady_clock::now();
+    auto now_ns = [epoch] {
+        return std::chrono::duration<double, std::nano>(
+                   std::chrono::steady_clock::now() - epoch)
+            .count();
+    };
+
     // Ring s connects stage s to stage s+1.  Capacity is counted in
     // handoff batches; each worker is the sole producer of its output
     // ring and sole consumer of its input ring (the SPSC contract).
@@ -80,12 +154,49 @@ PipelineEngine::run(std::span<const nn::Tensor> inputs)
 
     std::vector<StageLocal> locals(n_stages);
 
+    // Live-observability plumbing.  `live` is the single disabled-mode
+    // branch: with no enabled registry installed nothing below touches
+    // an atomic or the registry at all.  States/item counters are
+    // relaxed atomics written per batch transition (not per tile) and
+    // read by the sampler thread.
+    telemetry::MetricsRegistry *metrics = telemetry::globalMetrics();
+    const bool live = metrics->enabled();
+    std::vector<std::atomic<int>> stage_state(n_stages);
+    std::vector<std::atomic<std::uint64_t>> stage_items(n_stages);
+    MetricGuard gauges(metrics);
+    if (live) {
+        for (std::size_t s = 0; s + 1 < n_stages; ++s)
+            gauges.gauge("pipeline.ring" + std::to_string(s) + ".depth",
+                         [ring = rings[s].get()] {
+                             return static_cast<double>(
+                                 ring->approxSize());
+                         });
+        for (std::size_t s = 0; s < n_stages; ++s) {
+            const std::string prefix =
+                "pipeline.stage" + std::to_string(s);
+            gauges.gauge(prefix + ".state", [state = &stage_state[s]] {
+                return static_cast<double>(
+                    state->load(std::memory_order_relaxed));
+            });
+            gauges.counter(prefix + ".items",
+                           [items = &stage_items[s]] {
+                               return static_cast<double>(items->load(
+                                   std::memory_order_relaxed));
+                           });
+        }
+    }
+
     // Free-running stage body: pop (or slice, for stage 0) a batch,
     // run every tile through this stage's banks, hand the batch
     // downstream (or scatter results, for the last stage).  Each
     // worker exits after exactly `total` tiles -- no sentinels, no
     // coordinator round trips, and bounded rings mean a slow stage
     // backpressures its producer instead of buffering the batch.
+    //
+    // Attribution discipline: the clock is read only around runStage
+    // (already timed for pipeline.stage_ns) and on *failed* try ops --
+    // an uncontended handoff costs no clock call, keeping the fast
+    // path identical to the unattributed executor.
     auto stage_loop = [&](std::size_t s) {
         StageLocal &local = locals[s];
         PrimeSystem::ExecContext &ctx = system_.stageContext(s);
@@ -95,70 +206,114 @@ PipelineEngine::run(std::span<const nn::Tensor> inputs)
         HandoffBatch in, out;
         in.reserve(batch_size);
         out.reserve(batch_size);
+        const double t_enter = now_ns();
         while (processed < total) {
             if (first) {
                 const std::size_t take =
                     std::min(batch_size, total - processed);
+                const double admit = now_ns();
                 in.clear();
                 for (std::size_t i = 0; i < take; ++i)
                     in.push_back(Item{processed + i,
-                                      inputs[processed + i]});
+                                      inputs[processed + i], admit,
+                                      admit});
             } else {
-                while (!rings[s - 1]->tryPop(in)) {
-                    ++local.popWaits;
-                    std::this_thread::yield();
+                if (!rings[s - 1]->tryPop(in)) {
+                    if (live)
+                        stage_state[s].store(kStateStallUpstream,
+                                             std::memory_order_relaxed);
+                    const double wait_start = now_ns();
+                    do {
+                        ++local.popWaits;
+                        std::this_thread::yield();
+                    } while (!rings[s - 1]->tryPop(in));
+                    local.stallUpNs += now_ns() - wait_start;
                 }
+                // Queue-wait covers ring residency plus the pop spin:
+                // time the batch spent between producer push and this
+                // dequeue.
+                const double dequeue = now_ns();
+                for (const Item &item : in)
+                    local.queueWaitNs.sample(dequeue - item.enqueueNs);
             }
+            if (live)
+                stage_state[s].store(kStateBusy,
+                                     std::memory_order_relaxed);
             out.clear();
             for (Item &item : in) {
-                const auto start = std::chrono::steady_clock::now();
+                const double t0 = now_ns();
                 nn::Tensor y =
                     system_.runStage(item.tensor, s, ctx);
-                const double ns =
-                    std::chrono::duration<double, std::nano>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-                local.stageNs.sample(ns);
-                local.busyNs += ns;
+                const double t1 = now_ns();
+                local.stageNs.sample(t1 - t0);
+                local.busyNs += t1 - t0;
                 ++local.items;
-                if (last)
+                if (last) {
+                    local.e2eNs.sample(t1 - item.admitNs);
                     results[item.index] = std::move(y);
-                else
-                    out.push_back(Item{item.index, std::move(y)});
+                } else {
+                    out.push_back(Item{item.index, std::move(y),
+                                       item.admitNs, 0.0});
+                }
             }
             processed += in.size();
+            if (live)
+                stage_items[s].fetch_add(in.size(),
+                                         std::memory_order_relaxed);
             if (!last) {
                 local.handoffItems.sample(
                     static_cast<double>(out.size()));
                 ++local.handoffs;
-                while (!rings[s]->tryPush(std::move(out))) {
-                    ++local.pushWaits;
-                    std::this_thread::yield();
+                const double enqueue = now_ns();
+                for (Item &item : out)
+                    item.enqueueNs = enqueue;
+                if (!rings[s]->tryPush(std::move(out))) {
+                    if (live)
+                        stage_state[s].store(kStateStallDownstream,
+                                             std::memory_order_relaxed);
+                    const double wait_start = now_ns();
+                    do {
+                        ++local.pushWaits;
+                        std::this_thread::yield();
+                    } while (!rings[s]->tryPush(std::move(out)));
+                    local.stallDownNs += now_ns() - wait_start;
                 }
                 out = HandoffBatch();
                 out.reserve(batch_size);
             }
         }
+        local.wallNs = now_ns() - t_enter;
+        if (live)
+            stage_state[s].store(kStateDone, std::memory_order_relaxed);
     };
 
     {
         WorkerGroup workers("pipe-stage", n_stages, stage_loop);
+        MetricGuard worker_gauge(metrics);
+        if (live)
+            worker_gauge.gauge("pipeline.workers.running", [&workers] {
+                return static_cast<double>(workers.runningWorkers());
+            });
         workers.join();
     }
 
     // Merge the worker-local accumulators (single-threaded again; the
     // join above is the happens-before edge covering `results` too).
     StatGroup &stats = system_.stats();
+    StatGroup &attribution = stats.child("pipeline.attribution");
     telemetry::Histogram &stage_ns =
         stats.histogram("pipeline.stage_ns");
     telemetry::Histogram &handoff_items =
         stats.histogram("pipeline.handoff_items");
+    telemetry::Histogram &e2e_ns =
+        stats.histogram("pipeline.e2e_latency_ns");
     double bottleneck = 0.0;
     std::uint64_t handoffs = 0, push_waits = 0, pop_waits = 0;
     for (std::size_t s = 0; s < n_stages; ++s) {
         const StageLocal &local = locals[s];
         stage_ns.merge(local.stageNs);
         handoff_items.merge(local.handoffItems);
+        e2e_ns.merge(local.e2eNs);
         handoffs += local.handoffs;
         push_waits += local.pushWaits;
         pop_waits += local.popWaits;
@@ -172,6 +327,25 @@ PipelineEngine::run(std::span<const nn::Tensor> inputs)
         stats.get(prefix + ".items").increment(local.items);
         stats.get(prefix + ".push_waits").increment(local.pushWaits);
         stats.get(prefix + ".pop_waits").increment(local.popWaits);
+        stats.histogram(prefix + ".queue_wait_ns")
+            .merge(local.queueWaitNs);
+        stats.histogram(prefix + ".service_ns").merge(local.stageNs);
+        // The attribution section: where stage s's wall time went.
+        // idle = what is left after busy and both stall flavours --
+        // slicing/stamping overhead and scheduler noise; clamped
+        // because the stall windows are measured independently of the
+        // wall clamp and can overshoot by a few clock quanta.
+        const std::string stage = "stage" + std::to_string(s);
+        const double accounted =
+            local.busyNs + local.stallUpNs + local.stallDownNs;
+        const double idle = std::max(0.0, local.wallNs - accounted);
+        attribution.get(stage + ".busy_ns").add(local.busyNs);
+        attribution.get(stage + ".stall_upstream_ns")
+            .add(local.stallUpNs);
+        attribution.get(stage + ".stall_downstream_ns")
+            .add(local.stallDownNs);
+        attribution.get(stage + ".idle_ns").add(idle);
+        attribution.get(stage + ".wall_ns").add(local.wallNs);
     }
     stats.get("pipeline.handoffs").increment(handoffs);
     stats.get("pipeline.push_waits").increment(push_waits);

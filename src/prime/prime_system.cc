@@ -745,4 +745,29 @@ PrimeSystem::configurationEnergy() const
     return model.configurationEnergy(*plan_);
 }
 
+void
+PrimeSystem::registerMetrics(telemetry::MetricsRegistry &registry)
+{
+    // Pre-resolved Stat pointers (std::map nodes are address-stable);
+    // the probes take relaxed snapshots, safe against concurrent
+    // single-writer updates (see the Stat class contract).
+    registry.counter("run.inferences",
+                     [stat = &stats_.get("run.inferences")] {
+                         return static_cast<double>(stat->count());
+                     });
+    registry.counter("run.tiled_mvms",
+                     [stat = &stats_.get("run.tiled_mvms")] {
+                         return static_cast<double>(stat->count());
+                     });
+    mem_.registerMetrics(registry);
+}
+
+void
+PrimeSystem::unregisterMetrics(telemetry::MetricsRegistry &registry)
+{
+    registry.unregister("run.inferences");
+    registry.unregister("run.tiled_mvms");
+    mem_.unregisterMetrics(registry);
+}
+
 } // namespace prime::core

@@ -177,6 +177,20 @@ class PrimeSystem
     const mapping::MappingPlan &plan() const;
     const nn::Topology &topology() const;
     StatGroup &stats() { return stats_; }
+
+    /**
+     * Register the system's continuous-observability probes with
+     * @p registry: run.inferences / run.tiled_mvms counters (relaxed
+     * Stat snapshots off the root group) plus every per-bank
+     * MainMemory occupancy probe (see MainMemory::registerMetrics).
+     * The pipeline executor adds its own per-run ring/stage gauges
+     * when the registry is enabled.  Pair with unregisterMetrics
+     * before the system is destroyed.
+     */
+    void registerMetrics(telemetry::MetricsRegistry &registry);
+
+    /** Remove every probe registerMetrics added to @p registry. */
+    void unregisterMetrics(telemetry::MetricsRegistry &registry);
     /** Number of instantiated bank units. */
     int bankCount() const { return static_cast<int>(banks_.size()); }
     /** Bank @p bank's controller / Buffer subarray (default: bank 0). */

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "common/spsc_ring.hh"
+#include "common/telemetry/metrics.hh"
 #include "common/thread_pool.hh"
 #include "nn/dataset.hh"
 #include "prime/pipeline.hh"
@@ -155,6 +157,44 @@ TEST(SpscRing, FailedPushLeavesValueIntact)
     EXPECT_TRUE(ring.tryPush(std::move(batch)));
     ASSERT_TRUE(ring.tryPop(out));
     EXPECT_EQ(out, (std::vector<int>{4, 5, 6}));
+}
+
+TEST(SpscRing, ApproxSizeTracksOccupancy)
+{
+    SpscRing<int> ring(4);
+    EXPECT_EQ(ring.approxSize(), 0u);
+    EXPECT_TRUE(ring.tryPush(1));
+    EXPECT_TRUE(ring.tryPush(2));
+    EXPECT_EQ(ring.approxSize(), 2u);  // exact for the owning thread
+    int out = 0;
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(ring.approxSize(), 1u);
+
+    // Probed from a third thread while both sides hammer the ring
+    // (the metrics sampler's usage), the relaxed estimate must stay in
+    // [0, capacity] -- and the probe must be TSan-clean.
+    constexpr int kCount = 20000;
+    std::atomic<bool> done{false};
+    std::thread prober([&] {
+        while (!done.load(std::memory_order_relaxed)) {
+            const std::size_t n = ring.approxSize();
+            EXPECT_LE(n, ring.capacity());
+        }
+    });
+    std::thread consumer([&] {
+        int v = 0;
+        for (int received = 0; received < kCount + 1; ++received) {
+            while (!ring.tryPop(v))
+                std::this_thread::yield();
+        }
+    });
+    for (int i = 0; i < kCount; ++i)
+        while (!ring.tryPush(int{i}))
+            std::this_thread::yield();
+    consumer.join();
+    done.store(true, std::memory_order_relaxed);
+    prober.join();
+    EXPECT_EQ(ring.approxSize(), 0u);
 }
 
 /** Tiny geometry: one FF mat per bank, so a 4-layer MLP maps Large
@@ -408,6 +448,106 @@ TEST(PipelineEngine, StatsAccountForEveryStageExecution)
     }
     // Sequential-path parity for the inference counter.
     EXPECT_EQ(stats.get("run.inferences").count(), n);
+}
+
+TEST(PipelineEngine, FlightRecorderPopulatesHistograms)
+{
+    PrimeSystem prime(tinyBankParams());
+    programTiny(prime);
+    const std::vector<nn::Tensor> inputs = sampleInputs(12);
+    ThreadPool::setGlobalThreadCount(4);
+    prime.runBatch(std::span<const nn::Tensor>(inputs));
+    ThreadPool::setGlobalThreadCount(0);
+
+    StatGroup &stats = prime.stats();
+    const std::size_t n = inputs.size();
+    const std::size_t n_stages = prime.stages().size();
+    // Every completed sample records one end-to-end latency.
+    const telemetry::Histogram &e2e =
+        stats.histogram("pipeline.e2e_latency_ns");
+    EXPECT_EQ(e2e.count(), n);
+    EXPECT_GT(e2e.quantile(0.50), 0.0);
+    EXPECT_LE(e2e.quantile(0.50), e2e.quantile(0.99));
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        const std::string prefix =
+            "pipeline.stage" + std::to_string(s);
+        // Service histogram: one sample per tile per stage.
+        EXPECT_EQ(stats.histogram(prefix + ".service_ns").count(), n)
+            << s;
+        // Queue wait exists for every ring consumer (stages >= 1) and
+        // is never sampled for the batch-slicing stage 0.
+        const telemetry::Histogram &wait =
+            stats.histogram(prefix + ".queue_wait_ns");
+        if (s == 0)
+            EXPECT_EQ(wait.count(), 0u);
+        else
+            EXPECT_EQ(wait.count(), n) << s;
+    }
+    // The attribution section decomposes each worker's wall time.
+    StatGroup &attr = stats.child("pipeline.attribution");
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        const std::string stage = "stage" + std::to_string(s);
+        const double busy = attr.get(stage + ".busy_ns").sum();
+        const double stall_up =
+            attr.get(stage + ".stall_upstream_ns").sum();
+        const double stall_down =
+            attr.get(stage + ".stall_downstream_ns").sum();
+        const double idle = attr.get(stage + ".idle_ns").sum();
+        const double wall = attr.get(stage + ".wall_ns").sum();
+        EXPECT_GT(busy, 0.0) << s;
+        EXPECT_GT(wall, 0.0) << s;
+        EXPECT_GE(stall_up, 0.0) << s;
+        EXPECT_GE(stall_down, 0.0) << s;
+        EXPECT_GE(idle, 0.0) << s;
+        // busy + stalls never exceed the measured wall (idle absorbs
+        // the remainder and is clamped at zero).
+        EXPECT_LE(busy + stall_up + stall_down, wall * 1.05 + 1e4)
+            << s;
+    }
+}
+
+TEST(PipelineEngine, BitIdenticalWithMetricsEnabled)
+{
+    PrimeSystem prime(tinyBankParams());
+    programTiny(prime);
+    const std::vector<nn::Tensor> inputs = sampleInputs(12);
+    std::vector<nn::Tensor> expected;
+    for (const nn::Tensor &in : inputs)
+        expected.push_back(prime.run(in));
+
+    // Full observability on: global registry enabled, per-bank memory
+    // probes registered, sampler thread ticking every ms while the
+    // executor registers its live ring/stage gauges.  Outputs must
+    // stay bit-identical to the unobserved sequential reference.
+    telemetry::MetricsRegistry registry;
+    registry.enable();
+    telemetry::setGlobalMetrics(&registry);
+    prime.registerMetrics(registry);
+    registry.startSampler(1);
+
+    for (int threads : {1, 4, 8}) {
+        ThreadPool::setGlobalThreadCount(threads);
+        std::vector<nn::Tensor> got = prime.runBatch(
+            std::span<const nn::Tensor>(inputs));
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            for (std::size_t k = 0; k < got[i].size(); ++k)
+                EXPECT_EQ(got[i][k], expected[i][k])
+                    << "threads=" << threads << " sample=" << i;
+    }
+    ThreadPool::setGlobalThreadCount(0);
+
+    registry.stopSampler();
+    prime.unregisterMetrics(registry);
+    telemetry::setGlobalMetrics(nullptr);
+    EXPECT_EQ(registry.sourceCount(), 0u);  // engine gauges removed too
+    ASSERT_GE(registry.snapshotCount(), 2u);
+    // The sampled series include the memory probes (registered for the
+    // registry's whole life, so present in every snapshot).
+    bool saw_mem = false;
+    for (const auto &s : registry.summarize())
+        saw_mem |= s.name.rfind("mem.", 0) == 0;
+    EXPECT_TRUE(saw_mem);
 }
 
 TEST(PipelineEngine, AnalyticStageCostsCrossCheck)

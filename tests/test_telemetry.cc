@@ -11,17 +11,21 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/telemetry/histogram.hh"
+#include "common/telemetry/metrics.hh"
 #include "common/telemetry/trace_session.hh"
 #include "common/thread_pool.hh"
 
@@ -555,6 +559,226 @@ TEST(Trace, ThreadedLanesRecordWithoutCorruption)
             last_end = ts + dur;
         }
     }
+}
+
+// ------------------------------------------------------------------
+// MetricsRegistry: time-series sampling, exports, sampler thread.
+
+TEST(Metrics, DisabledRegistryIsNoOp)
+{
+    telemetry::MetricsRegistry registry;
+    EXPECT_FALSE(registry.enabled());
+    registry.gauge("test.depth", [] { return 3.0; });
+    EXPECT_FALSE(registry.sampleOnce());
+    EXPECT_EQ(registry.snapshotCount(), 0u);
+    // A disabled registry never spawns the sampler thread.
+    registry.startSampler(1);
+    EXPECT_FALSE(registry.samplerRunning());
+    registry.stopSampler();
+    EXPECT_EQ(registry.snapshotCount(), 0u);
+}
+
+TEST(Metrics, RegisterSampleExportRoundTrip)
+{
+    telemetry::MetricsRegistry registry;
+    registry.enable();
+    double depth = 2.0;
+    std::uint64_t items = 10;
+    registry.gauge("test.ring.depth", [&] { return depth; });
+    registry.counter("test.stage.items",
+                     [&] { return static_cast<double>(items); });
+    EXPECT_EQ(registry.sourceCount(), 2u);
+
+    EXPECT_TRUE(registry.sampleOnce());
+    depth = 5.0;
+    items = 30;
+    EXPECT_TRUE(registry.sampleOnce());
+    EXPECT_EQ(registry.snapshotCount(), 2u);
+
+    // Every JSONL line must parse as {"ts_ns":N,"metrics":{...}} and
+    // reproduce the probed values; timestamps never go backwards.
+    std::ostringstream os;
+    registry.writeJsonl(os);
+    std::istringstream is(os.str());
+    std::string line;
+    std::vector<Json> lines;
+    while (std::getline(is, line)) {
+        JsonParser parser(line);
+        lines.push_back(parser.parse());
+        ASSERT_FALSE(parser.failed()) << line;
+    }
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_LE(lines[0]["ts_ns"].number, lines[1]["ts_ns"].number);
+    EXPECT_DOUBLE_EQ(
+        lines[0]["metrics"]["test.ring.depth"].number, 2.0);
+    EXPECT_DOUBLE_EQ(
+        lines[1]["metrics"]["test.ring.depth"].number, 5.0);
+    EXPECT_DOUBLE_EQ(
+        lines[1]["metrics"]["test.stage.items"].number, 30.0);
+
+    // summarize() aggregates the series.
+    const auto summaries = registry.summarize();
+    ASSERT_EQ(summaries.size(), 2u);
+    const auto &d = summaries[0].name == "test.ring.depth"
+                        ? summaries[0]
+                        : summaries[1];
+    EXPECT_EQ(d.samples, 2u);
+    EXPECT_DOUBLE_EQ(d.min, 2.0);
+    EXPECT_DOUBLE_EQ(d.max, 5.0);
+    EXPECT_DOUBLE_EQ(d.mean, 3.5);
+    EXPECT_DOUBLE_EQ(d.last, 5.0);
+}
+
+TEST(Metrics, PrometheusExpositionFormat)
+{
+    EXPECT_EQ(telemetry::MetricsRegistry::prometheusName(
+                  "mem.bank0.reads"),
+              "prime_mem_bank0_reads");
+
+    telemetry::MetricsRegistry registry;
+    registry.enable();
+    registry.gauge("test.ring.depth", [] { return 4.0; });
+    registry.counter("test.stage.items", [] { return 64.0; });
+    ASSERT_TRUE(registry.sampleOnce());
+
+    std::ostringstream os;
+    registry.writePrometheus(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("# TYPE prime_test_ring_depth gauge\n"
+                        "prime_test_ring_depth 4\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# TYPE prime_test_stage_items counter\n"
+                        "prime_test_stage_items 64\n"),
+              std::string::npos)
+        << text;
+    // Exposition line format: every non-# line is "<name> <value>".
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto space = line.find(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_EQ(line.substr(0, 6), "prime_") << line;
+        EXPECT_EQ(line.find(' ', space + 1), std::string::npos) << line;
+    }
+}
+
+TEST(Metrics, ReplaceAndUnregister)
+{
+    telemetry::MetricsRegistry registry;
+    registry.enable();
+    registry.gauge("test.value", [] { return 1.0; });
+    registry.gauge("test.value", [] { return 2.0; });  // replaces
+    EXPECT_EQ(registry.sourceCount(), 1u);
+    ASSERT_TRUE(registry.sampleOnce());
+
+    registry.unregister("test.value");
+    EXPECT_EQ(registry.sourceCount(), 0u);
+    ASSERT_TRUE(registry.sampleOnce());
+
+    std::ostringstream os;
+    registry.writeJsonl(os);
+    std::istringstream is(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    JsonParser first(line);
+    EXPECT_DOUBLE_EQ(first.parse()["metrics"]["test.value"].number,
+                     2.0);
+    ASSERT_TRUE(std::getline(is, line));
+    JsonParser second(line);
+    EXPECT_EQ(second.parse()["metrics"]["test.value"].kind,
+              Json::Null);
+}
+
+TEST(Metrics, SnapshotRingEvictsOldest)
+{
+    telemetry::MetricsRegistry registry(2);
+    registry.enable();
+    int tick = 0;
+    registry.gauge("test.tick",
+                   [&] { return static_cast<double>(tick); });
+    for (tick = 1; tick <= 3; ++tick)
+        ASSERT_TRUE(registry.sampleOnce());
+    EXPECT_EQ(registry.snapshotCount(), 2u);
+    EXPECT_EQ(registry.droppedSnapshots(), 1u);
+    const auto summaries = registry.summarize();
+    ASSERT_EQ(summaries.size(), 1u);
+    EXPECT_DOUBLE_EQ(summaries[0].min, 2.0);  // snapshot 1 evicted
+    EXPECT_DOUBLE_EQ(summaries[0].last, 3.0);
+}
+
+TEST(Metrics, SamplerThreadCollectsTimestampedSnapshots)
+{
+    telemetry::MetricsRegistry registry;
+    registry.enable();
+    std::atomic<int> calls{0};
+    registry.gauge("test.calls", [&] {
+        return static_cast<double>(
+            calls.fetch_add(1, std::memory_order_relaxed));
+    });
+    registry.startSampler(1);
+    EXPECT_TRUE(registry.samplerRunning());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    registry.stopSampler();
+    EXPECT_FALSE(registry.samplerRunning());
+    // Immediate first tick + final tick at stop => at least two.
+    EXPECT_GE(registry.snapshotCount(), 2u);
+    EXPECT_GE(calls.load(), 2);
+    // stopSampler is idempotent and a second start works.
+    registry.stopSampler();
+    registry.startSampler(1);
+    EXPECT_TRUE(registry.samplerRunning());
+    registry.stopSampler();
+}
+
+TEST(Metrics, SamplerReadsStatsWrittenConcurrently)
+{
+    // The full TSan-relevant chain: a worker thread hammers a Stat
+    // (single writer) while the sampler thread snapshots it through a
+    // relaxed probe -- the Stat atomic_ref contract.
+    StatGroup stats;
+    Stat &counter = stats.get("test.events");
+    telemetry::MetricsRegistry registry;
+    registry.enable();
+    registry.counter("test.events", [&counter] {
+        return static_cast<double>(counter.count());
+    });
+    registry.gauge("test.events_sum",
+                   [&counter] { return counter.sum(); });
+    registry.startSampler(1);
+    std::thread writer([&counter] {
+        for (int i = 0; i < 50000; ++i) {
+            counter.increment();
+            counter.add(2.0);
+            counter.sample(static_cast<double>(i));
+        }
+    });
+    writer.join();
+    registry.stopSampler();
+    ASSERT_GE(registry.snapshotCount(), 1u);
+    const auto summaries = registry.summarize();
+    for (const auto &s : summaries) {
+        if (s.name == "test.events") {
+            // 50k increments + 50k samples, exact after the join.
+            EXPECT_DOUBLE_EQ(s.last, 100000.0);
+        }
+    }
+}
+
+TEST(Metrics, GlobalRegistryDefaultsInert)
+{
+    telemetry::MetricsRegistry *inert = telemetry::globalMetrics();
+    ASSERT_NE(inert, nullptr);
+    EXPECT_FALSE(inert->enabled());
+    EXPECT_FALSE(inert->sampleOnce());
+
+    telemetry::MetricsRegistry mine;
+    telemetry::setGlobalMetrics(&mine);
+    EXPECT_EQ(telemetry::globalMetrics(), &mine);
+    telemetry::setGlobalMetrics(nullptr);
+    EXPECT_EQ(telemetry::globalMetrics(), inert);
 }
 
 TEST(Trace, ClearKeepsLanesDropsEvents)

@@ -152,6 +152,50 @@ TEST(ThreadPoolStress, PoolChurnWithTracing)
     EXPECT_EQ(session.eventCount(), expected);
 }
 
+/** WorkerGroup state tracking: the metrics-probe view (workerState /
+ *  runningWorkers, relaxed loads from any thread) must follow each
+ *  worker Pending -> Running -> Done, stay within bounds while probed
+ *  concurrently, and read Done for every worker after join(). */
+TEST(ThreadPoolStress, WorkerGroupStatesObservableWhileRunning)
+{
+    constexpr std::size_t kWorkers = 4;
+    std::atomic<std::size_t> entered{0};
+    std::atomic<bool> release{false};
+
+    WorkerGroup group("state-test", kWorkers, [&](std::size_t) {
+        entered.fetch_add(1, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire))
+            std::this_thread::yield();
+    });
+    ASSERT_EQ(group.size(), kWorkers);
+
+    // Wait until every body has been entered: all Running, none Done.
+    while (entered.load(std::memory_order_acquire) < kWorkers)
+        std::this_thread::yield();
+    EXPECT_EQ(group.runningWorkers(), kWorkers);
+    for (std::size_t i = 0; i < kWorkers; ++i)
+        EXPECT_EQ(group.workerState(i), WorkerGroup::WorkerState::Running);
+
+    // Probe from a second observer while the workers wind down -- the
+    // running count is a relaxed snapshot but must stay in range.
+    std::atomic<bool> stop{false};
+    std::thread prober([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            const std::size_t running = group.runningWorkers();
+            EXPECT_LE(running, kWorkers);
+        }
+    });
+
+    release.store(true, std::memory_order_release);
+    group.join();
+    stop.store(true, std::memory_order_release);
+    prober.join();
+
+    EXPECT_EQ(group.runningWorkers(), 0u);
+    for (std::size_t i = 0; i < kWorkers; ++i)
+        EXPECT_EQ(group.workerState(i), WorkerGroup::WorkerState::Done);
+}
+
 /** Nested parallelFor from inside a pool body must run inline without
  *  deadlock, still invoking every index exactly once. */
 TEST(ThreadPoolStress, NestedParallelForRunsInline)

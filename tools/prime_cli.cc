@@ -25,7 +25,11 @@
  * `run` options: --images N (test set), --train N, --epochs N,
  *   --batch N (run inference through the batched front end in batches
  *   of N; multi-bank plans execute on the inter-bank pipeline engine),
- *   --no-pipeline (batched but sequential, for A/B comparisons).
+ *   --no-pipeline (batched but sequential, for A/B comparisons),
+ *   --metrics-out <file> (sampled JSONL time-series: one snapshot per
+ *   line, fed to tools/metrics_report.py), --metrics-prom <file>
+ *   (Prometheus text exposition of the final snapshot),
+ *   --metrics-interval-ms N (sampler period, default 10).
  */
 
 #include <algorithm>
@@ -41,6 +45,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "common/telemetry/metrics.hh"
 #include "common/telemetry/trace_session.hh"
 #include "nn/dataset.hh"
 #include "nn/network.hh"
@@ -55,13 +60,21 @@ namespace {
 /** Options shared by every subcommand. */
 struct CliOptions
 {
-    std::string statsJson;  ///< --stats-json <file>
-    std::string traceFile;  ///< --trace <file>
-    int images = 50;        ///< run: test images
-    int train = 400;        ///< run: training images
-    int epochs = 1;         ///< run: training epochs
-    int batch = 0;          ///< run: batch size (0 = per-image run())
-    bool pipeline = true;   ///< run: pipeline batched execution
+    std::string statsJson;    ///< --stats-json <file>
+    std::string traceFile;    ///< --trace <file>
+    std::string metricsOut;   ///< --metrics-out <file> (JSONL series)
+    std::string metricsProm;  ///< --metrics-prom <file> (exposition)
+    int metricsIntervalMs = 10;  ///< --metrics-interval-ms
+    int images = 50;          ///< run: test images
+    int train = 400;          ///< run: training images
+    int epochs = 1;           ///< run: training epochs
+    int batch = 0;            ///< run: batch size (0 = per-image run())
+    bool pipeline = true;     ///< run: pipeline batched execution
+
+    bool metricsRequested() const
+    {
+        return !metricsOut.empty() || !metricsProm.empty();
+    }
 };
 
 /** Parsed --set overrides applied to the default TechParams. */
@@ -87,6 +100,15 @@ optionsFromArgs(int argc, char **argv)
             opt.statsJson = argv[++i];
         else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
             opt.traceFile = argv[++i];
+        else if (std::strcmp(argv[i], "--metrics-out") == 0 &&
+                 i + 1 < argc)
+            opt.metricsOut = argv[++i];
+        else if (std::strcmp(argv[i], "--metrics-prom") == 0 &&
+                 i + 1 < argc)
+            opt.metricsProm = argv[++i];
+        else if (std::strcmp(argv[i], "--metrics-interval-ms") == 0 &&
+                 i + 1 < argc)
+            opt.metricsIntervalMs = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--images") == 0 && i + 1 < argc)
             opt.images = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--train") == 0 && i + 1 < argc)
@@ -120,6 +142,36 @@ writeStats(const CliOptions &opt,
     PRIME_INFORM("stats: wrote ", opt.statsJson);
 }
 
+/** Export the sampled time-series as requested by --metrics-*. */
+void
+writeMetrics(const CliOptions &opt,
+             const telemetry::MetricsRegistry &metrics)
+{
+    if (!opt.metricsOut.empty()) {
+        std::ofstream os(opt.metricsOut);
+        if (os) {
+            metrics.writeJsonl(os);
+            PRIME_INFORM("metrics: wrote ", metrics.snapshotCount(),
+                         " snapshot(s) to ", opt.metricsOut,
+                         metrics.droppedSnapshots()
+                             ? " (ring overflowed; oldest dropped)"
+                             : "");
+        } else {
+            PRIME_WARN("cannot open metrics file ", opt.metricsOut);
+        }
+    }
+    if (!opt.metricsProm.empty()) {
+        std::ofstream os(opt.metricsProm);
+        if (os) {
+            metrics.writePrometheus(os);
+            PRIME_INFORM("metrics: wrote exposition to ",
+                         opt.metricsProm);
+        } else {
+            PRIME_WARN("cannot open metrics file ", opt.metricsProm);
+        }
+    }
+}
+
 int
 usage()
 {
@@ -135,7 +187,11 @@ usage()
         "         --stats-json <file>     write JSON stats document\n"
         "         --trace <file>          write Chrome trace JSON\n"
         "run:     --images N --train N --epochs N\n"
-        "         --batch N [--no-pipeline]  batched front end\n");
+        "         --batch N [--no-pipeline]  batched front end\n"
+        "         --metrics-out <file>    sampled JSONL time-series\n"
+        "         --metrics-prom <file>   Prometheus text exposition\n"
+        "         --metrics-interval-ms N sampler period (default "
+        "10)\n");
     return 2;
 }
 
@@ -267,6 +323,18 @@ cmdRun(int argc, char **argv, const CliOptions &opt)
     prime.calibrate(std::vector<nn::Sample>(train.begin(),
                                             train.begin() + calib_n));
 
+    // Metrics cover the inference phase only: enable after programming
+    // and calibration so the time-series starts at the run loop, then
+    // sample on a background thread until the loop ends.
+    telemetry::MetricsRegistry metrics;
+    if (opt.metricsRequested()) {
+        metrics.enable();
+        telemetry::setGlobalMetrics(&metrics);
+        prime.registerMetrics(metrics);
+        metrics.startSampler(
+            opt.metricsIntervalMs > 0 ? opt.metricsIntervalMs : 10);
+    }
+
     int correct = 0;
     if (opt.batch > 0) {
         core::PrimeSystem::RunBatchOptions ropt;
@@ -288,6 +356,13 @@ cmdRun(int argc, char **argv, const CliOptions &opt)
         for (const nn::Sample &s : test)
             if (static_cast<int>(prime.run(s.input).argmax()) == s.label)
                 ++correct;
+    }
+
+    if (opt.metricsRequested()) {
+        metrics.stopSampler();
+        prime.unregisterMetrics(metrics);
+        telemetry::setGlobalMetrics(nullptr);
+        writeMetrics(opt, metrics);
     }
     prime.release();
 

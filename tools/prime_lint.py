@@ -21,9 +21,25 @@ stats-naming
     (lowercase snake segments, at least one dot), keeping the stats
     JSON stable for the Table-3/Figure-7 tooling.
 
+metrics-naming
+    String literals registered via MetricsRegistry gauge()/counter()/
+    probe() (and removed via unregister()) follow the same dotted
+    group.metric convention, so the JSONL/Prometheus exports stay
+    consistent with the stats namespace.  Scans src/, tools/ and
+    bench/.
+
+span-in-sampler
+    PRIME_SPAN must never appear in the metrics sampler implementation
+    (src/common/telemetry/metrics.cc): the sampler thread runs
+    concurrently with every traced phase, and tracing the observer
+    would perturb the lanes it is observing.
+
 headers (opt-in: --check-headers)
     Every header under src/ must be self-contained: a TU that includes
     only that header must compile (include-what-you-use smoke).
+
+--self-test runs the naming rules against embedded known-good and
+known-bad samples (the ctest hook covering the linter itself).
 
 Exit status: 0 clean, 1 findings, 2 usage/environment error.
 """
@@ -155,6 +171,79 @@ def check_stats_naming(root: str) -> None:
                             f" (lowercase snake segments, >= 1 dot)")
 
 
+METRIC_CALL_RE = re.compile(
+    r"(?:\.|->)(?P<fn>gauge|counter|probe|unregister)"
+    r"\(\s*\"(?P<name>[^\"]*)\"")
+
+
+def check_metrics_naming(root: str) -> None:
+    for subdir in ("src", "tools", "bench"):
+        for path in iter_source_files(root, subdir,
+                                      (".hh", ".cc", ".cpp")):
+            with open(path, encoding="utf-8") as f:
+                for lineno, text in enumerate(f, 1):
+                    for m in METRIC_CALL_RE.finditer(text):
+                        name = m.group("name")
+                        if not STAT_NAME_RE.match(name):
+                            finding(
+                                relpath(root, path), lineno,
+                                "metrics-naming",
+                                f"metric name '{name}' does not follow"
+                                f" the dotted group.metric convention"
+                                f" (lowercase snake segments, >= 1"
+                                f" dot)")
+
+
+def check_span_in_sampler(root: str) -> None:
+    path = os.path.join(root, "src/common/telemetry/metrics.cc")
+    if not os.path.isfile(path):
+        return
+    with open(path, encoding="utf-8") as f:
+        for lineno, text in enumerate(f, 1):
+            if "PRIME_SPAN" in text and not text.lstrip().startswith("//"):
+                finding(relpath(root, path), lineno, "span-in-sampler",
+                        "PRIME_SPAN in the metrics sampler: the"
+                        " observer thread must not write to the trace"
+                        " lanes it observes")
+
+
+def self_test() -> int:
+    """Exercise the naming rules on embedded samples."""
+    good = [
+        'registry.gauge("pipeline.ring0.depth", probe);',
+        'registry.counter("mem.bank0.reads", probe);',
+        'registry.probe("a.b_c.d2", kind, fn);',
+        'reg->unregister("pipeline.workers.running");',
+        'stats.get("run.tiled_mvms").increment();',
+    ]
+    bad = [
+        'registry.gauge("Depth", probe);',          # no dot, uppercase
+        'registry.counter("mem.", probe);',         # empty segment
+        'registry.gauge("mem.Bank0.reads", fn);',   # uppercase segment
+        'registry.probe("pipeline ring", k, fn);',  # space
+        'stats.get("inferences").add(1);',          # no dot
+    ]
+    failures = []
+    for text in good:
+        for regex in (METRIC_CALL_RE, STAT_CALL_RE):
+            m = regex.search(text)
+            if m and not STAT_NAME_RE.match(m.group("name")):
+                failures.append(f"good sample flagged: {text}")
+    for text in bad:
+        matches = [m for regex in (METRIC_CALL_RE, STAT_CALL_RE)
+                   for m in regex.finditer(text)]
+        if not matches:
+            failures.append(f"bad sample not matched by any rule: {text}")
+        elif all(STAT_NAME_RE.match(m.group("name")) for m in matches):
+            failures.append(f"bad sample passed: {text}")
+    for f in failures:
+        print(f"prime_lint self-test: {f}", file=sys.stderr)
+    if failures:
+        return 1
+    print("prime_lint: self-test clean")
+    return 0
+
+
 def check_headers(root: str, compiler: str) -> None:
     headers = sorted(iter_source_files(root, "src", (".hh",)))
     with tempfile.TemporaryDirectory() as tmp:
@@ -185,7 +274,13 @@ def main() -> int:
     parser.add_argument("--compiler", default=os.environ.get("CXX", "c++"),
                         help="compiler for --check-headers (default: $CXX"
                              " or c++)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the naming rules against embedded"
+                             " samples and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     root = args.repo or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
@@ -196,6 +291,8 @@ def main() -> int:
     check_span_in_kernel(root)
     check_command_spans(root)
     check_stats_naming(root)
+    check_metrics_naming(root)
+    check_span_in_sampler(root)
     if args.check_headers:
         check_headers(root, args.compiler)
 
