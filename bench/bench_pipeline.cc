@@ -130,12 +130,20 @@ main(int argc, char **argv)
     ThreadPool::setGlobalThreadCount(
         std::max<int>(4, static_cast<int>(prime.stages().size())));
 
-    // Warm-up (page in weights, fault in the store), then timed runs.
+    // Warm-up passes (page in weights, fault in the store, build the
+    // plane caches) before anything is timed; --warmup N scales them,
+    // 0 disables (and lets the cold-start cost land in host_* numbers).
+    int warmup = 1;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--warmup") && i + 1 < argc)
+            warmup = std::atoi(argv[++i]);
     core::PrimeSystem::RunBatchOptions sequential;
     sequential.pipeline = false;
     core::PrimeSystem::RunBatchOptions pipelined;
     pipelined.pipeline = true;
-    (void)prime.runBatch(std::span<const nn::Tensor>(inputs), pipelined);
+    for (int i = 0; i < warmup; ++i)
+        (void)prime.runBatch(std::span<const nn::Tensor>(inputs),
+                             pipelined);
 
     auto t0 = std::chrono::steady_clock::now();
     std::vector<nn::Tensor> seq_out =

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Sustained-QPS serving bench: the dynamic-batching ServingEngine over
+ * the 4-bank MLP pipeline config, driven by the open-loop Poisson load
+ * generator across a sweep of offered loads.
+ *
+ * The sweep first measures the system's closed-loop batch throughput
+ * (base QPS: one timed pipelined runBatch), then offers multiples of
+ * it (0.25x .. 4x).  Below the knee the engine achieves what is
+ * offered with small batches and low latency; past it achieved QPS
+ * saturates at the service capacity, coalesced batches grow to
+ * --max-batch, the bounded ingress ring fills and admission control
+ * sheds the overflow -- the open-loop generator does not slow down, so
+ * the curve shows the saturation plateau instead of hiding it.
+ *
+ * Headline numbers land as top-level fields of BENCH_serving.json:
+ * serving.peak_qps (best achieved rate across the sweep),
+ * serving.p99_ms_at_peak, serving.base_qps and the batched-vs-single
+ * comparison (the same offered load served with --max-batch 16 versus
+ * one-request-at-a-time dispatch).  The per-point curve is recorded
+ * under serving.sweep.pointN.* in the stats section, and the sweep
+ * runs under an enabled MetricsRegistry so the live queue-depth /
+ * in-flight gauges are summarized in the "metrics" section.
+ *
+ * Flags: --warmup N (untimed warm-up batches, default 1), --requests N
+ * (submissions per sweep point, default 160), plus the BenchRun
+ * standards (--stats-json, --trace).
+ *
+ * Host caveat: batched-vs-single superiority needs no spare cores (it
+ * amortizes per-dispatch engine setup), but it is still a host-domain
+ * measurement, so a shortfall WARNs here and CI only hard-gates it on
+ * hosts with >= 4 cores (the bench_pipeline host_speedup precedent).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/thread_pool.hh"
+#include "nn/topology.hh"
+#include "prime/prime_system.hh"
+#include "serve/load_generator.hh"
+#include "serve/serving_engine.hh"
+
+using namespace prime;
+
+namespace {
+
+/** One FF mat per bank: the 4-layer MLP maps across four banks. */
+nvmodel::TechParams
+servingTech()
+{
+    nvmodel::TechParams tech = nvmodel::defaultTechParams();
+    tech.geometry.ffSubarraysPerBank = 1;
+    tech.geometry.matsPerSubarray = 1;
+    return tech;
+}
+
+/** What one offered-load point measured. */
+struct SweepPoint
+{
+    double offeredQps = 0.0;
+    double achievedQps = 0.0;
+    double shedRate = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double meanBatch = 0.0;
+};
+
+/**
+ * Serve @p requests submissions offered at @p offered_qps through a
+ * fresh engine and measure what it sustained.  The wall clock covers
+ * start -> stop (drain included): achieved QPS is completions per
+ * second of the whole episode, not just the submission window.
+ */
+SweepPoint
+servePoint(core::PrimeSystem &prime, std::span<const nn::Tensor> inputs,
+           double offered_qps, std::size_t requests, int max_batch,
+           telemetry::MetricsRegistry *registry)
+{
+    serve::ServingOptions sopt;
+    sopt.queueCapacity = 256;
+    sopt.maxBatch = max_batch;
+    sopt.batchWindowUs = 200;
+    sopt.dispatchThreads = 1;
+    serve::ServingEngine engine(prime, sopt);
+    if (registry)
+        engine.registerMetrics(*registry);
+
+    serve::LoadGenOptions lopt;
+    lopt.targetQps = offered_qps;
+    lopt.requests = requests;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.start();
+    (void)serve::runOpenLoopLoad(engine, inputs, lopt);
+    engine.stop();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    SweepPoint point;
+    point.offeredQps = offered_qps;
+    point.achievedQps =
+        wall_s > 0.0 ? static_cast<double>(engine.completed()) / wall_s
+                     : 0.0;
+    const double offered_n = static_cast<double>(engine.accepted() +
+                                                 engine.rejected());
+    point.shedRate = offered_n > 0.0
+                         ? static_cast<double>(engine.rejected()) /
+                               offered_n
+                         : 0.0;
+    const telemetry::Histogram &e2e =
+        engine.stats().histogram("serving.e2e_latency_ns");
+    point.p50Ms = e2e.quantile(0.50) / 1e6;
+    point.p95Ms = e2e.quantile(0.95) / 1e6;
+    point.p99Ms = e2e.quantile(0.99) / 1e6;
+    point.meanBatch =
+        engine.stats().histogram("serving.batch_size").mean();
+    if (registry)
+        engine.unregisterMetrics(*registry);
+    return point;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchRun run("serving", argc, argv);
+    bench::header("dynamic-batching serving throughput");
+
+    int warmup = 1;
+    std::size_t requests = 160;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--warmup") && i + 1 < argc)
+            warmup = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--requests") && i + 1 < argc)
+            requests = static_cast<std::size_t>(
+                std::max(1, std::atoi(argv[++i])));
+    }
+
+    nn::Topology topo = nn::parseTopology(
+        "mlp-pipeline", "64-256-256-256-256", 1, 8, 8);
+    Rng rng(7);
+    nn::Network net = nn::buildNetwork(topo, rng);
+
+    core::PrimeSystem prime(servingTech());
+    const mapping::MappingPlan &plan = prime.mapTopology(topo);
+    prime.programWeight(net);
+    prime.configDatapath();
+    std::printf("mapping: scale %s, %d bank(s), %zu pipeline stage(s)\n",
+                mapping::nnScaleName(plan.scale), plan.banksUsed,
+                prime.stages().size());
+
+    const int batch = 64;
+    Rng input_rng(11);
+    std::vector<nn::Tensor> inputs;
+    for (int i = 0; i < batch; ++i) {
+        nn::Tensor t({1, 8, 8});
+        for (std::size_t k = 0; k < t.size(); ++k)
+            t[k] = input_rng.uniform(0.0, 1.0);
+        inputs.push_back(std::move(t));
+    }
+
+    ThreadPool::setGlobalThreadCount(
+        std::max<int>(4, static_cast<int>(prime.stages().size())));
+
+    core::PrimeSystem::RunBatchOptions pipelined;
+    for (int i = 0; i < warmup; ++i)
+        (void)prime.runBatch(std::span<const nn::Tensor>(inputs),
+                             pipelined);
+
+    // Closed-loop capacity estimate: one timed pipelined batch.  The
+    // sweep offers multiples of this base rate.
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)prime.runBatch(std::span<const nn::Tensor>(inputs), pipelined);
+    const double base_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    const double base_qps = base_s > 0.0 ? batch / base_s : 1000.0;
+    std::printf("closed-loop base: %.1f images/s (batch %d in %.2f "
+                "ms)\n\n",
+                base_qps, batch, base_s * 1e3);
+
+    // The whole sweep runs observed: serving gauges registered per
+    // point (same names, so each series spans the sweep), per-bank
+    // memory probes once.
+    telemetry::MetricsRegistry registry;
+    registry.enable();
+    telemetry::setGlobalMetrics(&registry);
+    prime.registerMetrics(registry);
+    registry.startSampler(1);
+
+    const double multipliers[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+    std::vector<SweepPoint> points;
+    std::printf("%10s %10s %8s %9s %9s %9s %7s\n", "offered/s",
+                "achieved/s", "shed", "p50 ms", "p95 ms", "p99 ms",
+                "batch");
+    for (double m : multipliers) {
+        SweepPoint p = servePoint(prime, inputs, m * base_qps, requests,
+                                  16, &registry);
+        std::printf("%10.1f %10.1f %7.1f%% %9.3f %9.3f %9.3f %7.2f\n",
+                    p.offeredQps, p.achievedQps, 100.0 * p.shedRate,
+                    p.p50Ms, p.p95Ms, p.p99Ms, p.meanBatch);
+        points.push_back(p);
+    }
+
+    // Batched vs one-request-at-a-time at heavy load: same offered
+    // rate, --max-batch 16 against a degenerate max batch of 1.
+    const double pressure_qps = 2.0 * base_qps;
+    const SweepPoint batched = servePoint(prime, inputs, pressure_qps,
+                                          requests, 16, &registry);
+    const SweepPoint single = servePoint(prime, inputs, pressure_qps,
+                                         requests, 1, &registry);
+    const double batched_speedup =
+        single.achievedQps > 0.0
+            ? batched.achievedQps / single.achievedQps
+            : 0.0;
+    std::printf("\nbatched vs single dispatch at %.0f offered/s: "
+                "%.1f vs %.1f achieved/s (%.2fx)\n",
+                pressure_qps, batched.achievedQps, single.achievedQps,
+                batched_speedup);
+    if (batched_speedup <= 1.0)
+        std::printf("WARN: dynamic batching below 1.0x over single "
+                    "dispatch (host-domain measurement; needs cores)\n");
+
+    registry.stopSampler();
+    prime.unregisterMetrics(registry);
+    telemetry::setGlobalMetrics(nullptr);
+    run.metrics(registry);
+    ThreadPool::setGlobalThreadCount(0);
+
+    // Peak = best achieved rate anywhere on the curve.
+    std::size_t peak = 0;
+    for (std::size_t i = 1; i < points.size(); ++i)
+        if (points[i].achievedQps > points[peak].achievedQps)
+            peak = i;
+    std::printf("peak sustained: %.1f req/s at %.1f offered/s, p99 "
+                "%.3f ms\n",
+                points[peak].achievedQps, points[peak].offeredQps,
+                points[peak].p99Ms);
+
+    run.topLevel("serving.peak_qps", points[peak].achievedQps);
+    run.topLevel("serving.p99_ms_at_peak", points[peak].p99Ms);
+    run.topLevel("serving.base_qps", base_qps);
+    run.topLevel("serving.sweep_points",
+                 static_cast<double>(points.size()));
+    run.topLevel("serving.batched_qps", batched.achievedQps);
+    run.topLevel("serving.single_qps", single.achievedQps);
+    run.topLevel("serving.batched_vs_single_speedup", batched_speedup);
+
+    StatGroup &stats = run.stats();
+    stats.get("serving.base_qps").add(base_qps);
+    stats.get("serving.requests_per_point")
+        .add(static_cast<double>(requests));
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        const std::string prefix =
+            "serving.sweep.point" + std::to_string(i);
+        stats.get(prefix + ".offered_qps").add(p.offeredQps);
+        stats.get(prefix + ".achieved_qps").add(p.achievedQps);
+        stats.get(prefix + ".shed_rate").add(p.shedRate);
+        stats.get(prefix + ".p50_ms").add(p.p50Ms);
+        stats.get(prefix + ".p95_ms").add(p.p95Ms);
+        stats.get(prefix + ".p99_ms").add(p.p99Ms);
+        stats.get(prefix + ".mean_batch").add(p.meanBatch);
+    }
+    stats.get("serving.batched_vs_single_speedup").add(batched_speedup);
+
+    if (points[peak].achievedQps <= 0.0) {
+        std::printf("FAIL: serving sustained zero throughput\n");
+        run.finish();
+        return 1;
+    }
+    run.finish();
+    return 0;
+}

@@ -179,11 +179,18 @@ StatGroup::dumpJsonObject(std::ostream &os) const
     for (const auto &kv : stats_) {
         const Stat &s = kv.second;
         key(kv.first);
-        os << "{\"type\":\"scalar\",\"count\":" << s.count()
-           << ",\"sum\":";
+        // The headline number: mean of the samples when there are any,
+        // otherwise the raw sum -- an add()-only scalar (e.g. a bench's
+        // pipeline.speedup) stores its value in sum with count 0, and
+        // rendering mean:0 for it misreads as "the speedup is zero".
+        // mean mirrors value so the two never disagree.
+        const double value = s.count() ? s.mean() : s.sum();
+        os << "{\"type\":\"scalar\",\"value\":";
+        jsonNumber(os, value);
+        os << ",\"count\":" << s.count() << ",\"sum\":";
         jsonNumber(os, s.sum());
         os << ",\"mean\":";
-        jsonNumber(os, s.mean());
+        jsonNumber(os, value);
         os << ",\"min\":";
         if (s.hasSamples())
             jsonNumber(os, s.min());

@@ -1,0 +1,101 @@
+#include "serve/load_generator.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace prime::serve {
+
+namespace {
+
+/** One producer's open loop: offer `count` requests at `qps`, sticking
+ *  to the precomputed absolute schedule even when submissions lag. */
+void
+producerLoop(ServingEngine &engine, std::span<const nn::Tensor> inputs,
+             double qps, std::size_t count, std::uint64_t seed,
+             std::size_t input_offset, std::atomic<std::size_t> &accepted,
+             std::atomic<std::size_t> &rejected)
+{
+    using clock = std::chrono::steady_clock;
+    Rng rng(seed);
+    const clock::time_point start = clock::now();
+    double next_s = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        // Poisson arrivals: exponential gaps of mean 1/qps.  uniform()
+        // draws from [0, 1), so 1 - u is in (0, 1] and the log is
+        // finite.
+        next_s += -std::log(1.0 - rng.uniform()) / qps;
+        const clock::time_point due =
+            start + std::chrono::duration_cast<clock::duration>(
+                        std::chrono::duration<double>(next_s));
+        std::this_thread::sleep_until(due);
+        const nn::Tensor &payload =
+            inputs[(input_offset + i) % inputs.size()];
+        if (engine.trySubmit(payload, nullptr))
+            accepted.fetch_add(1, std::memory_order_relaxed);
+        else
+            rejected.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+} // namespace
+
+LoadGenResult
+runOpenLoopLoad(ServingEngine &engine, std::span<const nn::Tensor> inputs,
+                const LoadGenOptions &options)
+{
+    PRIME_ASSERT(!inputs.empty(), "load generator needs >= 1 input");
+    PRIME_ASSERT(options.targetQps > 0.0,
+                 "load generator needs a positive target QPS");
+    const int threads = std::max(1, options.producerThreads);
+    const std::size_t total = options.requests;
+    const double per_thread_qps = options.targetQps / threads;
+
+    std::atomic<std::size_t> accepted{0};
+    std::atomic<std::size_t> rejected{0};
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    if (threads == 1) {
+        producerLoop(engine, inputs, per_thread_qps, total, options.seed,
+                     0, accepted, rejected);
+    } else {
+        std::vector<std::thread> producers;
+        producers.reserve(static_cast<std::size_t>(threads));
+        std::size_t assigned = 0;
+        for (int t = 0; t < threads; ++t) {
+            // Spread the remainder so counts total exactly `requests`.
+            const std::size_t share =
+                total / threads + (static_cast<std::size_t>(t) <
+                                           total % threads
+                                       ? 1
+                                       : 0);
+            producers.emplace_back(
+                [&, share, assigned, t] {
+                    producerLoop(engine, inputs, per_thread_qps, share,
+                                 options.seed + 0x9e37u * (t + 1),
+                                 assigned, accepted, rejected);
+                });
+            assigned += share;
+        }
+        for (std::thread &p : producers)
+            p.join();
+    }
+    const auto wall_end = std::chrono::steady_clock::now();
+
+    LoadGenResult result;
+    result.offered = total;
+    result.accepted = accepted.load();
+    result.rejected = rejected.load();
+    result.wallNs =
+        std::chrono::duration<double, std::nano>(wall_end - wall_start)
+            .count();
+    return result;
+}
+
+} // namespace prime::serve

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Synthetic open-loop load generator for the serving engine.  Arrivals
+ * follow a Poisson process (exponential inter-arrival gaps drawn from a
+ * seeded Rng), and the generator keeps to its schedule regardless of
+ * how the engine is coping -- that is what "open loop" means, and it is
+ * what makes saturation visible: past the knee the engine's achieved
+ * QPS flattens while the shed rate climbs, instead of the generator
+ * politely slowing down.  Submission failures are counted, never
+ * retried (a real shed request is gone).
+ */
+
+#ifndef PRIME_SERVE_LOAD_GENERATOR_HH
+#define PRIME_SERVE_LOAD_GENERATOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "nn/tensor.hh"
+#include "serve/serving_engine.hh"
+
+namespace prime::serve {
+
+/** Open-loop generator knobs (CLI: --qps, --requests, --seed). */
+struct LoadGenOptions
+{
+    /** Offered load in requests/second across all producers. */
+    double targetQps = 1000.0;
+    /** Total requests to offer before returning. */
+    std::size_t requests = 1024;
+    /** Concurrent producer threads splitting the offered load (each
+     *  runs its own open loop at targetQps / producerThreads). */
+    int producerThreads = 1;
+    /** Deterministic arrival schedule seed. */
+    std::uint64_t seed = 0x5eedu;
+};
+
+/** What one open-loop run offered and what the engine admitted. */
+struct LoadGenResult
+{
+    std::size_t offered = 0;
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    /** First to last submission attempt, ns (excludes drain). */
+    double wallNs = 0.0;
+};
+
+/**
+ * Offer @p options.requests submissions to @p engine at the configured
+ * Poisson rate, cycling through @p inputs for payloads.  Blocks until
+ * every submission was attempted; completions may still be in flight --
+ * call engine.stop() (or poll completed()) to drain.  No completion
+ * callbacks are installed; the engine's own counters and histograms
+ * carry the measurement.
+ */
+LoadGenResult runOpenLoopLoad(ServingEngine &engine,
+                              std::span<const nn::Tensor> inputs,
+                              const LoadGenOptions &options);
+
+} // namespace prime::serve
+
+#endif // PRIME_SERVE_LOAD_GENERATOR_HH

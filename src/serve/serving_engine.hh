@@ -1,0 +1,219 @@
+/**
+ * @file
+ * ServingEngine: the request-driven front end that turns PrimeSystem
+ * from a batch tool into a long-running inference server (the ROADMAP
+ * "heavy traffic" north star; ARAS-style adaptive batching on a ReRAM
+ * accelerator).
+ *
+ * Data path:
+ *
+ *   client threads --tryPush--> MpscRing<Request> (bounded ingress)
+ *        |                          |
+ *        | false = shed load        | single consumer
+ *        v                          v
+ *     rejected               scheduler thread: dynamic batching
+ *                            (coalesce up to maxBatch requests or
+ *                             batchWindowUs, whichever first)
+ *                                   |
+ *                                   v
+ *                            dispatch queue -> N dispatch threads
+ *                                   |    (hardware mutex serializes
+ *                                   v     the functional crossbars)
+ *                            PrimeSystem::runBatch -> completions
+ *
+ * Contracts:
+ *  - Admission control: trySubmit never blocks.  A full ingress ring
+ *    (or an engine whose stop() began) rejects the request explicitly
+ *    -- the caller sees false, serving.rejected counts it, and no
+ *    callback ever fires for it.  Accepted requests are completed
+ *    exactly once, even across stop() (the scheduler drains the ring
+ *    and flushes its partial batch before exiting).
+ *  - Batching policy: the scheduler opens a batch at the first popped
+ *    request and closes it after maxBatch requests or batchWindowUs
+ *    microseconds, whichever comes first -- the latency budget bounds
+ *    how long an early request waits for co-riders.  An empty window
+ *    never delays a lone request past the budget.
+ *  - Bit-identity: outputs equal per-sample PrimeSystem::run() calls
+ *    regardless of batch composition, dispatch thread count or queue
+ *    capacity (runBatch's own contract).  Dispatch threads serialize
+ *    on one hardware mutex -- the functional machine is a single
+ *    physical memory, and PrimeSystem is not reentrant -- so extra
+ *    dispatchers overlap completion delivery and stats with execution,
+ *    not crossbar work.
+ *  - One engine serves one mapped model (the PrimeSystem it wraps);
+ *    coalescing is therefore per-model by construction.  Serving
+ *    several models means several engines over several systems.
+ *  - Threading: trySubmit from any thread; start/stop/stats from one
+ *    controlling thread (stats() reads are stable only after stop()).
+ *    Submissions racing stop() may be rejected; callers must not
+ *    submit after stop() returns.
+ *
+ * Telemetry: per-request end-to-end and queue-wait latency land in
+ * telemetry::Histogram stats (p50/p95/p99), batch sizes in a third;
+ * serving.accepted/rejected/completed/batches surface both as stat
+ * formulas and as MetricsRegistry counters, and registerMetrics adds
+ * live gauges for ingress queue depth, batches waiting for a
+ * dispatcher and batches in flight.
+ */
+
+#ifndef PRIME_SERVE_SERVING_ENGINE_HH
+#define PRIME_SERVE_SERVING_ENGINE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_ring.hh"
+#include "common/stats.hh"
+#include "common/telemetry/metrics.hh"
+#include "prime/prime_system.hh"
+#include "serve/request.hh"
+
+namespace prime::serve {
+
+/** Serving-engine knobs (CLI: --max-batch, --batch-window-us, ...). */
+struct ServingOptions
+{
+    /** Bounded ingress ring slots; a full ring sheds load. */
+    std::size_t queueCapacity = 1024;
+    /** Largest dynamic batch one dispatch carries. */
+    int maxBatch = 16;
+    /** Latency budget: a batch closes this long after its first
+     *  request even if maxBatch was not reached. */
+    int batchWindowUs = 200;
+    /** Dispatch worker threads pulling closed batches. */
+    int dispatchThreads = 1;
+    /** Passed through to PrimeSystem::runBatch per dispatch. */
+    core::PrimeSystem::RunBatchOptions batch;
+};
+
+/** Dynamic-batching request scheduler over one PrimeSystem. */
+class ServingEngine
+{
+  public:
+    ServingEngine(core::PrimeSystem &system, const ServingOptions &options);
+    ~ServingEngine();
+
+    ServingEngine(const ServingEngine &) = delete;
+    ServingEngine &operator=(const ServingEngine &) = delete;
+
+    /** Spawn the scheduler + dispatch threads (idempotent). */
+    void start();
+
+    /**
+     * Drain and join: stop admitting, let the scheduler empty the
+     * ingress ring and flush its partial batch, run every queued batch
+     * to completion, then join all threads (idempotent).  The counter
+     * formulas in stats() read the final totals live.
+     */
+    void stop();
+
+    bool running() const { return running_; }
+
+    /**
+     * Submit one request from any thread.  Returns the request id on
+     * acceptance; std::nullopt when the engine shed it (ingress full
+     * or stop() underway) -- the admission-control contract, never
+     * blocking, no callback for shed requests.
+     */
+    std::optional<std::uint64_t> trySubmit(nn::Tensor input,
+                                           CompletionFn on_complete);
+
+    // ---------------------------------------------------- telemetry --
+
+    /** serving.* stats: latency/batch-size histograms + counter
+     *  formulas.  Stable to read once stop() returned. */
+    StatGroup &stats() { return stats_; }
+
+    /**
+     * Register live probes with @p registry: serving.queue.depth /
+     * serving.pending_batches / serving.inflight_batches gauges and
+     * the accepted/rejected/completed/batches counters.  Pair with
+     * unregisterMetrics before the engine is destroyed.
+     */
+    void registerMetrics(telemetry::MetricsRegistry &registry);
+
+    /** Remove every probe registerMetrics added to @p registry. */
+    void unregisterMetrics(telemetry::MetricsRegistry &registry);
+
+    std::uint64_t accepted() const
+    {
+        return accepted_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t rejected() const
+    {
+        return rejected_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t completed() const
+    {
+        return completed_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t batches() const
+    {
+        return batches_.load(std::memory_order_relaxed);
+    }
+
+    const ServingOptions &options() const { return options_; }
+
+  private:
+    /** One closed dynamic batch on its way to a dispatcher. */
+    struct Batch
+    {
+        std::vector<Request> requests;
+    };
+
+    double nowNs() const;
+    bool popOrQuit(Request &out);
+    void schedulerLoop();
+    void dispatchLoop();
+    void flush(Batch &&batch);
+    void execute(Batch &&batch);
+
+    core::PrimeSystem &system_;
+    ServingOptions options_;
+
+    MpscRing<Request> ingress_;
+    /** Submitters mid-trySubmit; pairs with stopping_ (both seq_cst)
+     *  so the draining scheduler never races an in-flight push. */
+    std::atomic<std::uint64_t> pendingSubmits_{0};
+    std::atomic<std::uint64_t> nextId_{0};
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    /** Closed batches waiting for a dispatcher (gauge mirror). */
+    std::atomic<std::uint64_t> pendingBatches_{0};
+    /** Batches currently inside runBatch/completion. */
+    std::atomic<std::uint64_t> inflightBatches_{0};
+
+    /** Scheduler -> dispatcher handoff (closed batches). */
+    std::mutex dispatchMutex_;
+    std::condition_variable dispatchCv_;
+    std::deque<Batch> dispatchQueue_;
+    bool dispatchDone_ = false;
+
+    /** Serializes runBatch: the one functional machine. */
+    std::mutex hardwareMutex_;
+    /** Guards the histograms (dispatchers sample concurrently). */
+    std::mutex statsMutex_;
+    StatGroup stats_;
+
+    std::atomic<bool> stopping_{false};
+    bool running_ = false;
+    std::chrono::steady_clock::time_point epoch_;
+    std::thread scheduler_;
+    std::vector<std::thread> dispatchers_;
+    std::vector<std::string> metricNames_;
+};
+
+} // namespace prime::serve
+
+#endif // PRIME_SERVE_SERVING_ENGINE_HH

@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Serving-engine tests: the MPSC ring primitive (mutex-reference
+ * parity, boundary behavior, multi-producer hammer designed to run
+ * under TSan), and the dynamic-batching ServingEngine over a real
+ * 4-bank pipelined PrimeSystem -- admission control / shed-load
+ * semantics, batch coalescing bounds, latency histograms, and
+ * bit-identity of served outputs against sequential run() across
+ * 1/4/8 dispatch threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_ring.hh"
+#include "common/telemetry/metrics.hh"
+#include "common/thread_pool.hh"
+#include "nn/dataset.hh"
+#include "prime/prime_system.hh"
+#include "serve/load_generator.hh"
+#include "serve/serving_engine.hh"
+
+namespace prime::serve {
+namespace {
+
+// ------------------------------------------------------ MpscRing -----
+
+/** Mutex-based bounded FIFO with the MpscRing interface: the reference
+ *  implementation the lock-free ring is checked against. */
+class ReferenceRing
+{
+  public:
+    explicit ReferenceRing(std::size_t capacity) : capacity_(capacity) {}
+
+    bool
+    tryPush(int &&value)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.size() == capacity_)
+            return false;
+        queue_.push_back(value);
+        return true;
+    }
+
+    bool
+    tryPop(int &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        out = queue_.front();
+        queue_.pop_front();
+        return true;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::mutex mutex_;
+    std::deque<int> queue_;
+};
+
+TEST(MpscRing, FullAndEmptyBoundaries)
+{
+    MpscRing<int> ring(3);
+    EXPECT_EQ(ring.capacity(), 3u);
+    EXPECT_TRUE(ring.empty());
+    int out = -1;
+    EXPECT_FALSE(ring.tryPop(out));  // empty pop fails
+
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(ring.tryPush(int{i})) << i;
+    }
+    EXPECT_EQ(ring.approxSize(), 3u);
+    EXPECT_FALSE(ring.tryPush(99));  // full push fails...
+    EXPECT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(ring.tryPush(3));    // ...and succeeds after a pop
+    for (int want : {1, 2, 3}) {
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out, want);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(MpscRing, WraparoundMatchesMutexReference)
+{
+    // A deterministic push/pop script forcing many wraparounds on a
+    // tiny ring; every outcome (accepted/rejected, popped value) must
+    // match the mutex-based reference queue exactly.
+    MpscRing<int> ring(3);
+    ReferenceRing reference(3);
+    Rng rng(42);
+    int next = 0;
+    for (int step = 0; step < 2000; ++step) {
+        if (rng.uniform(0.0, 1.0) < 0.55) {
+            const bool a = ring.tryPush(int{next});
+            const bool b = reference.tryPush(int{next});
+            EXPECT_EQ(a, b) << "push step " << step;
+            if (a)
+                ++next;
+        } else {
+            int got = -1, want = -1;
+            const bool a = ring.tryPop(got);
+            const bool b = reference.tryPop(want);
+            ASSERT_EQ(a, b) << "pop step " << step;
+            if (a) {
+                EXPECT_EQ(got, want) << "pop step " << step;
+            }
+        }
+    }
+}
+
+TEST(MpscRing, MultiProducerHammerDeliversEverythingInProducerOrder)
+{
+    // The MPSC contract under contention (the test TSan watches):
+    // several producers push through a small ring concurrently, one
+    // consumer pops.  Every value must arrive exactly once, and values
+    // of the same producer must arrive in that producer's push order.
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 5000;
+    MpscRing<std::uint64_t> ring(8);
+
+    std::vector<std::uint64_t> received;
+    received.reserve(kProducers * kPerProducer);
+    std::thread consumer([&] {
+        std::uint64_t out = 0;
+        while (static_cast<int>(received.size()) <
+               kProducers * kPerProducer) {
+            if (ring.tryPop(out))
+                received.push_back(out);
+            else
+                std::this_thread::yield();
+        }
+    });
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&ring, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                // Tag each value with its producer in the high bits.
+                std::uint64_t value =
+                    (static_cast<std::uint64_t>(p) << 32) |
+                    static_cast<std::uint64_t>(i);
+                while (!ring.tryPush(std::move(value)))
+                    std::this_thread::yield();
+            }
+        });
+    }
+    for (std::thread &t : producers)
+        t.join();
+    consumer.join();
+
+    ASSERT_EQ(received.size(),
+              static_cast<std::size_t>(kProducers * kPerProducer));
+    std::vector<std::uint64_t> next_of(kProducers, 0);
+    for (std::uint64_t v : received) {
+        const std::size_t p = static_cast<std::size_t>(v >> 32);
+        const std::uint64_t seq = v & 0xffffffffu;
+        ASSERT_LT(p, static_cast<std::size_t>(kProducers));
+        // Per-producer FIFO: each producer's values pop in push order.
+        ASSERT_EQ(seq, next_of[p]) << "producer " << p;
+        ++next_of[p];
+    }
+    for (int p = 0; p < kProducers; ++p)
+        EXPECT_EQ(next_of[static_cast<std::size_t>(p)],
+                  static_cast<std::uint64_t>(kPerProducer));
+}
+
+TEST(MpscRing, FailedPushLeavesValueIntact)
+{
+    // tryPush takes an rvalue but must not consume it on failure (the
+    // submitter reports the rejection with the payload still whole).
+    // Capacity 1 rounds up to the scheme's minimum of 2 slots.
+    MpscRing<std::vector<int>> ring(1);
+    EXPECT_EQ(ring.capacity(), 2u);
+    EXPECT_TRUE(ring.tryPush(std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(ring.tryPush(std::vector<int>{7, 8, 9}));
+    std::vector<int> value{4, 5, 6};
+    EXPECT_FALSE(ring.tryPush(std::move(value)));
+    EXPECT_EQ(value, (std::vector<int>{4, 5, 6}));
+}
+
+// ------------------------------------------------- ServingEngine -----
+
+/** One FF mat per bank: four weighted layers -> four bank stages. */
+nvmodel::TechParams
+tinyBankParams()
+{
+    nvmodel::TechParams tech = nvmodel::defaultTechParams();
+    tech.geometry.ffSubarraysPerBank = 1;
+    tech.geometry.matsPerSubarray = 1;
+    return tech;
+}
+
+struct ServingSetup
+{
+    nn::Topology topology = nn::parseTopology(
+        "mlp-4stage", "64-256-256-256-10", 1, 8, 8);
+    nn::Network net;
+    std::vector<nn::Tensor> inputs;
+
+    ServingSetup()
+    {
+        Rng rng(7);
+        net = nn::buildNetwork(topology, rng);
+        Rng input_rng(11);
+        for (int i = 0; i < 16; ++i) {
+            nn::Tensor t({1, 8, 8});
+            for (std::size_t k = 0; k < t.size(); ++k)
+                t[k] = input_rng.uniform(0.0, 1.0);
+            inputs.push_back(std::move(t));
+        }
+    }
+};
+
+ServingSetup &
+servingSetup()
+{
+    static ServingSetup instance;
+    return instance;
+}
+
+void
+programTiny(core::PrimeSystem &prime)
+{
+    prime.mapTopology(servingSetup().topology);
+    prime.programWeight(servingSetup().net);
+    prime.configDatapath();
+}
+
+/** Thread-safe collector of completed responses, keyed by request id. */
+struct Collector
+{
+    std::mutex mutex;
+    std::map<std::uint64_t, Response> responses;
+
+    CompletionFn
+    sink()
+    {
+        return [this](Response &&r) {
+            std::lock_guard<std::mutex> lock(mutex);
+            responses.emplace(r.id, std::move(r));
+        };
+    }
+};
+
+TEST(ServingEngine, ShedsLoadWhenIngressFullAndCompletesAccepted)
+{
+    core::PrimeSystem prime(tinyBankParams());
+    programTiny(prime);
+
+    ServingOptions sopt;
+    sopt.queueCapacity = 2;  // third pre-start submission must shed
+    sopt.maxBatch = 4;
+    ServingEngine engine(prime, sopt);
+    Collector collector;
+
+    const auto id0 =
+        engine.trySubmit(servingSetup().inputs[0], collector.sink());
+    const auto id1 =
+        engine.trySubmit(servingSetup().inputs[1], collector.sink());
+    const auto id2 =
+        engine.trySubmit(servingSetup().inputs[2], collector.sink());
+    ASSERT_TRUE(id0.has_value());
+    ASSERT_TRUE(id1.has_value());
+    EXPECT_FALSE(id2.has_value());  // explicit rejection, no blocking
+    EXPECT_EQ(engine.accepted(), 2u);
+    EXPECT_EQ(engine.rejected(), 1u);
+
+    engine.start();
+    engine.stop();  // drains the two accepted requests
+
+    EXPECT_EQ(engine.completed(), 2u);
+    EXPECT_EQ(collector.responses.size(), 2u);
+    EXPECT_TRUE(collector.responses.count(*id0));
+    EXPECT_TRUE(collector.responses.count(*id1));
+    // Shed requests never complete and never invoke a callback.
+    double shed = -1.0;
+    ASSERT_TRUE(engine.stats().evalFormula("serving.shed_rate", shed));
+    EXPECT_NEAR(shed, 1.0 / 3.0, 1e-9);
+    // After stop() admission stays closed.
+    EXPECT_FALSE(
+        engine.trySubmit(servingSetup().inputs[0], nullptr).has_value());
+}
+
+TEST(ServingEngine, CoalescesQueuedRequestsUpToMaxBatch)
+{
+    core::PrimeSystem prime(tinyBankParams());
+    programTiny(prime);
+
+    ServingOptions sopt;
+    sopt.queueCapacity = 64;
+    sopt.maxBatch = 4;
+    sopt.batchWindowUs = 100000;  // window long enough to never close
+    ServingEngine engine(prime, sopt);
+    Collector collector;
+
+    // Pre-queue 10 requests, then start: the scheduler finds a backlog
+    // and must close batches at maxBatch, not at the window.
+    constexpr std::size_t kRequests = 10;
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(engine
+                        .trySubmit(servingSetup()
+                                       .inputs[i % servingSetup()
+                                                       .inputs.size()],
+                                   collector.sink())
+                        .has_value());
+    engine.start();
+    engine.stop();
+
+    EXPECT_EQ(engine.completed(), kRequests);
+    EXPECT_EQ(collector.responses.size(), kRequests);
+    // 10 requests at max batch 4 need at least ceil(10/4) = 3 batches,
+    // and every batch respects the ceiling.
+    EXPECT_GE(engine.batches(), 3u);
+    const telemetry::Histogram &sizes =
+        engine.stats().histogram("serving.batch_size");
+    EXPECT_EQ(sizes.count(), engine.batches());
+    EXPECT_LE(sizes.max(), 4.0);
+    std::size_t riders = 0;
+    for (const auto &[id, r] : collector.responses) {
+        EXPECT_LE(r.batchSize, 4u);
+        EXPECT_GE(r.e2eNs, r.queueWaitNs);
+        riders += r.batchSize > 1 ? 1 : 0;
+    }
+    // With a backlog, at least one batch actually coalesced.
+    EXPECT_GT(riders, 0u);
+    // Per-request latency histograms saw every accepted request.
+    EXPECT_EQ(engine.stats()
+                  .histogram("serving.e2e_latency_ns")
+                  .count(),
+              kRequests);
+    EXPECT_EQ(engine.stats()
+                  .histogram("serving.queue_wait_ns")
+                  .count(),
+              kRequests);
+}
+
+TEST(ServingEngine, ServedOutputsBitIdenticalAcrossDispatchThreads)
+{
+    core::PrimeSystem prime(tinyBankParams());
+    programTiny(prime);
+    ASSERT_EQ(prime.stages().size(), 4u);
+
+    // Sequential per-sample reference through run().
+    const std::vector<nn::Tensor> &inputs = servingSetup().inputs;
+    std::vector<nn::Tensor> expected;
+    for (const nn::Tensor &in : inputs)
+        expected.push_back(prime.run(in));
+
+    for (int threads : {1, 4, 8}) {
+        ThreadPool::setGlobalThreadCount(4);
+        ServingOptions sopt;
+        sopt.queueCapacity = 64;
+        sopt.maxBatch = 5;  // batches straddle the input set unevenly
+        sopt.batchWindowUs = 200;
+        sopt.dispatchThreads = threads;
+        ServingEngine engine(prime, sopt);
+        Collector collector;
+
+        engine.start();
+        std::vector<std::uint64_t> ids;
+        for (const nn::Tensor &in : inputs) {
+            auto id = engine.trySubmit(in, collector.sink());
+            ASSERT_TRUE(id.has_value()) << "threads=" << threads;
+            ids.push_back(*id);
+        }
+        engine.stop();
+        ThreadPool::setGlobalThreadCount(0);
+
+        ASSERT_EQ(collector.responses.size(), inputs.size())
+            << "threads=" << threads;
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            const auto it = collector.responses.find(ids[i]);
+            ASSERT_NE(it, collector.responses.end())
+                << "threads=" << threads << " sample=" << i;
+            const nn::Tensor &got = it->second.output;
+            ASSERT_EQ(got.size(), expected[i].size());
+            for (std::size_t k = 0; k < got.size(); ++k)
+                EXPECT_EQ(got[k], expected[i][k])
+                    << "threads=" << threads << " sample=" << i
+                    << " element=" << k;
+        }
+    }
+}
+
+TEST(ServingEngine, MetricsProbesRegisterAndUnregister)
+{
+    core::PrimeSystem prime(tinyBankParams());
+    programTiny(prime);
+
+    ServingOptions sopt;
+    ServingEngine engine(prime, sopt);
+    telemetry::MetricsRegistry registry;
+    registry.enable();
+    engine.registerMetrics(registry);
+
+    engine.start();
+    ASSERT_TRUE(
+        engine.trySubmit(servingSetup().inputs[0], nullptr).has_value());
+    engine.stop();
+
+    ASSERT_TRUE(registry.sampleOnce());
+    bool saw_depth = false, saw_accepted = false;
+    for (const auto &series : registry.summarize()) {
+        if (series.name == "serving.queue.depth") {
+            saw_depth = true;
+            EXPECT_EQ(series.last, 0.0);  // drained
+        }
+        if (series.name == "serving.accepted") {
+            saw_accepted = true;
+            EXPECT_EQ(series.last, 1.0);
+        }
+    }
+    EXPECT_TRUE(saw_depth);
+    EXPECT_TRUE(saw_accepted);
+
+    engine.unregisterMetrics(registry);
+    registry.clear();
+    ASSERT_TRUE(registry.sampleOnce());
+    for (const auto &series : registry.summarize())
+        EXPECT_TRUE(series.name.rfind("serving.", 0) != 0)
+            << series.name;
+}
+
+TEST(LoadGenerator, OffersEveryRequestAndCountsOutcomes)
+{
+    core::PrimeSystem prime(tinyBankParams());
+    programTiny(prime);
+
+    ServingOptions sopt;
+    sopt.queueCapacity = 64;
+    ServingEngine engine(prime, sopt);
+    engine.start();
+
+    LoadGenOptions lopt;
+    lopt.targetQps = 4000.0;
+    lopt.requests = 40;
+    lopt.producerThreads = 3;  // multi-producer ingress path
+    const LoadGenResult result = runOpenLoopLoad(
+        engine,
+        std::span<const nn::Tensor>(servingSetup().inputs), lopt);
+    engine.stop();
+
+    EXPECT_EQ(result.offered, 40u);
+    EXPECT_EQ(result.accepted + result.rejected, 40u);
+    EXPECT_EQ(result.accepted, engine.accepted());
+    EXPECT_EQ(result.rejected, engine.rejected());
+    EXPECT_EQ(engine.completed(), engine.accepted());
+    EXPECT_GT(result.wallNs, 0.0);
+}
+
+} // namespace
+} // namespace prime::serve

@@ -389,6 +389,7 @@ TEST(Stats, JsonDocumentRoundTrips)
     g.get("counter").increment(2);
     g.get("sampled").sample(1.5);
     g.get("sampled").sample(2.5);
+    g.get("headline").add(3.5);
     g.histogram("lat").sample(10.0);
     g.histogram("lat").sample(1000.0);
     g.formula("two", [] { return 2.0; });
@@ -407,6 +408,16 @@ TEST(Stats, JsonDocumentRoundTrips)
     EXPECT_EQ(stats["counter"]["min"].kind, Json::Null);
     EXPECT_EQ(stats["sampled"]["min"].number, 1.5);
     EXPECT_EQ(stats["sampled"]["max"].number, 2.5);
+
+    // Every scalar carries a headline "value": the sample mean when
+    // count > 0, otherwise the raw sum (an add()-only stat's payload),
+    // and "mean" always agrees with it.
+    EXPECT_EQ(stats["sampled"]["value"].number, 2.0);
+    EXPECT_EQ(stats["sampled"]["mean"].number, 2.0);
+    EXPECT_EQ(stats["headline"]["count"].number, 0.0);
+    EXPECT_EQ(stats["headline"]["sum"].number, 3.5);
+    EXPECT_EQ(stats["headline"]["value"].number, 3.5);
+    EXPECT_EQ(stats["headline"]["mean"].number, 3.5);
 
     EXPECT_EQ(stats["lat"]["type"].str, "histogram");
     EXPECT_EQ(stats["lat"]["count"].number, 2.0);

@@ -7,12 +7,15 @@ form {"ts_ns": N, "metrics": {"name": value, ...}}.
 
 Prints a per-stage pipeline utilization table (decoded from the
 pipeline.stageN.state gauge: 0=idle 1=busy 2=stall-up 3=stall-down
-4=done), ring queue-depth statistics, and a general min/mean/max/last
-summary of every other series.  Exits non-zero on malformed input, so
-CI can use it as a JSONL validator:
+4=done), ring queue-depth statistics, a serving-engine table (ingress
+queue depth / pending / in-flight gauges plus admission-counter rates
+from the serving.* namespace), and a general min/mean/max/last summary
+of every other series.  Exits non-zero on malformed input, so CI can
+use it as a JSONL validator:
 
     python3 tools/metrics_report.py BENCH_metrics.jsonl
     python3 tools/metrics_report.py --require pipeline metrics.jsonl
+    python3 tools/metrics_report.py --require serving. serve.jsonl
 """
 
 import argparse
@@ -26,6 +29,11 @@ STATE_NAMES = {0: "idle", 1: "busy", 2: "stall-up", 3: "stall-down",
 
 STAGE_STATE_RE = re.compile(r"^pipeline\.stage(\d+)\.state$")
 RING_DEPTH_RE = re.compile(r"^pipeline\.ring(\d+)\.depth$")
+SERVING_RE = re.compile(r"^serving\.")
+
+# Monotone admission counters reported as rates in the serving table.
+SERVING_COUNTERS = ("serving.accepted", "serving.rejected",
+                    "serving.completed", "serving.batches")
 
 
 def parse_jsonl(path):
@@ -112,10 +120,44 @@ def ring_table(all_series):
     return True
 
 
+def serving_table(all_series, span_ns):
+    """Serving-engine gauges and admission-counter rates."""
+    serving = {name: points for name, points in all_series.items()
+               if SERVING_RE.match(name)}
+    if not serving:
+        return False
+    span_s = span_ns / 1e9 if span_ns > 0 else 0.0
+    print("serving engine (serving.* series):")
+    gauges = [name for name in sorted(serving)
+              if name not in SERVING_COUNTERS]
+    if gauges:
+        print("  " + f"{'gauge':<28}" + "  ".join(
+            f"{h:>8}" for h in ["samples", "min", "mean", "max",
+                                "last"]))
+        for name in gauges:
+            vals = [v for _, v in serving[name]]
+            row = [str(len(vals)), f"{min(vals):.0f}",
+                   f"{sum(vals) / len(vals):.2f}", f"{max(vals):.0f}",
+                   f"{vals[-1]:.0f}"]
+            print("  " + f"{name:<28}" +
+                  "  ".join(f"{c:>8}" for c in row))
+    counters = [name for name in SERVING_COUNTERS if name in serving]
+    if counters:
+        print("  " + f"{'counter':<28}" + "  ".join(
+            f"{h:>12}" for h in ["total", "rate/s"]))
+        for name in counters:
+            vals = [v for _, v in serving[name]]
+            rate = (vals[-1] - vals[0]) / span_s if span_s > 0 else 0.0
+            print("  " + f"{name:<28}" +
+                  f"{vals[-1]:>12.0f}" + f"{rate:>12.1f}")
+    return True
+
+
 def summary_table(all_series, skip):
     rows = []
     for name in sorted(all_series):
-        if STAGE_STATE_RE.match(name) or RING_DEPTH_RE.match(name):
+        if STAGE_STATE_RE.match(name) or RING_DEPTH_RE.match(name) \
+                or SERVING_RE.match(name):
             continue
         vals = [v for _, v in all_series[name]]
         rows.append((name, len(vals), min(vals),
@@ -169,6 +211,8 @@ def main():
     if stage_table(all_series):
         print()
     if ring_table(all_series):
+        print()
+    if serving_table(all_series, span_ns):
         print()
     summary_table(all_series, args.max_series)
     return 0

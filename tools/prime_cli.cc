@@ -11,6 +11,10 @@
  *   prime_cli run <name>            functional end-to-end inference:
  *                                   train on the synthetic digit task,
  *                                   execute on the full PrimeSystem
+ *   prime_cli serve <name>          long-running serving engine fed by
+ *                                   a synthetic open-loop Poisson load
+ *                                   generator (dynamic batching,
+ *                                   admission control, latency stats)
  *   prime_cli area                  the Figure 12 area report
  *   prime_cli help
  *
@@ -26,17 +30,27 @@
  *   --batch N (run inference through the batched front end in batches
  *   of N; multi-bank plans execute on the inter-bank pipeline engine),
  *   --no-pipeline (batched but sequential, for A/B comparisons),
- *   --metrics-out <file> (sampled JSONL time-series: one snapshot per
- *   line, fed to tools/metrics_report.py), --metrics-prom <file>
- *   (Prometheus text exposition of the final snapshot),
- *   --metrics-interval-ms N (sampler period, default 10).
+ *   --warmup N (untimed warm-up inference passes before the measured
+ *   loop so cold plane-cache rebuilds don't skew host wall-clock stats;
+ *   default 1, 0 disables), --metrics-out <file> (sampled JSONL
+ *   time-series: one snapshot per line, fed to
+ *   tools/metrics_report.py), --metrics-prom <file> (Prometheus text
+ *   exposition of the final snapshot), --metrics-interval-ms N
+ *   (sampler period, default 10).
+ * `serve` options (plus the run training/metrics/warm-up ones):
+ *   --qps N (offered load), --requests N (total submissions),
+ *   --max-batch N / --batch-window-us N (dynamic batching knobs),
+ *   --queue-cap N (ingress ring slots; overflow sheds load),
+ *   --dispatch-threads N, --producers N (load-generator threads).
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <span>
 #include <sstream>
 #include <vector>
@@ -51,6 +65,8 @@
 #include "nn/network.hh"
 #include "nvmodel/area_model.hh"
 #include "prime/prime_system.hh"
+#include "serve/load_generator.hh"
+#include "serve/serving_engine.hh"
 #include "sim/evaluator.hh"
 
 using namespace prime;
@@ -70,6 +86,16 @@ struct CliOptions
     int epochs = 1;           ///< run: training epochs
     int batch = 0;            ///< run: batch size (0 = per-image run())
     bool pipeline = true;     ///< run: pipeline batched execution
+    int warmup = 1;           ///< untimed warm-up passes before timing
+
+    // serve: load generation + dynamic batching
+    double qps = 2000.0;      ///< serve: offered load (req/s)
+    int requests = 2000;      ///< serve: total submissions
+    int maxBatch = 16;        ///< serve: dynamic batch ceiling
+    int batchWindowUs = 200;  ///< serve: coalescing latency budget
+    int queueCap = 1024;      ///< serve: ingress ring capacity
+    int dispatchThreads = 1;  ///< serve: dispatch workers
+    int producers = 1;        ///< serve: load-generator threads
 
     bool metricsRequested() const
     {
@@ -121,6 +147,24 @@ optionsFromArgs(int argc, char **argv)
             opt.pipeline = true;
         else if (std::strcmp(argv[i], "--no-pipeline") == 0)
             opt.pipeline = false;
+        else if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc)
+            opt.warmup = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--qps") == 0 && i + 1 < argc)
+            opt.qps = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
+            opt.requests = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--max-batch") == 0 && i + 1 < argc)
+            opt.maxBatch = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--batch-window-us") == 0 &&
+                 i + 1 < argc)
+            opt.batchWindowUs = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--queue-cap") == 0 && i + 1 < argc)
+            opt.queueCap = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--dispatch-threads") == 0 &&
+                 i + 1 < argc)
+            opt.dispatchThreads = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--producers") == 0 && i + 1 < argc)
+            opt.producers = std::atoi(argv[++i]);
     }
     return opt;
 }
@@ -182,16 +226,25 @@ usage()
         "  prime_cli suite                full platform matrix\n"
         "  prime_cli run <name>           functional PrimeSystem "
         "inference\n"
+        "  prime_cli serve <name>         dynamic-batching serving "
+        "engine under synthetic load\n"
         "  prime_cli area                 Figure 12 area report\n"
         "options: --set key=value         override TechParams\n"
         "         --stats-json <file>     write JSON stats document\n"
         "         --trace <file>          write Chrome trace JSON\n"
         "run:     --images N --train N --epochs N\n"
         "         --batch N [--no-pipeline]  batched front end\n"
+        "         --warmup N              untimed warm-up passes "
+        "(default 1)\n"
         "         --metrics-out <file>    sampled JSONL time-series\n"
         "         --metrics-prom <file>   Prometheus text exposition\n"
         "         --metrics-interval-ms N sampler period (default "
-        "10)\n");
+        "10)\n"
+        "serve:   --qps N --requests N --producers N   offered load\n"
+        "         --max-batch N --batch-window-us N    batching "
+        "policy\n"
+        "         --queue-cap N --dispatch-threads N   ingress / "
+        "dispatch\n");
     return 2;
 }
 
@@ -285,6 +338,85 @@ cmdSuite(int argc, char **argv, const CliOptions &opt)
     return 0;
 }
 
+/** A trained, programmed, calibrated system plus its test set --
+ *  everything `run` and `serve` share before their traffic loops. */
+struct PreparedRun
+{
+    nn::Topology topo;
+    std::vector<nn::Sample> test;
+    std::unique_ptr<core::PrimeSystem> prime;
+    std::size_t trained = 0;
+    int epochs = 1;
+};
+
+PreparedRun
+prepareSystem(int argc, char **argv, const CliOptions &opt)
+{
+    PreparedRun prep;
+    prep.topo = nn::mlBenchByName(argv[2]);
+
+    nn::SyntheticMnist gen;
+    const std::size_t train_n =
+        static_cast<std::size_t>(opt.train > 0 ? opt.train : 1);
+    const std::size_t test_n =
+        static_cast<std::size_t>(opt.images > 0 ? opt.images : 1);
+    std::vector<nn::Sample> train = gen.generate(train_n);
+    prep.test = gen.generate(test_n);
+
+    Rng rng(7);
+    nn::Network net = nn::buildNetwork(prep.topo, rng);
+    nn::Trainer::Options topt;
+    topt.epochs = opt.epochs > 0 ? opt.epochs : 1;
+    topt.learningRate = 0.05;
+    nn::Trainer::train(net, train, topt);
+    prep.trained = train.size();
+    prep.epochs = topt.epochs;
+
+    prep.prime =
+        std::make_unique<core::PrimeSystem>(techFromArgs(argc, argv));
+    prep.prime->mapTopology(prep.topo);
+    prep.prime->programWeight(net);
+    prep.prime->configDatapath();
+    const std::size_t calib_n = train.size() < 30 ? train.size() : 30;
+    prep.prime->calibrate(std::vector<nn::Sample>(
+        train.begin(), train.begin() + calib_n));
+    return prep;
+}
+
+/**
+ * Untimed warm-up passes before any measured section: the first
+ * inference after programming rebuilds cold plane caches, and letting
+ * that land in host wall-clock stats skews every host_* number.  Resets
+ * the system and memory stat groups afterwards so the measured loop
+ * starts clean.
+ */
+void
+warmUp(core::PrimeSystem &prime, std::span<const nn::Sample> test,
+       const CliOptions &opt)
+{
+    if (opt.warmup <= 0 || test.empty())
+        return;
+    core::PrimeSystem::RunBatchOptions ropt;
+    ropt.pipeline = opt.pipeline;
+    const std::size_t n =
+        opt.batch > 0
+            ? std::min<std::size_t>(
+                  static_cast<std::size_t>(opt.batch), test.size())
+            : 1;
+    for (int pass = 0; pass < opt.warmup; ++pass) {
+        if (opt.batch > 0) {
+            std::vector<nn::Tensor> inputs;
+            for (std::size_t k = 0; k < n; ++k)
+                inputs.push_back(test[k].input);
+            prime.runBatch(std::span<const nn::Tensor>(inputs), ropt);
+        } else {
+            prime.run(test[0].input);
+        }
+    }
+    prime.stats().resetAll();
+    prime.mainMemory().stats().resetAll();
+}
+
 /**
  * Functional end-to-end run (the digit-recognition example as a
  * command): train the named MlBench network on the synthetic digit
@@ -298,34 +430,15 @@ cmdRun(int argc, char **argv, const CliOptions &opt)
 {
     if (argc < 3)
         return usage();
-    nn::Topology topo = nn::mlBenchByName(argv[2]);
+    PreparedRun prep = prepareSystem(argc, argv, opt);
+    core::PrimeSystem &prime = *prep.prime;
+    std::vector<nn::Sample> &test = prep.test;
 
-    nn::SyntheticMnist gen;
-    const std::size_t train_n =
-        static_cast<std::size_t>(opt.train > 0 ? opt.train : 1);
-    const std::size_t test_n =
-        static_cast<std::size_t>(opt.images > 0 ? opt.images : 1);
-    std::vector<nn::Sample> train = gen.generate(train_n);
-    std::vector<nn::Sample> test = gen.generate(test_n);
+    warmUp(prime, test, opt);
 
-    Rng rng(7);
-    nn::Network net = nn::buildNetwork(topo, rng);
-    nn::Trainer::Options topt;
-    topt.epochs = opt.epochs > 0 ? opt.epochs : 1;
-    topt.learningRate = 0.05;
-    nn::Trainer::train(net, train, topt);
-
-    core::PrimeSystem prime(techFromArgs(argc, argv));
-    prime.mapTopology(topo);
-    prime.programWeight(net);
-    prime.configDatapath();
-    const std::size_t calib_n = train.size() < 30 ? train.size() : 30;
-    prime.calibrate(std::vector<nn::Sample>(train.begin(),
-                                            train.begin() + calib_n));
-
-    // Metrics cover the inference phase only: enable after programming
-    // and calibration so the time-series starts at the run loop, then
-    // sample on a background thread until the loop ends.
+    // Metrics cover the inference phase only: enable after programming,
+    // calibration and warm-up so the time-series starts at the run
+    // loop, then sample on a background thread until the loop ends.
     telemetry::MetricsRegistry metrics;
     if (opt.metricsRequested()) {
         metrics.enable();
@@ -368,9 +481,9 @@ cmdRun(int argc, char **argv, const CliOptions &opt)
 
     std::printf("%s on PrimeSystem: %d/%zu correct (%.1f%%), trained "
                 "%zu images x %d epoch(s)\n",
-                topo.name.c_str(), correct, test.size(),
-                100.0 * correct / test.size(), train.size(),
-                topt.epochs);
+                prep.topo.name.c_str(), correct, test.size(),
+                100.0 * correct / test.size(), prep.trained,
+                prep.epochs);
     if (opt.batch > 0)
         std::printf("batched front end: batch %d, %zu pipeline stage(s), "
                     "%s execution\n",
@@ -385,6 +498,105 @@ cmdRun(int argc, char **argv, const CliOptions &opt)
 
     writeStats(opt, {{"system", &prime.stats()},
                      {"memory", &prime.mainMemory().stats()}});
+    return 0;
+}
+
+/**
+ * Long-running serving loop: the trained system behind the dynamic-
+ * batching ServingEngine, fed by the synthetic open-loop Poisson load
+ * generator.  Reports admission counters, achieved QPS and the
+ * end-to-end latency percentiles; --stats-json adds a "serving" group
+ * to the document and --metrics-out samples the live serving gauges.
+ */
+int
+cmdServe(int argc, char **argv, const CliOptions &opt)
+{
+    if (argc < 3)
+        return usage();
+    PreparedRun prep = prepareSystem(argc, argv, opt);
+    core::PrimeSystem &prime = *prep.prime;
+
+    // Warm the plane caches through the same runBatch path serving
+    // uses; --warmup 0 disables.
+    CliOptions wopt = opt;
+    wopt.batch = std::max(1, opt.maxBatch);
+    warmUp(prime, prep.test, wopt);
+
+    serve::ServingOptions sopt;
+    sopt.queueCapacity =
+        static_cast<std::size_t>(std::max(1, opt.queueCap));
+    sopt.maxBatch = opt.maxBatch;
+    sopt.batchWindowUs = opt.batchWindowUs;
+    sopt.dispatchThreads = opt.dispatchThreads;
+    sopt.batch.pipeline = opt.pipeline;
+    serve::ServingEngine engine(prime, sopt);
+
+    telemetry::MetricsRegistry metrics;
+    if (opt.metricsRequested()) {
+        metrics.enable();
+        telemetry::setGlobalMetrics(&metrics);
+        prime.registerMetrics(metrics);
+        engine.registerMetrics(metrics);
+        metrics.startSampler(
+            opt.metricsIntervalMs > 0 ? opt.metricsIntervalMs : 10);
+    }
+
+    std::vector<nn::Tensor> inputs;
+    inputs.reserve(prep.test.size());
+    for (const nn::Sample &s : prep.test)
+        inputs.push_back(s.input);
+
+    serve::LoadGenOptions lopt;
+    lopt.targetQps = opt.qps > 0.0 ? opt.qps : 1.0;
+    lopt.requests =
+        static_cast<std::size_t>(std::max(1, opt.requests));
+    lopt.producerThreads = std::max(1, opt.producers);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    engine.start();
+    const serve::LoadGenResult load = serve::runOpenLoopLoad(
+        engine, std::span<const nn::Tensor>(inputs), lopt);
+    engine.stop();  // drain: every accepted request completes
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    if (opt.metricsRequested()) {
+        metrics.stopSampler();
+        engine.unregisterMetrics(metrics);
+        prime.unregisterMetrics(metrics);
+        telemetry::setGlobalMetrics(nullptr);
+        writeMetrics(opt, metrics);
+    }
+
+    const telemetry::Histogram &e2e =
+        engine.stats().histogram("serving.e2e_latency_ns");
+    std::printf(
+        "%s serving: offered %zu @ %.0f req/s -> accepted %llu, "
+        "shed %llu, completed %llu in %llu batch(es)\n",
+        prep.topo.name.c_str(), load.offered, lopt.targetQps,
+        static_cast<unsigned long long>(engine.accepted()),
+        static_cast<unsigned long long>(engine.rejected()),
+        static_cast<unsigned long long>(engine.completed()),
+        static_cast<unsigned long long>(engine.batches()));
+    std::printf(
+        "achieved %.1f req/s (incl. drain) | e2e latency p50 %.3f ms, "
+        "p95 %.3f ms, p99 %.3f ms | max-batch %d, window %d us, "
+        "queue %zu, %d dispatcher(s)\n\n",
+        wall_s > 0.0 ? engine.completed() / wall_s : 0.0,
+        e2e.quantile(0.50) / 1e6, e2e.quantile(0.95) / 1e6,
+        e2e.quantile(0.99) / 1e6, engine.options().maxBatch,
+        engine.options().batchWindowUs, engine.options().queueCapacity,
+        engine.options().dispatchThreads);
+    engine.stats().dump(std::cout);
+    std::printf("\n");
+    prime.stats().dump(std::cout);
+    prime.release();
+
+    writeStats(opt, {{"system", &prime.stats()},
+                     {"memory", &prime.mainMemory().stats()},
+                     {"serving", &engine.stats()}});
     return 0;
 }
 
@@ -413,6 +625,8 @@ dispatch(int argc, char **argv, const CliOptions &opt)
         return cmdSuite(argc, argv, opt);
     if (std::strcmp(argv[1], "run") == 0)
         return cmdRun(argc, argv, opt);
+    if (std::strcmp(argv[1], "serve") == 0)
+        return cmdServe(argc, argv, opt);
     if (std::strcmp(argv[1], "area") == 0)
         return cmdArea(argc, argv);
     return usage();

@@ -28,6 +28,13 @@ metrics-naming
     consistent with the stats namespace.  Scans src/, tools/ and
     bench/.
 
+serving-naming
+    Stats and metrics registered by the serving path (src/serve/ and
+    bench/bench_serving.cc) must live in the dotted "serving." prefix
+    (serving.e2e_latency_ns, serving.queue.depth, ...), so serving
+    telemetry is one greppable namespace across stats JSON, JSONL
+    series and Prometheus exports.
+
 span-in-sampler
     PRIME_SPAN must never appear in the metrics sampler implementation
     (src/common/telemetry/metrics.cc): the sampler thread runs
@@ -194,6 +201,32 @@ def check_metrics_naming(root: str) -> None:
                                 f" dot)")
 
 
+SERVING_NAME_RE = re.compile(r"^serving(\.[a-z0-9_]+)+$")
+
+
+def serving_path_files(root: str):
+    yield from iter_source_files(root, "src/serve", (".hh", ".cc"))
+    bench = os.path.join(root, "bench", "bench_serving.cc")
+    if os.path.isfile(bench):
+        yield bench
+
+
+def check_serving_naming(root: str) -> None:
+    """Serving-path stat/metric literals stay in the serving.* space."""
+    for path in serving_path_files(root):
+        with open(path, encoding="utf-8") as f:
+            for lineno, text in enumerate(f, 1):
+                for regex in (STAT_CALL_RE, METRIC_CALL_RE):
+                    for m in regex.finditer(text):
+                        name = m.group("name")
+                        if not SERVING_NAME_RE.match(name):
+                            finding(
+                                relpath(root, path), lineno,
+                                "serving-naming",
+                                f"serving-path stat/metric '{name}' must"
+                                f" use the dotted 'serving.*' namespace")
+
+
 def check_span_in_sampler(root: str) -> None:
     path = os.path.join(root, "src/common/telemetry/metrics.cc")
     if not os.path.isfile(path):
@@ -236,6 +269,31 @@ def self_test() -> int:
             failures.append(f"bad sample not matched by any rule: {text}")
         elif all(STAT_NAME_RE.match(m.group("name")) for m in matches):
             failures.append(f"bad sample passed: {text}")
+    serving_good = [
+        'stats_.histogram("serving.e2e_latency_ns");',
+        'registry.gauge("serving.queue.depth", probe);',
+        'stats.get("serving.sweep.point0.p99_ms").add(v);',
+        'registry.unregister("serving.inflight_batches");',
+    ]
+    serving_bad = [
+        'stats_.histogram("latency.e2e_ns");',      # wrong namespace
+        'registry.gauge("serving.Depth", probe);',  # uppercase segment
+        'registry.counter("serving", probe);',      # bare prefix, no dot
+        'stats.get("serve.queue.depth").add(1);',   # serve != serving
+    ]
+    for text in serving_good:
+        for regex in (METRIC_CALL_RE, STAT_CALL_RE):
+            m = regex.search(text)
+            if m and not SERVING_NAME_RE.match(m.group("name")):
+                failures.append(f"good serving sample flagged: {text}")
+    for text in serving_bad:
+        matches = [m for regex in (METRIC_CALL_RE, STAT_CALL_RE)
+                   for m in regex.finditer(text)]
+        if not matches:
+            failures.append(
+                f"bad serving sample not matched by any rule: {text}")
+        elif all(SERVING_NAME_RE.match(m.group("name")) for m in matches):
+            failures.append(f"bad serving sample passed: {text}")
     for f in failures:
         print(f"prime_lint self-test: {f}", file=sys.stderr)
     if failures:
@@ -292,6 +350,7 @@ def main() -> int:
     check_command_spans(root)
     check_stats_naming(root)
     check_metrics_naming(root)
+    check_serving_naming(root)
     check_span_in_sampler(root)
     if args.check_headers:
         check_headers(root, args.compiler)
