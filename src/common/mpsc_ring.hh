@@ -49,6 +49,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -60,6 +61,16 @@ namespace prime {
 template <typename T>
 class MpscRing
 {
+    // Same slot contract as SpscRing: values cross threads by move
+    // assignment ordered by each slot's sequence ticket, never by
+    // memcpy, so trivial copyability is deliberately NOT required
+    // (serve::Request carries a Tensor and a std::function).
+    static_assert(std::is_default_constructible_v<T>,
+                  "MpscRing slots are preallocated empty");
+    static_assert(std::is_move_constructible_v<T> &&
+                      std::is_move_assignable_v<T>,
+                  "MpscRing hands values across threads by move");
+
   public:
     /**
      * A ring holding up to @p capacity values.  A capacity below 2 is

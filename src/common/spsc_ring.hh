@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -45,6 +46,18 @@ namespace prime {
 template <typename T>
 class SpscRing
 {
+    // Slots hand values across threads by move assignment under the
+    // head/tail release/acquire protocol -- never by memcpy, so
+    // trivial copyability is deliberately NOT required (the pipeline's
+    // HandoffBatch carries std::vector payloads).  What the protocol
+    // does require is that a slot can be default-constructed empty and
+    // moved through without throwing mid-handoff.
+    static_assert(std::is_default_constructible_v<T>,
+                  "SpscRing slots are preallocated empty");
+    static_assert(std::is_move_constructible_v<T> &&
+                      std::is_move_assignable_v<T>,
+                  "SpscRing hands values across threads by move");
+
   public:
     /** A ring holding up to @p capacity >= 1 values. */
     explicit SpscRing(std::size_t capacity)

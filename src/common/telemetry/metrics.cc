@@ -37,7 +37,7 @@ MetricsRegistry::disable()
 void
 MetricsRegistry::probe(const std::string &name, MetricKind kind, Probe fn)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto &[existing, source] : sources_) {
         if (existing == name) {
             source = Source{kind, std::move(fn)};
@@ -65,7 +65,7 @@ MetricsRegistry::unregister(const std::string &name)
     // Taking the sampling mutex serializes against an in-flight tick:
     // once we hold it, no tick is mid-probe, and the erased source can
     // never be called again.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     sources_.erase(
         std::remove_if(sources_.begin(), sources_.end(),
                        [&](const auto &s) { return s.first == name; }),
@@ -75,7 +75,7 @@ MetricsRegistry::unregister(const std::string &name)
 std::size_t
 MetricsRegistry::sourceCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return sources_.size();
 }
 
@@ -88,7 +88,7 @@ MetricsRegistry::sampleOnce()
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - epoch_)
             .count();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Snapshot snap;
     snap.tsNs = ts;
     snap.values.reserve(sources_.size());
@@ -109,9 +109,17 @@ MetricsRegistry::samplerLoop(int interval_ms)
         std::max(1, interval_ms));
     for (;;) {
         sampleOnce();
-        std::unique_lock<std::mutex> lock(samplerMutex_);
-        if (samplerCv_.wait_for(lock, interval,
-                                [&] { return stopRequested_; }))
+        // Deadline loop instead of wait_for-with-predicate: the
+        // stopRequested_ reads stay in this locked scope where the
+        // analysis can see the capability (see common/mutex.hh).
+        const auto deadline = std::chrono::steady_clock::now() + interval;
+        UniqueLock lock(samplerMutex_);
+        while (!stopRequested_) {
+            if (samplerCv_.waitUntil(lock, deadline) ==
+                std::cv_status::timeout)
+                break;
+        }
+        if (stopRequested_)
             return;
     }
 }
@@ -122,7 +130,7 @@ MetricsRegistry::startSampler(int interval_ms)
     if (!enabled() || sampler_.joinable())
         return;
     {
-        std::lock_guard<std::mutex> lock(samplerMutex_);
+        MutexLock lock(samplerMutex_);
         stopRequested_ = false;
     }
     sampler_ = std::thread(
@@ -135,7 +143,7 @@ MetricsRegistry::stopSampler()
     if (!sampler_.joinable())
         return;
     {
-        std::lock_guard<std::mutex> lock(samplerMutex_);
+        MutexLock lock(samplerMutex_);
         stopRequested_ = true;
     }
     samplerCv_.notify_all();
@@ -154,21 +162,21 @@ MetricsRegistry::samplerRunning() const
 std::size_t
 MetricsRegistry::snapshotCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return snapshots_.size();
 }
 
 std::uint64_t
 MetricsRegistry::droppedSnapshots() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return dropped_;
 }
 
 void
 MetricsRegistry::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     snapshots_.clear();
     dropped_ = 0;
 }
@@ -176,7 +184,7 @@ MetricsRegistry::clear()
 void
 MetricsRegistry::writeJsonl(std::ostream &os) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const Snapshot &snap : snapshots_) {
         os << "{\"ts_ns\":" << snap.tsNs << ",\"metrics\":{";
         bool first = true;
@@ -208,7 +216,7 @@ MetricsRegistry::prometheusName(const std::string &name)
 void
 MetricsRegistry::writePrometheus(std::ostream &os) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (snapshots_.empty())
         return;
     const Snapshot &last = snapshots_.back();
@@ -226,7 +234,7 @@ MetricsRegistry::writePrometheus(std::ostream &os) const
 std::vector<MetricsRegistry::SeriesSummary>
 MetricsRegistry::summarize() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::map<std::string, SeriesSummary> by_name;
     for (const Snapshot &snap : snapshots_) {
         for (const Value &v : snap.values) {

@@ -24,7 +24,13 @@
  *    holds it across all probe calls, so unregister() returning
  *    guarantees no in-flight tick still runs the removed probe (the
  *    pipeline executor relies on this to unregister its ring-depth
- *    gauges before the rings are destroyed).
+ *    gauges before the rings are destroyed).  The guarded members are
+ *    machine-checked: PRIME_GUARDED_BY(mutex_) under the clang-tsa
+ *    preset, not just this prose.  Because a tick holds mutex_ across
+ *    probe calls, a probe that locks any non-leaf mutex risks deadlock
+ *    -- prime_lint rule `sampler-lock` flags mutex acquisition inside
+ *    probe closures (the per-bank MainMemory probes carry reasoned
+ *    suppressions: shard locks are leaf locks).
  *  - enable()/disable() are atomic; a disabled registry refuses to
  *    sample and costs registration sites exactly one load+branch (the
  *    PRIME_SPAN discipline).  Nothing on a simulator hot path touches
@@ -40,15 +46,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 
 namespace prime::telemetry {
 
@@ -182,17 +189,18 @@ class MetricsRegistry
     std::chrono::steady_clock::time_point epoch_;
 
     /** Guards sources_, snapshots_ and dropped_ (see class contract). */
-    mutable std::mutex mutex_;
-    std::vector<std::pair<std::string, Source>> sources_;
-    std::deque<Snapshot> snapshots_;
+    mutable Mutex mutex_;
+    std::vector<std::pair<std::string, Source>> sources_
+        PRIME_GUARDED_BY(mutex_);
+    std::deque<Snapshot> snapshots_ PRIME_GUARDED_BY(mutex_);
     std::size_t capacity_;
-    std::uint64_t dropped_ = 0;
+    std::uint64_t dropped_ PRIME_GUARDED_BY(mutex_) = 0;
 
     /** Sampler thread lifecycle (separate from the sampling mutex so
      *  stopSampler never blocks behind a tick). */
-    std::mutex samplerMutex_;
-    std::condition_variable samplerCv_;
-    bool stopRequested_ = false;
+    Mutex samplerMutex_;
+    CondVar samplerCv_;
+    bool stopRequested_ PRIME_GUARDED_BY(samplerMutex_) = false;
     std::thread sampler_;
 };
 

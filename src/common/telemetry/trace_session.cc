@@ -27,7 +27,7 @@ std::atomic<TraceSession *> g_trace{nullptr};
 } // namespace
 
 TraceSession::TraceSession()
-    : serial_(g_session_serial.fetch_add(1) + 1),
+    : serial_(g_session_serial.fetch_add(1, std::memory_order_relaxed) + 1),
       epoch_(std::chrono::steady_clock::now())
 {
 }
@@ -36,7 +36,7 @@ void
 TraceSession::enable()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         epoch_ = std::chrono::steady_clock::now();
     }
     // Release pairs with the acquire in enabled(): a thread that sees
@@ -64,7 +64,7 @@ TraceSession::lane()
     if (tls_lane.serial == serial_ && tls_lane.lane)
         return *static_cast<Lane *>(tls_lane.lane);
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const std::thread::id id = std::this_thread::get_id();
     for (const auto &l : lanes_) {
         if (l->threadId == id) {
@@ -95,7 +95,7 @@ TraceSession::append(TraceEvent event)
     if (chunk == l.chunks.size()) {
         // Growing the chunk list is the only append step a concurrent
         // reader could observe mid-flight; serialize it with them.
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         l.chunks.push_back(
             std::make_unique<std::array<TraceEvent, kChunkSize>>());
     }
@@ -137,7 +137,7 @@ TraceSession::instant(std::string name, const char *category)
 std::size_t
 TraceSession::eventCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::size_t n = 0;
     for (const auto &l : lanes_)
         n += l->committed.load(std::memory_order_acquire);
@@ -147,14 +147,14 @@ TraceSession::eventCount() const
 std::size_t
 TraceSession::laneCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return lanes_.size();
 }
 
 void
 TraceSession::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Keep the lanes (recording threads may hold cached pointers) and
     // their chunks (capacity reuse); only the committed prefixes are
     // dropped.  Writing another thread's counter is why clear() must
@@ -167,7 +167,7 @@ TraceSession::clear()
 void
 TraceSession::writeChromeTrace(std::ostream &os) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
     bool first = true;
     auto sep = [&] {

@@ -43,11 +43,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 
 namespace prime::telemetry {
 
@@ -132,7 +134,11 @@ class TraceSession
         /**
          * Chunked event storage.  The vector itself grows only under
          * the session mutex (by the owning thread); published slots
-         * are immutable until clear().
+         * are immutable until clear().  Deliberately NOT
+         * PRIME_GUARDED_BY: the owner reads its own chunk list
+         * lock-free (single-writer), and readers touch only the
+         * committed prefix -- the publication protocol above, not a
+         * lock, is what makes those accesses safe.
          */
         std::vector<std::unique_ptr<std::array<TraceEvent, kChunkSize>>>
             chunks;
@@ -145,10 +151,14 @@ class TraceSession
     void append(TraceEvent event);
 
     const std::uint64_t serial_;  ///< process-unique session identity
+    /** Written by enable()/clear() under mutex_ but read lock-free on
+     *  the now() fast path: deliberately NOT PRIME_GUARDED_BY -- the
+     *  quiesce-before-toggle contract above, not a lock, covers the
+     *  reads. */
     std::chrono::steady_clock::time_point epoch_;
     std::atomic<bool> enabled_{false};
-    mutable std::mutex mutex_;  ///< guards lanes_ and chunk-list growth
-    std::vector<std::unique_ptr<Lane>> lanes_;
+    mutable Mutex mutex_;  ///< guards lanes_ and chunk-list growth
+    std::vector<std::unique_ptr<Lane>> lanes_ PRIME_GUARDED_BY(mutex_);
 };
 
 /**

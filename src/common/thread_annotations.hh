@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis attribute macros: the compile-time side
+ * of the project's lock contracts.  Every annotation expands to a Clang
+ * `__attribute__` under Clang and to nothing elsewhere, so the gcc
+ * container builds exactly the code it always built while the
+ * `clang-tsa` CMake preset (-Werror=thread-safety -Wthread-safety-beta)
+ * turns the documented contracts into build failures.
+ *
+ * Usage model (the capability style from the Clang TSA docs):
+ *  - A lock type is a *capability*: prime::Mutex in common/mutex.hh is
+ *    the project's annotated capability type; raw std::mutex members
+ *    are banned from src/ by the prime_lint `tsa-raw-mutex` rule.
+ *  - Data protected by a lock is declared PRIME_GUARDED_BY(mutex_);
+ *    pointees are PRIME_PT_GUARDED_BY(mutex_).
+ *  - A function that must be called with a lock held declares
+ *    PRIME_REQUIRES(mutex_); one that takes and drops the lock itself
+ *    declares nothing (the scoped guards do the tracking); one that
+ *    must NOT be entered with the lock held (it will acquire it)
+ *    declares PRIME_EXCLUDES(mutex_).
+ *  - The rare deliberate escape is PRIME_NO_THREAD_SAFETY_ANALYSIS and
+ *    must carry a comment explaining why the analysis cannot see the
+ *    contract (quiescent-snapshot accessors, single-writer
+ *    publication protocols).
+ *
+ * Style guide: see CONTRIBUTING.md "Lock contracts (Clang TSA)".
+ */
+
+#ifndef PRIME_COMMON_THREAD_ANNOTATIONS_HH
+#define PRIME_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__)
+#define PRIME_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PRIME_THREAD_ANNOTATION(x)  // no-op: GCC has no TSA
+#endif
+
+/** Marks a type as a lockable capability ("mutex", "role", ...). */
+#define PRIME_CAPABILITY(x) PRIME_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type whose lifetime holds a capability. */
+#define PRIME_SCOPED_CAPABILITY PRIME_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only with the capability held. */
+#define PRIME_GUARDED_BY(x) PRIME_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is protected by the capability. */
+#define PRIME_PT_GUARDED_BY(x) PRIME_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Caller must hold the capability (exclusively) around the call. */
+#define PRIME_REQUIRES(...) \
+    PRIME_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Caller must hold the capability at least shared. */
+#define PRIME_REQUIRES_SHARED(...) \
+    PRIME_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability and returns holding it. */
+#define PRIME_ACQUIRE(...) \
+    PRIME_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define PRIME_ACQUIRE_SHARED(...) \
+    PRIME_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/** Function releases the capability held on entry. */
+#define PRIME_RELEASE(...) \
+    PRIME_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define PRIME_RELEASE_SHARED(...) \
+    PRIME_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns @p succ. */
+#define PRIME_TRY_ACQUIRE(...) \
+    PRIME_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (the function acquires it). */
+#define PRIME_EXCLUDES(...) \
+    PRIME_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Asserts (at runtime, by contract) that the capability is held. */
+#define PRIME_ASSERT_CAPABILITY(x) \
+    PRIME_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the named capability. */
+#define PRIME_RETURN_CAPABILITY(x) \
+    PRIME_THREAD_ANNOTATION(lock_returned(x))
+
+/**
+ * Deliberate analysis escape.  Policy: every use carries an adjacent
+ * comment naming the protocol that makes the unchecked access safe
+ * (CONTRIBUTING.md "Lock contracts").
+ */
+#define PRIME_NO_THREAD_SAFETY_ANALYSIS \
+    PRIME_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // PRIME_COMMON_THREAD_ANNOTATIONS_HH

@@ -30,7 +30,7 @@ ThreadPool::ThreadPool(int threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     wake_.notify_all();
@@ -53,13 +53,14 @@ ThreadPool::defaultThreadCount()
 }
 
 void
-ThreadPool::runJob()
+ThreadPool::runJob(const std::function<void(std::size_t)> &body,
+                   std::size_t size)
 {
     std::size_t i;
-    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < jobSize_) {
+    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < size) {
         // Each claimed index is one traced task on this thread's lane.
         PRIME_SPAN(telemetry::globalTrace(), "pool.task", "pool");
-        (*body_)(i);
+        body(i);
     }
 }
 
@@ -70,17 +71,22 @@ ThreadPool::workerLoop(int index)
     tls_in_pool = true;
     std::uint64_t seen = 0;
     for (;;) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_.wait(lock,
-                   [&] { return stop_ || generation_ != seen; });
+        UniqueLock lock(mutex_);
+        while (!stop_ && generation_ == seen)
+            wake_.wait(lock);
         if (stop_)
             return;
         seen = generation_;
         --pending_;
         ++running_;
+        // Snapshot the job under the lock; the pointee stays valid
+        // until this worker's matching --running_ below (parallelFor
+        // clears body_ only after done_ observed running_ == 0).
+        const std::function<void(std::size_t)> *body = body_;
+        const std::size_t size = jobSize_;
         lock.unlock();
 
-        runJob();
+        runJob(*body, size);
 
         lock.lock();
         --running_;
@@ -104,9 +110,9 @@ ThreadPool::parallelFor(std::size_t n,
         return;
     }
 
-    std::lock_guard<std::mutex> serial(serialMutex_);
+    MutexLock serial(serialMutex_);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         body_ = &body;
         jobSize_ = n;
         next_.store(0, std::memory_order_relaxed);
@@ -116,11 +122,12 @@ ThreadPool::parallelFor(std::size_t n,
     wake_.notify_all();
 
     tls_in_pool = true;
-    runJob();  // the caller is a full participant
+    runJob(body, n);  // the caller is a full participant
     tls_in_pool = false;
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return pending_ == 0 && running_ == 0; });
+    UniqueLock lock(mutex_);
+    while (pending_ != 0 || running_ != 0)
+        done_.wait(lock);
     body_ = nullptr;
     jobSize_ = 0;
 }
@@ -181,16 +188,16 @@ WorkerGroup::runningWorkers() const
 
 namespace {
 
-std::unique_ptr<ThreadPool> g_pool;
-int g_requested_threads = 0;
-std::mutex g_pool_mutex;
+Mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool PRIME_GUARDED_BY(g_pool_mutex);
+int g_requested_threads PRIME_GUARDED_BY(g_pool_mutex) = 0;
 
 } // namespace
 
 ThreadPool &
 ThreadPool::global()
 {
-    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    MutexLock lock(g_pool_mutex);
     if (!g_pool)
         g_pool = std::make_unique<ThreadPool>(g_requested_threads);
     return *g_pool;
@@ -199,7 +206,7 @@ ThreadPool::global()
 void
 ThreadPool::setGlobalThreadCount(int n)
 {
-    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    MutexLock lock(g_pool_mutex);
     g_requested_threads = n > 0 ? n : 0;
     g_pool.reset();  // rebuilt at the new size on next global() use
 }

@@ -24,14 +24,15 @@
 #define PRIME_COMMON_THREAD_POOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 
 namespace prime {
 
@@ -76,22 +77,37 @@ class ThreadPool
 
   private:
     void workerLoop(int index);
-    void runJob();
+
+    /**
+     * Claim-and-run loop over @p body / @p size, shared by workers and
+     * the participating caller.  The arguments are snapshots of
+     * body_/jobSize_ taken under mutex_ by the caller, so the loop
+     * itself touches only the atomic cursor.
+     */
+    void runJob(const std::function<void(std::size_t)> &body,
+                std::size_t size);
 
     std::vector<std::thread> workers_;
 
-    std::mutex serialMutex_;  ///< one parallelFor at a time
+    Mutex serialMutex_;  ///< capability: one parallelFor at a time
 
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    std::condition_variable done_;
-    bool stop_ = false;
-    std::uint64_t generation_ = 0;
-    int pending_ = 0;  ///< workers not yet woken for this generation
-    int running_ = 0;  ///< workers currently inside runJob
+    /** Capability guarding the job-handoff state below. */
+    Mutex mutex_;
+    CondVar wake_;
+    CondVar done_;
+    bool stop_ PRIME_GUARDED_BY(mutex_) = false;
+    std::uint64_t generation_ PRIME_GUARDED_BY(mutex_) = 0;
+    /** Workers not yet woken for this generation. */
+    int pending_ PRIME_GUARDED_BY(mutex_) = 0;
+    /** Workers currently inside runJob. */
+    int running_ PRIME_GUARDED_BY(mutex_) = 0;
 
-    const std::function<void(std::size_t)> *body_ = nullptr;
-    std::size_t jobSize_ = 0;
+    /** Pointee owned by the parallelFor caller frame; workers snapshot
+     *  the pointer under mutex_ and run it after unlocking (the
+     *  generation/pending protocol keeps it alive until done_). */
+    const std::function<void(std::size_t)> *body_
+        PRIME_GUARDED_BY(mutex_) = nullptr;
+    std::size_t jobSize_ PRIME_GUARDED_BY(mutex_) = 0;
     std::atomic<std::size_t> next_{0};
 };
 

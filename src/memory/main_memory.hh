@@ -16,11 +16,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "common/stats.hh"
+#include "common/thread_annotations.hh"
 #include "common/telemetry/histogram.hh"
 #include "common/telemetry/metrics.hh"
 #include "memory/address.hh"
@@ -78,6 +79,12 @@ struct RequestResult
  * published StatGroup at call time -- cheap, but like the bank()
  * accessor it snapshots: call it while no concurrent accesses run when
  * exact totals matter.
+ *
+ * These contracts are machine-checked: every shard-guarded member is
+ * PRIME_GUARDED_BY its shard mutex and the locked-caller convention of
+ * accessShardLocked is a PRIME_REQUIRES, enforced by the clang-tsa
+ * preset (-Werror=thread-safety); the two deliberate escapes (bank())
+ * are documented at their declarations.
  */
 class MainMemory
 {
@@ -113,8 +120,17 @@ class MainMemory
                                        std::size_t size) const;
 
     const AddressMapper &mapper() const { return mapper_; }
-    const BankModel &bank(int global_bank) const;
-    BankModel &bank(int global_bank);
+
+    /**
+     * Direct bank access WITHOUT the shard lock -- a quiescent-snapshot
+     * accessor for tests and single-threaded setup/teardown (the same
+     * contract as stats()).  The analysis escape is deliberate: the
+     * bank is shard-guarded on the concurrent timing path, and a
+     * caller using this handle asserts no concurrent accesses run.
+     */
+    const BankModel &bank(int global_bank) const
+        PRIME_NO_THREAD_SAFETY_ANALYSIS;
+    BankModel &bank(int global_bank) PRIME_NO_THREAD_SAFETY_ANALYSIS;
 
     /** Earliest time the shared channel is free. */
     Ns
@@ -158,13 +174,13 @@ class MainMemory
      */
     struct BankShard
     {
-        alignas(64) mutable std::mutex mutex;
-        BankModel bank;
-        std::uint64_t reads = 0;
-        std::uint64_t writes = 0;
-        double bytes = 0.0;
-        telemetry::Histogram queueNs;
-        telemetry::Histogram serviceNs;
+        alignas(64) mutable Mutex mutex;
+        BankModel bank PRIME_GUARDED_BY(mutex);
+        std::uint64_t reads PRIME_GUARDED_BY(mutex) = 0;
+        std::uint64_t writes PRIME_GUARDED_BY(mutex) = 0;
+        double bytes PRIME_GUARDED_BY(mutex) = 0.0;
+        telemetry::Histogram queueNs PRIME_GUARDED_BY(mutex);
+        telemetry::Histogram serviceNs PRIME_GUARDED_BY(mutex);
 
         BankShard(const nvmodel::TimingParams &timing, PagePolicy policy)
             : bank(timing, policy)
@@ -189,9 +205,11 @@ class MainMemory
      */
     Ns reserveChannel(Ns earliest, Ns transfer);
 
-    /** access() body; caller holds the target bank's shard mutex. */
+    /** access() body; caller holds the target bank's shard mutex (the
+     *  REQUIRES makes that calling convention a compile-time fact). */
     RequestResult accessShardLocked(BankShard &sh, const Request &request,
-                                    const Location &loc);
+                                    const Location &loc)
+        PRIME_REQUIRES(sh.mutex);
 
     /** Fold the per-bank shards into stats_ (absolute, idempotent). */
     void syncStats();
@@ -205,8 +223,9 @@ class MainMemory
     /** Functional backing store, striped by 64B line. */
     struct StoreStripe
     {
-        alignas(64) mutable std::mutex mutex;
-        std::unordered_map<std::uint64_t, std::uint8_t> bytes;
+        alignas(64) mutable Mutex mutex;
+        std::unordered_map<std::uint64_t, std::uint8_t> bytes
+            PRIME_GUARDED_BY(mutex);
     };
     mutable std::array<StoreStripe, kStoreStripes> store_;
 

@@ -29,6 +29,13 @@
  * pre-resolved Stat references -- no string-keyed map lookups in the
  * loop) and the coordinator merges the slots into pipeline.* after the
  * workers join.
+ *
+ * Lock contract: this executor owns no mutex at all -- its shared
+ * state is rings and atomics, every one with an explicitly spelled
+ * memory_order (prime_lint rule `atomic-order` enforces that), and
+ * the shard locks it reaches through MainMemory are the annotated
+ * capabilities in memory/main_memory.hh, machine-checked under the
+ * clang-tsa preset.
  */
 
 #ifndef PRIME_PRIME_PIPELINE_HH

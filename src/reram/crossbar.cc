@@ -79,7 +79,7 @@ Crossbar::index(int row, int col) const
 void
 Crossbar::rebuildPlanes() const
 {
-    std::lock_guard<std::mutex> lock(planesMutex_);
+    MutexLock lock(planesMutex_);
     // Double-checked: a concurrent MVM may have rebuilt while this
     // thread waited for the lock.
     if (!planesDirty_.load(std::memory_order_acquire))

@@ -18,11 +18,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "common/rng.hh"
+#include "common/thread_annotations.hh"
 #include "reram/cell.hh"
 
 namespace prime::reram {
@@ -174,8 +175,9 @@ class Crossbar
         return cells_[index(row, col)];
     }
 
-    /** Rebuild the SoA planes from the Cell array (takes planesMutex_). */
-    void rebuildPlanes() const;
+    /** Rebuild the SoA planes from the Cell array (takes planesMutex_;
+     *  the EXCLUDES makes re-entry a compile-time error). */
+    void rebuildPlanes() const PRIME_EXCLUDES(planesMutex_);
 
     /** Planes, rebuilt if a mutation invalidated them. */
     void ensurePlanes() const
@@ -195,8 +197,12 @@ class Crossbar
     // ensurePlanes pairs with.  Mutations themselves must still be
     // externally ordered against concurrent MVMs (the evaluator's
     // fan-out keeps whole engines thread-private, and the controller
-    // programs cells only between compute phases).
-    mutable std::mutex planesMutex_;          ///< serializes rebuilds
+    // programs cells only between compute phases).  The planes are
+    // deliberately NOT PRIME_GUARDED_BY(planesMutex_): the MVM read
+    // path touches them lock-free after the release/acquire
+    // publication above -- the protocol, not the rebuild lock, is the
+    // read-side contract.
+    mutable Mutex planesMutex_;               ///< serializes rebuilds
     mutable std::vector<int> levelPlane_;     ///< rows x cols levels
     mutable std::vector<double> gEffPlane_;   ///< rows x cols uS, IR folded
     mutable std::atomic<bool> planesDirty_{true};

@@ -90,8 +90,8 @@ runOpenLoopLoad(ServingEngine &engine, std::span<const nn::Tensor> inputs,
 
     LoadGenResult result;
     result.offered = total;
-    result.accepted = accepted.load();
-    result.rejected = rejected.load();
+    result.accepted = accepted.load(std::memory_order_relaxed);
+    result.rejected = rejected.load(std::memory_order_relaxed);
     result.wallNs =
         std::chrono::duration<double, std::nano>(wall_end - wall_start)
             .count();

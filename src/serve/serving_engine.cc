@@ -85,9 +85,9 @@ ServingEngine::start()
 {
     if (running_)
         return;
-    stopping_.store(false);
+    stopping_.store(false, std::memory_order_seq_cst);
     {
-        std::lock_guard<std::mutex> lock(dispatchMutex_);
+        MutexLock lock(dispatchMutex_);
         dispatchDone_ = false;
     }
     running_ = true;
@@ -107,10 +107,12 @@ ServingEngine::stop()
     // the scheduler drain the ring and flush its partial batch; only
     // after it exited is the dispatch queue complete and safe to
     // close.
-    stopping_.store(true);
+    // seq_cst deliberately: pairs with trySubmit's pendingSubmits_
+    // increment so the drain condition in popOrQuit is race-free.
+    stopping_.store(true, std::memory_order_seq_cst);
     scheduler_.join();
     {
-        std::lock_guard<std::mutex> lock(dispatchMutex_);
+        MutexLock lock(dispatchMutex_);
         dispatchDone_ = true;
     }
     dispatchCv_.notify_all();
@@ -128,9 +130,9 @@ ServingEngine::trySubmit(nn::Tensor input, CompletionFn on_complete)
     // visible in pendingSubmits_ until its push completed, so the
     // scheduler cannot conclude "drained" while an accepted request
     // is still in flight into the ring.
-    pendingSubmits_.fetch_add(1);
-    if (stopping_.load()) {
-        pendingSubmits_.fetch_sub(1);
+    pendingSubmits_.fetch_add(1, std::memory_order_seq_cst);
+    if (stopping_.load(std::memory_order_seq_cst)) {
+        pendingSubmits_.fetch_sub(1, std::memory_order_seq_cst);
         rejected_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
@@ -141,7 +143,7 @@ ServingEngine::trySubmit(nn::Tensor input, CompletionFn on_complete)
     request.admitNs = nowNs();
     const std::uint64_t id = request.id;
     const bool pushed = ingress_.tryPush(std::move(request));
-    pendingSubmits_.fetch_sub(1);
+    pendingSubmits_.fetch_sub(1, std::memory_order_seq_cst);
     if (!pushed) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;  // ingress full: load explicitly shed
@@ -162,7 +164,8 @@ ServingEngine::popOrQuit(Request &out)
     for (;;) {
         if (ingress_.tryPop(out))
             return true;
-        if (stopping_.load() && pendingSubmits_.load() == 0)
+        if (stopping_.load(std::memory_order_seq_cst) &&
+            pendingSubmits_.load(std::memory_order_seq_cst) == 0)
             return ingress_.tryPop(out);
         std::this_thread::sleep_for(kIdleNap);
     }
@@ -205,14 +208,14 @@ void
 ServingEngine::flush(Batch &&batch)
 {
     {
-        std::lock_guard<std::mutex> lock(statsMutex_);
+        MutexLock lock(statsMutex_);
         stats_.histogram("serving.batch_size")
             .sample(static_cast<double>(batch.requests.size()));
     }
     batches_.fetch_add(1, std::memory_order_relaxed);
     pendingBatches_.fetch_add(1, std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lock(dispatchMutex_);
+        MutexLock lock(dispatchMutex_);
         dispatchQueue_.push_back(std::move(batch));
     }
     dispatchCv_.notify_one();
@@ -224,10 +227,9 @@ ServingEngine::dispatchLoop()
     for (;;) {
         Batch batch;
         {
-            std::unique_lock<std::mutex> lock(dispatchMutex_);
-            dispatchCv_.wait(lock, [this] {
-                return !dispatchQueue_.empty() || dispatchDone_;
-            });
+            UniqueLock lock(dispatchMutex_);
+            while (dispatchQueue_.empty() && !dispatchDone_)
+                dispatchCv_.wait(lock);
             if (dispatchQueue_.empty())
                 return;  // done and drained
             batch = std::move(dispatchQueue_.front());
@@ -256,14 +258,14 @@ ServingEngine::execute(Batch &&batch)
         // One functional machine: concurrent dispatchers serialize
         // here (PrimeSystem is not reentrant), overlapping their
         // completion/stats work with the next batch's execution.
-        std::lock_guard<std::mutex> hw(hardwareMutex_);
+        MutexLock hw(hardwareMutex_);
         outputs = system_.runBatch(std::span<const nn::Tensor>(inputs),
                                    options_.batch);
     }
     const double done_ns = nowNs();
 
     {
-        std::lock_guard<std::mutex> lock(statsMutex_);
+        MutexLock lock(statsMutex_);
         telemetry::Histogram &e2e =
             stats_.histogram("serving.e2e_latency_ns");
         telemetry::Histogram &wait =

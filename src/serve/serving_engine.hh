@@ -61,17 +61,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/mpsc_ring.hh"
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 #include "common/stats.hh"
 #include "common/telemetry/metrics.hh"
 #include "prime/prime_system.hh"
@@ -130,8 +130,12 @@ class ServingEngine
     // ---------------------------------------------------- telemetry --
 
     /** serving.* stats: latency/batch-size histograms + counter
-     *  formulas.  Stable to read once stop() returned. */
-    StatGroup &stats() { return stats_; }
+     *  formulas.  Stable to read once stop() returned -- the analysis
+     *  escape below encodes exactly that quiescence contract: the
+     *  histograms are statsMutex_-guarded while dispatchers run, and
+     *  this unlocked handle is for the controlling thread after
+     *  stop() joined them all. */
+    StatGroup &stats() PRIME_NO_THREAD_SAFETY_ANALYSIS { return stats_; }
 
     /**
      * Register live probes with @p registry: serving.queue.depth /
@@ -195,16 +199,18 @@ class ServingEngine
     std::atomic<std::uint64_t> inflightBatches_{0};
 
     /** Scheduler -> dispatcher handoff (closed batches). */
-    std::mutex dispatchMutex_;
-    std::condition_variable dispatchCv_;
-    std::deque<Batch> dispatchQueue_;
-    bool dispatchDone_ = false;
+    Mutex dispatchMutex_;
+    CondVar dispatchCv_;
+    std::deque<Batch> dispatchQueue_ PRIME_GUARDED_BY(dispatchMutex_);
+    bool dispatchDone_ PRIME_GUARDED_BY(dispatchMutex_) = false;
 
-    /** Serializes runBatch: the one functional machine. */
-    std::mutex hardwareMutex_;
+    /** Serializes runBatch: the one functional machine.  No data of
+     *  its own -- the capability stands for exclusive use of the
+     *  non-reentrant PrimeSystem. */
+    Mutex hardwareMutex_;
     /** Guards the histograms (dispatchers sample concurrently). */
-    std::mutex statsMutex_;
-    StatGroup stats_;
+    Mutex statsMutex_;
+    StatGroup stats_ PRIME_GUARDED_BY(statsMutex_);
 
     std::atomic<bool> stopping_{false};
     bool running_ = false;

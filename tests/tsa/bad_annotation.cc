@@ -1,0 +1,28 @@
+/**
+ * @file
+ * A deliberately ill-annotated TU: the `tsa_gate_rejects_bad` ctest
+ * compiles it with the clang-tsa flags and asserts the compile FAILS
+ * (WILL_FAIL) -- proving the Thread Safety Analysis gate actually
+ * rejects lock-contract violations instead of silently passing
+ * everything.  This file is never linked into any target.
+ */
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
+namespace {
+
+class Account
+{
+  public:
+    // The violation under test: writing a PRIME_GUARDED_BY member
+    // without holding its mutex.  -Werror=thread-safety must reject
+    // this function.
+    void deposit(int amount) { balance_ += amount; }
+
+  private:
+    prime::Mutex mutex_;
+    int balance_ PRIME_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The positive control for the thread-safety gate tests: a correctly
+ * annotated TU that must compile cleanly under the clang-tsa flags.
+ * Paired with bad_annotation.cc (which must NOT compile) it proves the
+ * `tsa_gate_rejects_bad` failure comes from the lock-contract
+ * violation, not from broken flags or a missing header.  Never linked
+ * into any target.
+ */
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
+namespace {
+
+class Account
+{
+  public:
+    void
+    deposit(int amount)
+    {
+        prime::MutexLock lock(mutex_);
+        balance_ += amount;
+    }
+
+    int
+    balance() const
+    {
+        prime::MutexLock lock(mutex_);
+        return balance_;
+    }
+
+  private:
+    mutable prime::Mutex mutex_;
+    int balance_ PRIME_GUARDED_BY(mutex_) = 0;
+};
+
+// The analysis runs per function body; touch both paths so an unused
+// class cannot hide a broken annotation.
+void
+exercise()
+{
+    Account account;
+    account.deposit(1);
+    (void)account.balance();
+}
+
+} // namespace
