@@ -12,6 +12,15 @@ AddressMapper::AddressMapper(const nvmodel::Geometry &geometry)
                       geometry.arraysPerFfMat / 8;
     bytesPerMat_ = bytesPerMatRow_ * geometry.matRows;
     PRIME_ASSERT(bytesPerMatRow_ > 0, "degenerate mat row");
+    PRIME_ASSERT(geometry.channels >= 1,
+                 "channels=", geometry.channels);
+    // The line rotation is a bijection only when each channel holds a
+    // whole number of interleave lines.
+    PRIME_ASSERT(geometry.channels == 1 ||
+                     bytesPerChannel() % kLineBytes == 0,
+                 "per-channel capacity ", bytesPerChannel(),
+                 " not a multiple of the ", kLineBytes,
+                 "B interleave line");
 }
 
 Location
@@ -20,36 +29,60 @@ AddressMapper::decode(std::uint64_t addr) const
     PRIME_ASSERT(addr < capacityBytes(),
                  "address ", addr, " beyond capacity ", capacityBytes());
     Location loc;
-    loc.column = static_cast<int>(addr % bytesPerMatRow_);
-    std::uint64_t rest = addr / bytesPerMatRow_;
+    // Peel the channel rotation off first: line k of the flat space is
+    // line k/channels of channel k%channels.
+    std::uint64_t local = addr;
+    if (geometry_.channels > 1) {
+        const std::uint64_t line = addr / kLineBytes;
+        const std::uint64_t channels =
+            static_cast<std::uint64_t>(geometry_.channels);
+        loc.channel = static_cast<int>(line % channels);
+        local = (line / channels) * kLineBytes + addr % kLineBytes;
+    }
+    loc.column = static_cast<int>(local % bytesPerMatRow_);
+    std::uint64_t rest = local / bytesPerMatRow_;
     loc.mat = static_cast<int>(rest % geometry_.matsPerSubarray);
     rest /= geometry_.matsPerSubarray;
     loc.subarray = static_cast<int>(rest % geometry_.subarraysPerBank);
     rest /= geometry_.subarraysPerBank;
-    loc.globalBank = static_cast<int>(rest % geometry_.totalBanks());
-    rest /= geometry_.totalBanks();
+    const int channel_bank =
+        static_cast<int>(rest % geometry_.banksPerChannel());
+    rest /= geometry_.banksPerChannel();
     loc.row = static_cast<int>(rest);
-    loc.chip = loc.globalBank / geometry_.banksPerChip;
-    loc.bank = loc.globalBank % geometry_.banksPerChip;
+    loc.chip = channel_bank / geometry_.banksPerChip;
+    loc.bank = channel_bank % geometry_.banksPerChip;
+    loc.globalBank =
+        loc.channel * geometry_.banksPerChannel() + channel_bank;
     return loc;
 }
 
 std::uint64_t
 AddressMapper::encode(const Location &loc) const
 {
-    std::uint64_t addr = loc.row;
-    addr = addr * geometry_.totalBanks() + loc.globalBank;
-    addr = addr * geometry_.subarraysPerBank + loc.subarray;
-    addr = addr * geometry_.matsPerSubarray + loc.mat;
-    addr = addr * bytesPerMatRow_ + loc.column;
-    return addr;
+    const int channel_bank =
+        loc.chip * geometry_.banksPerChip + loc.bank;
+    std::uint64_t local = loc.row;
+    local = local * geometry_.banksPerChannel() + channel_bank;
+    local = local * geometry_.subarraysPerBank + loc.subarray;
+    local = local * geometry_.matsPerSubarray + loc.mat;
+    local = local * bytesPerMatRow_ + loc.column;
+    if (geometry_.channels == 1)
+        return local;
+    // Invert the line rotation: local line k of channel c is flat line
+    // k * channels + c.
+    const std::uint64_t line = local / kLineBytes;
+    return (line * geometry_.channels +
+            static_cast<std::uint64_t>(loc.channel)) *
+               kLineBytes +
+           local % kLineBytes;
 }
 
 int
 AddressMapper::pageBank(std::uint64_t page_number) const
 {
-    // A 4 KiB page spans 32 consecutive 128 B mat rows, all in one bank
-    // given the row-major layout; expose that bank to the OS.
+    // A 4 KiB page spans 32 consecutive 128 B mat rows; on a single
+    // channel the row-major layout keeps them in one bank.  Expose the
+    // first line's bank to the OS as the placement anchor.
     const std::uint64_t addr = page_number * 4096ull;
     return decode(addr % capacityBytes()).globalBank;
 }

@@ -2,10 +2,15 @@
  * @file
  * Physical address decomposition for the PRIME ReRAM main memory.
  *
- * Layout (high to low): row | bank | chip | subarray | mat | column-burst.
- * Putting bank/chip bits below the row bits interleaves consecutive rows
- * across banks for parallelism, while Section IV-B2's bank-aware data
- * placement uses pageBank() to pin one image per bank.
+ * Channel interleave first: consecutive 64-byte lines of the flat
+ * physical address space rotate across the configured channels, so a
+ * streaming access pattern loads every channel's data bus evenly.  The
+ * per-channel remainder then decomposes hierarchically (high to low):
+ * row | bank | chip | subarray | mat | column-burst.  Putting
+ * bank/chip bits below the row bits interleaves consecutive
+ * within-channel rows across banks for parallelism, while Section
+ * IV-B2's bank-aware data placement uses pageBank() to pin one image
+ * per bank.
  */
 
 #ifndef PRIME_MEMORY_ADDRESS_HH
@@ -20,9 +25,10 @@ namespace prime::memory {
 /** Decoded location of a physical address. */
 struct Location
 {
-    int chip = 0;
+    int channel = 0;     ///< memory channel (line-interleaved)
+    int chip = 0;        ///< chip within the channel
     int bank = 0;        ///< bank within the chip
-    int globalBank = 0;  ///< chip * banksPerChip + bank
+    int globalBank = 0;  ///< channel * banksPerChannel + chip * banksPerChip + bank
     int subarray = 0;
     int mat = 0;
     int row = 0;
@@ -37,6 +43,9 @@ struct Location
 class AddressMapper
 {
   public:
+    /** Channel-interleave granularity (one DDR burst / cache line). */
+    static constexpr std::uint64_t kLineBytes = 64;
+
     explicit AddressMapper(const nvmodel::Geometry &geometry);
 
     /** Decode an address; asserts it is within capacity. */
@@ -44,6 +53,15 @@ class AddressMapper
 
     /** Inverse of decode (used by tests as a round-trip invariant). */
     std::uint64_t encode(const Location &loc) const;
+
+    /** Channel serving the 64B line of @p addr (cheap partial decode). */
+    int
+    channelOf(std::uint64_t addr) const
+    {
+        return static_cast<int>((addr / kLineBytes) %
+                                static_cast<std::uint64_t>(
+                                    geometry_.channels));
+    }
 
     /** Bytes stored per mat (memory mode, SLC). */
     std::uint64_t bytesPerMat() const { return bytesPerMat_; }
@@ -63,13 +81,24 @@ class AddressMapper
         return bytesPerSubarray() * geometry_.subarraysPerBank;
     }
 
+    /** Bytes behind one channel's controller. */
+    std::uint64_t bytesPerChannel() const
+    {
+        return bytesPerBank() * geometry_.banksPerChannel();
+    }
+
     /** Total modeled capacity (geometry-derived, <= nominal capacity). */
     std::uint64_t capacityBytes() const
     {
         return bytesPerBank() * geometry_.totalBanks();
     }
 
-    /** Global bank an OS page (4 KiB) resides in (Section IV-B2). */
+    /**
+     * Global bank the first line of an OS page (4 KiB) resides in
+     * (Section IV-B2).  On a single channel the whole page shares that
+     * bank; with channel interleaving a page stripes across channels
+     * and this names the bank-aware placement anchor.
+     */
     int pageBank(std::uint64_t page_number) const;
 
     const nvmodel::Geometry &geometry() const { return geometry_; }

@@ -5,7 +5,7 @@
 namespace prime::memory {
 
 BankAccess
-BankModel::access(Ns when, int row, bool is_write)
+BankModel::access(Ns when, std::int64_t row, bool is_write)
 {
     BankAccess result;
     result.start = std::max(when, nextFree_);

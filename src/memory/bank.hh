@@ -48,12 +48,15 @@ class BankModel
 
     /**
      * Serve a read or write to @p row at or after @p when; updates the
-     * open row and busy horizon.
+     * open row and busy horizon.  Row tags are 64-bit: the tag encodes
+     * row x subarray x mat (MemoryController::rowTag), and a 32-bit
+     * tag silently aliases wordlines on large configured geometries,
+     * inflating the row-hit rate.
      */
-    BankAccess access(Ns when, int row, bool is_write);
+    BankAccess access(Ns when, std::int64_t row, bool is_write);
 
     /** Currently open row (-1 when closed). */
-    int openRow() const { return openRow_; }
+    std::int64_t openRow() const { return openRow_; }
 
     /** Earliest time the bank can start a new access. */
     Ns nextFree() const { return nextFree_; }
@@ -64,13 +67,25 @@ class BankModel
     std::uint64_t rowHits() const { return rowHits_; }
     std::uint64_t rowMisses() const { return rowMisses_; }
 
+    /**
+     * Zero the hit/miss counters (post-warm-up stat reset).  Timing
+     * state (open row, busy horizon) is deliberately kept: the bank
+     * stays physically warm, only the accounting restarts.
+     */
+    void
+    resetCounters()
+    {
+        rowHits_ = 0;
+        rowMisses_ = 0;
+    }
+
     PagePolicy policy() const { return policy_; }
 
   private:
     nvmodel::TimingParams timing_;
     PagePolicy policy_;
     bool lastWasWrite_ = false;
-    int openRow_ = -1;
+    std::int64_t openRow_ = -1;
     Ns nextFree_ = 0.0;
     std::uint64_t rowHits_ = 0;
     std::uint64_t rowMisses_ = 0;

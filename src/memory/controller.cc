@@ -1,0 +1,281 @@
+#include "memory/controller.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/telemetry/trace_session.hh"
+
+namespace prime::memory {
+
+MemoryController::MemoryController(int channel,
+                                   const nvmodel::TechParams &params,
+                                   PagePolicy policy)
+    : channel_(channel), timing_(params.timing),
+      geometry_(params.geometry)
+{
+    PRIME_ASSERT(channel >= 0 && channel < geometry_.channels,
+                 "channel ", channel, " of ", geometry_.channels);
+    // rowTag packs row x subarray x mat into one int64; reject any
+    // geometry whose tag space could overflow (the old 32-bit tag
+    // silently aliased wordlines on large matRows configs, inflating
+    // the row-hit rate).
+    const double tag_span = static_cast<double>(geometry_.matRows) *
+                            geometry_.subarraysPerBank *
+                            geometry_.matsPerSubarray;
+    PRIME_ASSERT(tag_span < static_cast<double>(
+                                std::numeric_limits<std::int64_t>::max()),
+                 "row-tag space overflows int64");
+    shards_.reserve(
+        static_cast<std::size_t>(geometry_.banksPerChannel()));
+    for (int b = 0; b < geometry_.banksPerChannel(); ++b)
+        shards_.push_back(
+            std::make_unique<BankShard>(params.timing, policy));
+}
+
+MemoryController::BankShard &
+MemoryController::shard(int channel_bank) const
+{
+    PRIME_ASSERT(channel_bank >= 0 &&
+                     channel_bank < static_cast<int>(shards_.size()),
+                 "bank ", channel_bank, " of channel ", channel_);
+    return *shards_[static_cast<std::size_t>(channel_bank)];
+}
+
+// Quiescent-snapshot accessors (see the header): analysis escape is on
+// the declarations; the shard lock deliberately is not taken.
+const BankModel &
+MemoryController::bank(int channel_bank) const
+    PRIME_NO_THREAD_SAFETY_ANALYSIS
+{
+    return shard(channel_bank).bank;
+}
+
+BankModel &
+MemoryController::bank(int channel_bank) PRIME_NO_THREAD_SAFETY_ANALYSIS
+{
+    return shard(channel_bank).bank;
+}
+
+Ns
+MemoryController::reserveChannel(Ns earliest, Ns transfer)
+{
+    // Lock-free exclusive reservation: advance the cursor from its
+    // current value to max(earliest, cursor) + transfer.  Competing
+    // requests retry, so granted slots never overlap; the grant order
+    // under concurrency is the arrival order at the CAS (documented as
+    // schedule-dependent timing).
+    Ns free = channelFree_.load(std::memory_order_relaxed);
+    for (;;) {
+        const Ns start = std::max(earliest, free);
+        if (channelFree_.compare_exchange_weak(
+                free, start + transfer, std::memory_order_acq_rel,
+                std::memory_order_relaxed))
+            return start + transfer;
+    }
+}
+
+std::int64_t
+MemoryController::rowTag(const Location &loc) const
+{
+    // The row-buffer tag identifies the physical wordline: the row
+    // index alone is ambiguous across the subarrays/mats of a bank.
+    // 64-bit throughout -- the constructor asserted the geometry fits.
+    return (static_cast<std::int64_t>(loc.row) *
+                geometry_.subarraysPerBank +
+            loc.subarray) *
+               geometry_.matsPerSubarray +
+           loc.mat;
+}
+
+RequestResult
+MemoryController::access(const Request &request, const Location &loc)
+{
+    PRIME_ASSERT(loc.channel == channel_, "request for channel ",
+                 loc.channel, " routed to controller ", channel_);
+    const int channel_bank =
+        loc.chip * geometry_.banksPerChip + loc.bank;
+    BankShard &sh = shard(channel_bank);
+    MutexLock lock(sh.mutex);
+    return accessShardLocked(sh, request, loc);
+}
+
+RequestResult
+MemoryController::accessShardLocked(BankShard &sh,
+                                    const Request &request,
+                                    const Location &loc)
+{
+    PRIME_SPAN(telemetry::globalTrace(),
+               request.isWrite ? "mem.write" : "mem.read", "memory");
+    RequestResult result;
+    result.request = request;
+    result.location = loc;
+
+    result.bank = sh.bank.access(request.issue, rowTag(loc),
+                                 request.isWrite);
+
+    // The data burst serializes on this channel after the bank has the
+    // data (read) or before the bank commits it (write, modeled
+    // symmetrically).
+    const Ns transfer = request.bytes / timing_.channelBandwidth();
+    result.dataReady = reserveChannel(result.bank.complete, transfer);
+
+    // Stat shard: sampled under the bank lock we already hold, so the
+    // hot path never touches a shared StatGroup (row hits/misses stay
+    // in the BankModel counters).
+    (request.isWrite ? sh.writes : sh.reads) += 1;
+    sh.bytes += request.bytes;
+    // Modeled latency split: time queued behind the bank/row state vs.
+    // total service (queue + bank + channel burst).
+    sh.queueNs.sample(result.bank.start - request.issue);
+    const Ns service = result.dataReady - request.issue;
+    sh.serviceNs.sample(service);
+    const std::size_t src = static_cast<std::size_t>(request.source);
+    sh.sourceServiceNs[src].sample(service);
+    sh.sourceLastReady[src] =
+        std::max(sh.sourceLastReady[src], result.dataReady);
+    if (request.source == RequestSource::Prime) {
+        // Lock-free max-advance of the co-run pacing signal.
+        Ns cur = primeHorizon_.load(std::memory_order_relaxed);
+        while (cur < result.dataReady &&
+               !primeHorizon_.compare_exchange_weak(
+                   cur, result.dataReady, std::memory_order_release,
+                   std::memory_order_relaxed)) {
+        }
+    }
+    return result;
+}
+
+std::vector<RequestResult>
+MemoryController::scheduleBankQueue(std::vector<PendingRequest> pending,
+                                    const SchedulerConfig &sched)
+{
+    PRIME_ASSERT(sched.window >= 1, "window=", sched.window);
+    PRIME_ASSERT(sched.maxBypass >= 0, "maxBypass=", sched.maxBypass);
+    std::vector<RequestResult> results;
+    results.reserve(pending.size());
+    if (pending.empty())
+        return results;
+
+    const int channel_bank =
+        pending.front().location.chip * geometry_.banksPerChip +
+        pending.front().location.bank;
+    BankShard &sh = shard(channel_bank);
+    MutexLock lock(sh.mutex);
+
+    // FR-FCFS with a hard starvation bound.  Each iteration picks,
+    // within the first `window` pending entries, a row-hit request if
+    // one exists, otherwise the oldest -- but once the oldest entry has
+    // been bypassed maxBypass consecutive times, the hit search is
+    // suppressed and the oldest goes next.  `bypasses` tracks how many
+    // times the *current* front entry has been passed over; it resets
+    // whenever the front is serviced (a newly exposed front starts its
+    // own count).
+    int bypasses = 0;
+    while (!pending.empty()) {
+        int chosen = 0;
+        if (bypasses < sched.maxBypass) {
+            const int limit = std::min<int>(
+                sched.window, static_cast<int>(pending.size()));
+            for (int i = 0; i < limit; ++i) {
+                const PendingRequest &p =
+                    pending[static_cast<std::size_t>(i)];
+                PRIME_ASSERT(p.location.channel == channel_,
+                             "cross-channel entry in bank queue");
+                if (sh.bank.openRow() == rowTag(p.location)) {
+                    chosen = i;
+                    break;
+                }
+            }
+        }
+        if (chosen == 0)
+            bypasses = 0;
+        else
+            ++bypasses;
+        PendingRequest next =
+            pending[static_cast<std::size_t>(chosen)];
+        pending.erase(pending.begin() + chosen);
+        results.push_back(
+            accessShardLocked(sh, next.request, next.location));
+    }
+    return results;
+}
+
+ChannelTotals
+MemoryController::totals() const
+{
+    ChannelTotals t;
+    for (const std::unique_ptr<BankShard> &sh : shards_) {
+        MutexLock lock(sh->mutex);
+        t.reads += sh->reads;
+        t.writes += sh->writes;
+        t.bytes += sh->bytes;
+        t.rowHits += sh->bank.rowHits();
+        t.rowMisses += sh->bank.rowMisses();
+        t.queueNs.merge(sh->queueNs);
+        t.serviceNs.merge(sh->serviceNs);
+        for (std::size_t s = 0; s < kRequestSources; ++s) {
+            t.sourceServiceNs[s].merge(sh->sourceServiceNs[s]);
+            t.sourceLastReady[s] = std::max(t.sourceLastReady[s],
+                                            sh->sourceLastReady[s]);
+        }
+    }
+    return t;
+}
+
+double
+MemoryController::rowHitRate() const
+{
+    std::uint64_t hits = 0, total = 0;
+    for (const std::unique_ptr<BankShard> &sh : shards_) {
+        MutexLock lock(sh->mutex);
+        hits += sh->bank.rowHits();
+        total += sh->bank.rowHits() + sh->bank.rowMisses();
+    }
+    return total ? static_cast<double>(hits) / total : 0.0;
+}
+
+void
+MemoryController::resetStats()
+{
+    for (const std::unique_ptr<BankShard> &sh : shards_) {
+        MutexLock lock(sh->mutex);
+        sh->reads = 0;
+        sh->writes = 0;
+        sh->bytes = 0.0;
+        sh->queueNs.reset();
+        sh->serviceNs.reset();
+        for (std::size_t s = 0; s < kRequestSources; ++s) {
+            sh->sourceServiceNs[s].reset();
+            sh->sourceLastReady[s] = 0.0;
+        }
+        sh->bank.resetCounters();
+    }
+}
+
+Ns
+MemoryController::bankBacklogNs(int channel_bank) const
+{
+    const BankShard &sh = shard(channel_bank);
+    MutexLock lock(sh.mutex);
+    const Ns backlog = sh.bank.nextFree() - channelFree();
+    return backlog > 0.0 ? backlog : 0.0;
+}
+
+std::uint64_t
+MemoryController::bankReads(int channel_bank) const
+{
+    const BankShard &sh = shard(channel_bank);
+    MutexLock lock(sh.mutex);
+    return sh.reads;
+}
+
+std::uint64_t
+MemoryController::bankWrites(int channel_bank) const
+{
+    const BankShard &sh = shard(channel_bank);
+    MutexLock lock(sh.mutex);
+    return sh.writes;
+}
+
+} // namespace prime::memory

@@ -1,0 +1,115 @@
+#include "memory/cpu_traffic.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace prime::memory {
+
+const char *
+cpuPatternName(CpuPattern pattern)
+{
+    switch (pattern) {
+      case CpuPattern::Streaming: return "streaming";
+      case CpuPattern::Random: return "random";
+      case CpuPattern::PointerChase: return "pointer-chase";
+    }
+    return "?";
+}
+
+CpuTrafficGenerator::CpuTrafficGenerator(MainMemory &mem,
+                                         const CpuTrafficOptions &options)
+    : mem_(mem), options_(options), rng_(options.seed)
+{
+    PRIME_ASSERT(options_.intensity >= 0.0,
+                 "intensity=", options_.intensity);
+    PRIME_ASSERT(options_.bytes >= 1, "bytes=", options_.bytes);
+    const std::uint64_t capacity = mem_.mapper().capacityBytes();
+    PRIME_ASSERT(options_.regionBase < capacity,
+                 "regionBase ", options_.regionBase, " beyond capacity");
+    std::uint64_t region = options_.regionBytes;
+    if (region == 0 || options_.regionBase + region > capacity)
+        region = capacity - options_.regionBase;
+    regionLines_ = std::max<std::uint64_t>(
+        1, region / AddressMapper::kLineBytes);
+    streamLine_ = static_cast<std::uint64_t>(rng_.uniformInt(
+        0, static_cast<std::int64_t>(regionLines_ - 1)));
+}
+
+std::uint64_t
+CpuTrafficGenerator::nextAddr()
+{
+    std::uint64_t line = 0;
+    switch (options_.pattern) {
+      case CpuPattern::Streaming:
+        line = streamLine_++ % regionLines_;
+        break;
+      case CpuPattern::Random:
+      case CpuPattern::PointerChase:
+        // The chase's data dependence lives in the issue-time chain,
+        // not the address sequence: any uncached random walk has the
+        // same row-buffer behavior as uniform draws.
+        line = static_cast<std::uint64_t>(rng_.uniformInt(
+            0, static_cast<std::int64_t>(regionLines_ - 1)));
+        break;
+    }
+    return options_.regionBase + line * AddressMapper::kLineBytes;
+}
+
+CpuRunStats
+CpuTrafficGenerator::run(std::uint64_t max_requests)
+{
+    CpuRunStats stats;
+    if (options_.intensity <= 0.0 || max_requests == 0)
+        return stats;
+
+    // Offered load -> mean inter-arrival gap against the aggregate peak
+    // bandwidth of all channels.
+    const double peak = mem_.params().timing.channelBandwidth() *
+                        mem_.channels();
+    const double mean_gap =
+        options_.bytes / (options_.intensity * peak);
+
+    // Start on warm hardware: arrivals begin at the current channel
+    // horizon rather than modeled time zero.
+    Ns arrival = mem_.channelFree();
+    while (stats.requests < max_requests &&
+           !stop_.load(std::memory_order_acquire)) {
+        // Exponential (Poisson-process) gap; 1-u keeps log's argument
+        // in (0, 1].
+        arrival += -mean_gap * std::log(1.0 - rng_.uniform());
+        // Co-run pacing: hold this arrival until the PRIME side's
+        // modeled progress is within paceLeadNs of it, so the two
+        // request streams interleave in modeled time even when the
+        // host threads run at very different speeds.
+        if (options_.paceLeadNs > 0.0) {
+            while (!stop_.load(std::memory_order_acquire) &&
+                   arrival >
+                       mem_.primeProgressNs() + options_.paceLeadNs)
+                std::this_thread::yield();
+            if (stop_.load(std::memory_order_acquire))
+                break;
+        }
+        Request r;
+        r.addr = nextAddr();
+        r.bytes = options_.bytes;
+        r.isWrite = rng_.bernoulli(options_.writeFraction);
+        r.issue = arrival;
+        r.source = RequestSource::Cpu;
+        const RequestResult result = mem_.access(r);
+        stats.requests += 1;
+        stats.bytes += r.bytes;
+        stats.serviceNs.sample(result.dataReady - r.issue);
+        stats.lastDataReady =
+            std::max(stats.lastDataReady, result.dataReady);
+        // Dependent loads: the next address cannot issue before the
+        // current data returned (closed-loop latency chain).
+        if (options_.pattern == CpuPattern::PointerChase)
+            arrival = std::max(arrival, result.dataReady);
+    }
+    return stats;
+}
+
+} // namespace prime::memory

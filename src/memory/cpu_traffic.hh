@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Synthetic CPU co-run traffic for the PRIME interference study.
+ *
+ * Section VI's co-run question -- how much does FF-mode compute slow
+ * down when the host CPU keeps hammering the same memory -- needs a
+ * CPU-side load generator.  This one issues open-loop requests tagged
+ * RequestSource::Cpu at a configurable fraction of the aggregate peak
+ * channel bandwidth, in the three canonical shapes: streaming (unit
+ * stride, row-buffer friendly), random (uniform lines, row-buffer
+ * hostile), and pointer-chase (dependent loads, latency bound).
+ */
+
+#ifndef PRIME_MEMORY_CPU_TRAFFIC_HH
+#define PRIME_MEMORY_CPU_TRAFFIC_HH
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/telemetry/histogram.hh"
+#include "memory/main_memory.hh"
+
+namespace prime::memory {
+
+/** CPU access-pattern families. */
+enum class CpuPattern
+{
+    Streaming,     ///< unit-stride lines (row-buffer friendly)
+    Random,        ///< uniform random lines (row-buffer hostile)
+    PointerChase,  ///< dependent loads: each issue waits for the last
+};
+
+const char *cpuPatternName(CpuPattern pattern);
+
+/** CPU traffic-generator configuration. */
+struct CpuTrafficOptions
+{
+    CpuPattern pattern = CpuPattern::Streaming;
+    /**
+     * Offered load as a fraction of the aggregate peak channel
+     * bandwidth (channels x channelBandwidth).  1.0 saturates every
+     * data bus with CPU traffic alone; >1.0 oversubscribes.  The
+     * generator is open-loop for Streaming/Random: arrival gaps are
+     * exponential with this mean rate regardless of completions.
+     */
+    double intensity = 0.5;
+    /** Request size in bytes (one DDR burst by default). */
+    std::uint32_t bytes = 64;
+    /** Fraction of writes. */
+    double writeFraction = 0.3;
+    /** First byte of the CPU's working region. */
+    std::uint64_t regionBase = 0;
+    /** Region size in bytes (0 = everything above regionBase). */
+    std::uint64_t regionBytes = 0;
+    unsigned long long seed = 1;
+    /**
+     * Co-run pacing lead, in modeled ns.  When positive, the arrival
+     * clock never runs more than this far ahead of the co-running
+     * PRIME side's latest completion (MainMemory::primeProgressNs):
+     * the host thread spins until PRIME catches up.  Without this, a
+     * generator thread that is faster than the co-runner in *host*
+     * time delivers its whole modeled window of traffic before PRIME
+     * issues anything -- the channel cursors have no backfill, so the
+     * co-run degenerates into back-to-back solo runs.  0 (default)
+     * disables pacing: pure open loop, for solo runs.
+     */
+    Ns paceLeadNs = 0.0;
+};
+
+/** What one run() issued and observed. */
+struct CpuRunStats
+{
+    std::uint64_t requests = 0;
+    double bytes = 0.0;
+    /** Per-request service latency (dataReady - issue). */
+    telemetry::Histogram serviceNs;
+    /** Modeled time of the last completion. */
+    Ns lastDataReady = 0.0;
+};
+
+/**
+ * Issues the configured traffic against a MainMemory.  run() is meant
+ * for a dedicated host thread co-running with PRIME batch execution;
+ * stop() (thread-safe) ends it from outside.  One generator drives one
+ * run() at a time; construct one per host thread for parallel CPUs.
+ */
+class CpuTrafficGenerator
+{
+  public:
+    CpuTrafficGenerator(MainMemory &mem, const CpuTrafficOptions &options);
+
+    /**
+     * Issue up to @p max_requests requests (default: until stop()).
+     * Modeled arrivals start at the memory's current channel-free
+     * horizon, so a fresh run lands on warm hardware rather than
+     * backfilling the past.  Returns what was issued and observed.
+     */
+    CpuRunStats run(std::uint64_t max_requests =
+                        ~static_cast<std::uint64_t>(0));
+
+    /** Make the current (or next) run() return promptly. */
+    void
+    stop()
+    {
+        stop_.store(true, std::memory_order_release);
+    }
+
+    /** Re-arm after stop() so the generator can run() again. */
+    void
+    rearm()
+    {
+        stop_.store(false, std::memory_order_release);
+    }
+
+    const CpuTrafficOptions &options() const { return options_; }
+
+  private:
+    /** Next request address per the configured pattern. */
+    std::uint64_t nextAddr();
+
+    MainMemory &mem_;
+    CpuTrafficOptions options_;
+    Rng rng_;
+    std::uint64_t regionLines_ = 0;
+    std::uint64_t streamLine_ = 0;
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace prime::memory
+
+#endif // PRIME_MEMORY_CPU_TRAFFIC_HH

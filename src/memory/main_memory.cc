@@ -10,14 +10,16 @@
 namespace prime::memory {
 
 MainMemory::MainMemory(const nvmodel::TechParams &params,
-                       PagePolicy policy)
-    : params_(params), mapper_(params.geometry)
+                       PagePolicy policy, SchedulerConfig sched)
+    : params_(params), mapper_(params.geometry), sched_(sched)
 {
-    shards_.reserve(static_cast<std::size_t>(
-        params.geometry.totalBanks()));
-    for (int b = 0; b < params.geometry.totalBanks(); ++b)
-        shards_.push_back(
-            std::make_unique<BankShard>(params.timing, policy));
+    PRIME_ASSERT(sched_.window >= 1, "window=", sched_.window);
+    PRIME_ASSERT(sched_.maxBypass >= 0, "maxBypass=", sched_.maxBypass);
+    controllers_.reserve(
+        static_cast<std::size_t>(params.geometry.channels));
+    for (int ch = 0; ch < params.geometry.channels; ++ch)
+        controllers_.push_back(
+            std::make_unique<MemoryController>(ch, params, policy));
     // Derived at read time from the hit/miss counters (std::map nodes
     // are address-stable, so the captured pointers stay valid; the
     // counters themselves are refreshed from the bank shards by
@@ -29,112 +31,99 @@ MainMemory::MainMemory(const nvmodel::TechParams &params,
                            hits->count() + misses->count());
                        return total > 0.0 ? hits->count() / total : 0.0;
                    });
+    for (int ch = 0; ch < channels(); ++ch) {
+        const std::string prefix = "mem.ch" + std::to_string(ch) + ".";
+        stats_.formula(prefix + "row_hit_rate",
+                       [hits = &stats_.get(prefix + "row_hits"),
+                        misses = &stats_.get(prefix + "row_misses")] {
+                           const double total = static_cast<double>(
+                               hits->count() + misses->count());
+                           return total > 0.0 ? hits->count() / total
+                                              : 0.0;
+                       });
+    }
 }
 
-MainMemory::BankShard &
-MainMemory::shard(int global_bank) const
+MemoryController &
+MainMemory::controller(int channel)
 {
-    PRIME_ASSERT(global_bank >= 0 &&
-                     global_bank < static_cast<int>(shards_.size()),
-                 "bank ", global_bank);
-    return *shards_[static_cast<std::size_t>(global_bank)];
+    PRIME_ASSERT(channel >= 0 &&
+                     channel < static_cast<int>(controllers_.size()),
+                 "channel ", channel);
+    return *controllers_[static_cast<std::size_t>(channel)];
 }
 
-// Quiescent-snapshot accessors (see the header): analysis escape is on
-// the declarations; the shard lock deliberately is not taken.
+const MemoryController &
+MainMemory::controller(int channel) const
+{
+    PRIME_ASSERT(channel >= 0 &&
+                     channel < static_cast<int>(controllers_.size()),
+                 "channel ", channel);
+    return *controllers_[static_cast<std::size_t>(channel)];
+}
+
 const BankModel &
-MainMemory::bank(int global_bank) const PRIME_NO_THREAD_SAFETY_ANALYSIS
+MainMemory::bank(int global_bank) const
 {
-    return shard(global_bank).bank;
+    const int per = params_.geometry.banksPerChannel();
+    return controller(global_bank / per).bank(global_bank % per);
 }
 
 BankModel &
-MainMemory::bank(int global_bank) PRIME_NO_THREAD_SAFETY_ANALYSIS
+MainMemory::bank(int global_bank)
 {
-    return shard(global_bank).bank;
+    const int per = params_.geometry.banksPerChannel();
+    return controller(global_bank / per).bank(global_bank % per);
 }
 
 Ns
-MainMemory::reserveChannel(Ns earliest, Ns transfer)
+MainMemory::channelFree() const
 {
-    // Lock-free exclusive reservation: advance the cursor from its
-    // current value to max(earliest, cursor) + transfer.  Competing
-    // requests retry, so granted slots never overlap; the grant order
-    // under concurrency is the arrival order at the CAS (documented as
-    // schedule-dependent timing).
-    Ns free = channelFree_.load(std::memory_order_relaxed);
-    for (;;) {
-        const Ns start = std::max(earliest, free);
-        if (channelFree_.compare_exchange_weak(
-                free, start + transfer, std::memory_order_acq_rel,
-                std::memory_order_relaxed))
-            return start + transfer;
-    }
+    Ns latest = 0.0;
+    for (const std::unique_ptr<MemoryController> &c : controllers_)
+        latest = std::max(latest, c->channelFree());
+    return latest;
+}
+
+Ns
+MainMemory::primeProgressNs() const
+{
+    Ns latest = 0.0;
+    for (const std::unique_ptr<MemoryController> &c : controllers_)
+        latest = std::max(latest, c->primeHorizon());
+    return latest;
 }
 
 RequestResult
 MainMemory::access(const Request &request)
 {
     const Location loc = mapper_.decode(request.addr);
-    BankShard &sh = shard(loc.globalBank);
-    MutexLock lock(sh.mutex);
-    return accessShardLocked(sh, request, loc);
-}
-
-RequestResult
-MainMemory::accessShardLocked(BankShard &sh, const Request &request,
-                              const Location &loc)
-{
-    PRIME_SPAN(telemetry::globalTrace(),
-               request.isWrite ? "mem.write" : "mem.read", "memory");
-    RequestResult result;
-    result.request = request;
-    result.location = loc;
-
-    result.bank = sh.bank.access(request.issue, rowTag(loc),
-                                 request.isWrite);
-
-    // The data burst serializes on the shared channel after the bank has
-    // the data (read) or before the bank commits it (write, modeled
-    // symmetrically).
-    const Ns transfer = request.bytes /
-                        params_.timing.channelBandwidth();
-    result.dataReady = reserveChannel(result.bank.complete, transfer);
-
-    // Stat shard: sampled under the bank lock we already hold, so the
-    // hot path never touches a shared StatGroup (row hits/misses stay
-    // in the BankModel counters).
-    (request.isWrite ? sh.writes : sh.reads) += 1;
-    sh.bytes += request.bytes;
-    // Modeled latency split: time queued behind the bank/row state vs.
-    // total service (queue + bank + channel burst).
-    sh.queueNs.sample(result.bank.start - request.issue);
-    sh.serviceNs.sample(result.dataReady - request.issue);
-    return result;
+    return controller(loc.channel).access(request, loc);
 }
 
 std::vector<RequestResult>
-MainMemory::scheduleBatch(std::vector<Request> requests, int window)
+MainMemory::scheduleBatch(std::vector<Request> requests)
 {
-    PRIME_ASSERT(window >= 1, "window=", window);
+    return scheduleBatch(std::move(requests), sched_);
+}
+
+std::vector<RequestResult>
+MainMemory::scheduleBatch(std::vector<Request> requests,
+                          const SchedulerConfig &sched)
+{
     std::vector<RequestResult> results;
     results.reserve(requests.size());
 
     // Keep requests sorted by issue time, then partition by bank: the
     // row-hit reordering window only ever matters within a bank, and
-    // per-bank groups let the FR-FCFS loop hold exactly one bank lock
-    // at a time (banks appear in first-request order).
+    // per-bank groups let each channel's FR-FCFS loop hold exactly one
+    // bank lock at a time (banks appear in first-request order).
     std::stable_sort(requests.begin(), requests.end(),
                      [](const Request &a, const Request &b) {
                          return a.issue < b.issue;
                      });
-    struct Pending
-    {
-        Request request;
-        Location location;
-    };
     std::vector<int> bank_order;
-    std::vector<std::vector<Pending>> groups;
+    std::vector<std::vector<PendingRequest>> groups;
     for (const Request &r : requests) {
         const Location loc = mapper_.decode(r.addr);
         std::size_t g = 0;
@@ -144,43 +133,33 @@ MainMemory::scheduleBatch(std::vector<Request> requests, int window)
             bank_order.push_back(loc.globalBank);
             groups.emplace_back();
         }
-        groups[g].push_back(Pending{r, loc});
+        groups[g].push_back(PendingRequest{r, loc});
     }
 
     for (std::size_t g = 0; g < groups.size(); ++g) {
-        BankShard &sh = shard(bank_order[g]);
-        MutexLock lock(sh.mutex);
-        std::vector<Pending> &pending = groups[g];
-        // Repeatedly pick, within the first `window` pending entries,
-        // a row-hit request if one exists, otherwise the oldest.
-        while (!pending.empty()) {
-            const int limit = std::min<int>(
-                window, static_cast<int>(pending.size()));
-            int chosen = 0;
-            for (int i = 0; i < limit; ++i) {
-                const Pending &p =
-                    pending[static_cast<std::size_t>(i)];
-                if (sh.bank.openRow() == rowTag(p.location)) {
-                    chosen = i;
-                    break;
-                }
-            }
-            Pending next = pending[static_cast<std::size_t>(chosen)];
-            pending.erase(pending.begin() + chosen);
-            results.push_back(
-                accessShardLocked(sh, next.request, next.location));
-        }
+        const int channel =
+            bank_order[g] / params_.geometry.banksPerChannel();
+        std::vector<RequestResult> bank_results =
+            controller(channel).scheduleBankQueue(std::move(groups[g]),
+                                                  sched);
+        results.insert(results.end(),
+                       std::make_move_iterator(bank_results.begin()),
+                       std::make_move_iterator(bank_results.end()));
     }
     return results;
 }
 
 std::vector<RequestResult>
 MainMemory::scheduleBytes(std::uint64_t addr, std::size_t bytes,
-                          bool is_write)
+                          bool is_write, RequestSource source)
 {
     if (bytes == 0)
         return {};
-    const Ns issue = channelFree();
+    // Anchor each burst at its *own* channel's cursor: co-running
+    // traffic on one channel must not push this transfer's issue time
+    // on every other channel (a global max-horizon anchor would
+    // serialize PRIME traffic behind any CPU backlog instead of
+    // arbitrating with it at the owning controller).
     std::vector<Request> requests;
     requests.reserve((bytes + 63) / 64);
     for (std::size_t off = 0; off < bytes; off += 64) {
@@ -189,10 +168,11 @@ MainMemory::scheduleBytes(std::uint64_t addr, std::size_t bytes,
         r.bytes = static_cast<std::uint32_t>(
             std::min<std::size_t>(64, bytes - off));
         r.isWrite = is_write;
-        r.issue = issue;
+        r.issue = controller(mapper_.channelOf(r.addr)).channelFree();
+        r.source = source;
         requests.push_back(r);
     }
-    return scheduleBatch(std::move(requests), 16);
+    return scheduleBatch(std::move(requests), sched_);
 }
 
 void
@@ -237,25 +217,14 @@ MainMemory::readData(std::uint64_t addr, std::size_t size) const
     return out;
 }
 
-int
-MainMemory::rowTag(const Location &loc) const
-{
-    // The row-buffer tag identifies the physical wordline: the row index
-    // alone is ambiguous across the subarrays/mats of a bank.
-    const nvmodel::Geometry &g = params_.geometry;
-    return (loc.row * g.subarraysPerBank + loc.subarray) *
-               g.matsPerSubarray +
-           loc.mat;
-}
-
 double
 MainMemory::rowHitRate() const
 {
     std::uint64_t hits = 0, total = 0;
-    for (const std::unique_ptr<BankShard> &sh : shards_) {
-        MutexLock lock(sh->mutex);
-        hits += sh->bank.rowHits();
-        total += sh->bank.rowHits() + sh->bank.rowMisses();
+    for (const std::unique_ptr<MemoryController> &c : controllers_) {
+        const ChannelTotals t = c->totals();
+        hits += t.rowHits;
+        total += t.rowHits + t.rowMisses;
     }
     return total ? static_cast<double>(hits) / total : 0.0;
 }
@@ -268,41 +237,87 @@ MainMemory::stats()
 }
 
 void
+MainMemory::resetStats()
+{
+    for (const std::unique_ptr<MemoryController> &c : controllers_)
+        c->resetStats();
+}
+
+void
 MainMemory::syncStats()
 {
-    std::uint64_t reads = 0, writes = 0, row_hits = 0, row_misses = 0;
-    double bytes = 0.0;
-    telemetry::Histogram queue_ns, service_ns;
-    for (const std::unique_ptr<BankShard> &sh : shards_) {
-        MutexLock lock(sh->mutex);
-        reads += sh->reads;
-        writes += sh->writes;
-        bytes += sh->bytes;
-        row_hits += sh->bank.rowHits();
-        row_misses += sh->bank.rowMisses();
-        queue_ns.merge(sh->queueNs);
-        service_ns.merge(sh->serviceNs);
-    }
     // Rebuild the published totals from the absolute shard sums, so the
     // refresh is idempotent and never double-counts.
-    auto set_counter = [this](const char *name, std::uint64_t count) {
+    auto set_counter = [this](const std::string &name,
+                              std::uint64_t count) {
         Stat &s = stats_.get(name);
         s.reset();
         s.increment(count);
     };
-    set_counter("mem.reads", reads);
-    set_counter("mem.writes", writes);
-    set_counter("mem.row_hits", row_hits);
-    set_counter("mem.row_misses", row_misses);
+    auto set_histogram = [this](const std::string &name,
+                                const telemetry::Histogram &src) {
+        telemetry::Histogram &h = stats_.histogram(name);
+        h.reset();
+        h.merge(src);
+    };
+
+    ChannelTotals all;
+    for (int ch = 0; ch < channels(); ++ch) {
+        const ChannelTotals t = controller(ch).totals();
+        const std::string prefix = "mem.ch" + std::to_string(ch) + ".";
+        set_counter(prefix + "reads", t.reads);
+        set_counter(prefix + "writes", t.writes);
+        set_counter(prefix + "row_hits", t.rowHits);
+        set_counter(prefix + "row_misses", t.rowMisses);
+        Stat &cb = stats_.get(prefix + "bytes");
+        cb.reset();
+        cb.add(t.bytes);
+        set_histogram(prefix + "service_ns", t.serviceNs);
+
+        all.reads += t.reads;
+        all.writes += t.writes;
+        all.bytes += t.bytes;
+        all.rowHits += t.rowHits;
+        all.rowMisses += t.rowMisses;
+        all.queueNs.merge(t.queueNs);
+        all.serviceNs.merge(t.serviceNs);
+        for (std::size_t s = 0; s < kRequestSources; ++s) {
+            all.sourceServiceNs[s].merge(t.sourceServiceNs[s]);
+            all.sourceLastReady[s] = std::max(all.sourceLastReady[s],
+                                              t.sourceLastReady[s]);
+        }
+    }
+
+    set_counter("mem.reads", all.reads);
+    set_counter("mem.writes", all.writes);
+    set_counter("mem.row_hits", all.rowHits);
+    set_counter("mem.row_misses", all.rowMisses);
     Stat &b = stats_.get("mem.bytes");
     b.reset();
-    b.add(bytes);
-    telemetry::Histogram &q = stats_.histogram("mem.queue_ns");
-    q.reset();
-    q.merge(queue_ns);
-    telemetry::Histogram &s = stats_.histogram("mem.service_ns");
-    s.reset();
-    s.merge(service_ns);
+    b.add(all.bytes);
+    set_histogram("mem.queue_ns", all.queueNs);
+    set_histogram("mem.service_ns", all.serviceNs);
+    // Per-source attribution: the Fig 8 interference story needs PRIME
+    // and CPU service latency separable at the same controllers.
+    set_histogram("mem.prime.service_ns",
+                  all.sourceServiceNs[static_cast<std::size_t>(
+                      RequestSource::Prime)]);
+    set_histogram("mem.cpu.service_ns",
+                  all.sourceServiceNs[static_cast<std::size_t>(
+                      RequestSource::Cpu)]);
+    // Makespan horizons: the latest completion each class has seen
+    // since the last resetStats (value semantics: reset + add).
+    auto set_value = [this](const char *name, double value) {
+        Stat &s = stats_.get(name);
+        s.reset();
+        s.add(value);
+    };
+    set_value("mem.prime.last_ready_ns",
+              all.sourceLastReady[static_cast<std::size_t>(
+                  RequestSource::Prime)]);
+    set_value("mem.cpu.last_ready_ns",
+              all.sourceLastReady[static_cast<std::size_t>(
+                  RequestSource::Cpu)]);
 }
 
 void
@@ -310,27 +325,31 @@ MainMemory::registerMetrics(telemetry::MetricsRegistry &registry) const
 {
     registry.gauge("mem.channel_free_ns",
                    [this] { return channelFree(); });
-    for (std::size_t b = 0; b < shards_.size(); ++b) {
-        const std::string prefix = "mem.bank" + std::to_string(b) + ".";
-        const BankShard *sh = shards_[b].get();
-        registry.gauge(prefix + "backlog_ns", [this, sh] {
-            // prime-lint: disable=sampler-lock reason=shard mutex is a
-            // leaf lock never held across registry calls (metrics.hh
-            // threading contract)
-            MutexLock lock(sh->mutex);
-            const Ns backlog = sh->bank.nextFree() - channelFree();
-            return backlog > 0.0 ? backlog : 0.0;
-        });
-        registry.counter(prefix + "reads", [sh] {
-            // prime-lint: disable=sampler-lock reason=leaf shard lock
-            MutexLock lock(sh->mutex);
-            return static_cast<double>(sh->reads);
-        });
-        registry.counter(prefix + "writes", [sh] {
-            // prime-lint: disable=sampler-lock reason=leaf shard lock
-            MutexLock lock(sh->mutex);
-            return static_cast<double>(sh->writes);
-        });
+    const int per = params_.geometry.banksPerChannel();
+    for (int ch = 0; ch < channels(); ++ch) {
+        const MemoryController *ctrl = controllers_[
+            static_cast<std::size_t>(ch)].get();
+        registry.gauge("mem.ch" + std::to_string(ch) + ".free_ns",
+                       [ctrl] { return ctrl->channelFree(); });
+        for (int cb = 0; cb < per; ++cb) {
+            // Global bank numbering, so dashboards keep one flat
+            // mem.bankN.* namespace regardless of channel count.  The
+            // probes take the bank's shard mutex internally -- a leaf
+            // lock never held across registry calls (metrics.hh
+            // threading contract).
+            const std::string prefix =
+                "mem.bank" + std::to_string(ch * per + cb) + ".";
+            registry.gauge(prefix + "backlog_ns",
+                           [ctrl, cb] {
+                               return ctrl->bankBacklogNs(cb);
+                           });
+            registry.counter(prefix + "reads", [ctrl, cb] {
+                return static_cast<double>(ctrl->bankReads(cb));
+            });
+            registry.counter(prefix + "writes", [ctrl, cb] {
+                return static_cast<double>(ctrl->bankWrites(cb));
+            });
+        }
     }
 }
 
@@ -338,11 +357,16 @@ void
 MainMemory::unregisterMetrics(telemetry::MetricsRegistry &registry) const
 {
     registry.unregister("mem.channel_free_ns");
-    for (std::size_t b = 0; b < shards_.size(); ++b) {
-        const std::string prefix = "mem.bank" + std::to_string(b) + ".";
-        registry.unregister(prefix + "backlog_ns");
-        registry.unregister(prefix + "reads");
-        registry.unregister(prefix + "writes");
+    const int per = params_.geometry.banksPerChannel();
+    for (int ch = 0; ch < channels(); ++ch) {
+        registry.unregister("mem.ch" + std::to_string(ch) + ".free_ns");
+        for (int cb = 0; cb < per; ++cb) {
+            const std::string prefix =
+                "mem.bank" + std::to_string(ch * per + cb) + ".";
+            registry.unregister(prefix + "backlog_ns");
+            registry.unregister(prefix + "reads");
+            registry.unregister(prefix + "writes");
+        }
     }
 }
 

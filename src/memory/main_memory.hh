@@ -1,7 +1,7 @@
 /**
  * @file
- * The ReRAM main memory: address mapping, per-bank timing, a shared
- * channel, an FR-FCFS request scheduler, and a functional backing store.
+ * The ReRAM main memory: address mapping, per-channel FR-FCFS memory
+ * controllers (controller.hh), and a functional backing store.
  *
  * This is the substrate PRIME morphs: Mem subarrays serve ordinary
  * traffic through this model, while FF/Buffer subarray interactions are
@@ -13,7 +13,6 @@
 #define PRIME_MEMORY_MAIN_MEMORY_HH
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -26,29 +25,10 @@
 #include "common/telemetry/metrics.hh"
 #include "memory/address.hh"
 #include "memory/bank.hh"
+#include "memory/controller.hh"
 #include "nvmodel/tech_params.hh"
 
 namespace prime::memory {
-
-/** One memory request as seen by the controller. */
-struct Request
-{
-    std::uint64_t addr = 0;
-    std::uint32_t bytes = 64;
-    bool isWrite = false;
-    /** Earliest time the request may be scheduled. */
-    Ns issue = 0.0;
-};
-
-/** Completion record for a scheduled request. */
-struct RequestResult
-{
-    Request request;
-    Location location;
-    BankAccess bank;
-    /** Time the data finished moving over the channel. */
-    Ns dataReady = 0.0;
-};
 
 /**
  * The full main-memory model.  Timed accesses move the module's notion
@@ -56,61 +36,66 @@ struct RequestResult
  * the sparse backing store (so PRIME's mode-morphing data migration can
  * be checked end to end).
  *
- * Thread safety -- bank-sharded locking (the free-running pipeline
- * executor's Fetch/Commit traffic from different bank stages must not
- * serialize on one global lock):
- *  - Each bank's timing state machine and its latency/count stat shard
- *    are guarded by that bank's own mutex; requests to different banks
- *    proceed fully in parallel.
- *  - The shared channel is an atomic reservation cursor: a request
- *    claims its burst slot with a CAS max-advance, so channel time
- *    stays exclusive without any lock.
- *  - The functional backing store is striped 64-byte-line-wise over a
- *    small mutex array; reads/writes at disjoint addresses proceed in
- *    parallel and never contend with the timing path.
- *  - FR-FCFS batches are scheduled per bank (row hits only exist
- *    within a bank, so the reordering window never crossed banks
- *    anyway); a batch touching several banks holds one bank lock at a
- *    time.
- * Functional reads/writes at disjoint addresses are order-independent;
- * the *timing* state interleaves in arrival order, so latency stats
- * under concurrency are schedule-dependent (functional results stay
- * deterministic).  stats() aggregates the per-bank shards into the
- * published StatGroup at call time -- cheap, but like the bank()
- * accessor it snapshots: call it while no concurrent accesses run when
- * exact totals matter.
+ * Organization: one MemoryController per geometry.channels, each owning
+ * its channel's data-bus cursor and bank shards; MainMemory decodes
+ * addresses (64B lines rotate across channels) and routes requests to
+ * the owning controller.  PRIME traffic and CPU co-run traffic
+ * (cpu_traffic.hh) arbitrate at the same controllers.
+ *
+ * Thread safety -- the lock domains live in MemoryController (see
+ * controller.hh): per-bank shard mutexes for timing + stat state, one
+ * atomic reservation cursor per channel.  MainMemory itself adds only
+ * the functional backing store, striped 64-byte-line-wise over a small
+ * mutex array so reads/writes at disjoint addresses proceed in parallel
+ * and never contend with the timing path.  Functional reads/writes at
+ * disjoint addresses are order-independent; the *timing* state
+ * interleaves in arrival order, so latency stats under concurrency are
+ * schedule-dependent (functional results stay deterministic).  stats()
+ * aggregates the per-bank shards into the published StatGroup at call
+ * time -- cheap, but like the bank() accessor it snapshots: call it
+ * while no concurrent accesses run when exact totals matter.
  *
  * These contracts are machine-checked: every shard-guarded member is
  * PRIME_GUARDED_BY its shard mutex and the locked-caller convention of
  * accessShardLocked is a PRIME_REQUIRES, enforced by the clang-tsa
- * preset (-Werror=thread-safety); the two deliberate escapes (bank())
- * are documented at their declarations.
+ * preset (-Werror=thread-safety); the deliberate escapes (bank()) are
+ * documented at their declarations.
  */
 class MainMemory
 {
   public:
     explicit MainMemory(const nvmodel::TechParams &params,
-                        PagePolicy policy = PagePolicy::Open);
+                        PagePolicy policy = PagePolicy::Open,
+                        SchedulerConfig sched = {});
 
     /** Schedule one request immediately (FCFS semantics). */
     RequestResult access(const Request &request);
 
     /**
-     * FR-FCFS: schedule a batch, preferring row-buffer hits within a
-     * lookahead window of @p window requests, never starving the oldest
-     * request beyond the window.  Results are grouped by bank in
-     * first-appearance order, completion-ordered within each bank.
+     * FR-FCFS: schedule a batch under @p sched -- row-buffer hits are
+     * preferred within a lookahead window of sched.window requests, and
+     * the oldest pending request is bypassed at most sched.maxBypass
+     * consecutive times before it is forced next (the starvation
+     * bound).  Results are grouped by bank in first-appearance order,
+     * completion-ordered within each bank.
      */
     std::vector<RequestResult>
-    scheduleBatch(std::vector<Request> requests, int window = 16);
+    scheduleBatch(std::vector<Request> requests,
+                  const SchedulerConfig &sched);
+
+    /** scheduleBatch under the memory's configured SchedulerConfig. */
+    std::vector<RequestResult>
+    scheduleBatch(std::vector<Request> requests);
 
     /**
      * Timed transfer of a byte range: 64-byte burst requests issued at
-     * the current channel-free time, scheduled FR-FCFS.  Timing only --
-     * pair with readData/writeData for the functional payload.
+     * the current channel-free time, scheduled FR-FCFS under the
+     * configured SchedulerConfig and attributed to @p source.  Timing
+     * only -- pair with readData/writeData for the functional payload.
      */
     std::vector<RequestResult>
-    scheduleBytes(std::uint64_t addr, std::size_t bytes, bool is_write);
+    scheduleBytes(std::uint64_t addr, std::size_t bytes, bool is_write,
+                  RequestSource source = RequestSource::Prime);
 
     /** Functional write of a byte span at @p addr. */
     void writeData(std::uint64_t addr, const std::vector<std::uint8_t> &data);
@@ -121,42 +106,68 @@ class MainMemory
 
     const AddressMapper &mapper() const { return mapper_; }
 
+    /** Scheduling policy every batch without an explicit config uses. */
+    const SchedulerConfig &schedulerConfig() const { return sched_; }
+
+    /** Number of independent channels (= geometry.channels). */
+    int channels() const { return static_cast<int>(controllers_.size()); }
+
+    /** The controller owning @p channel. */
+    MemoryController &controller(int channel);
+    const MemoryController &controller(int channel) const;
+
     /**
      * Direct bank access WITHOUT the shard lock -- a quiescent-snapshot
      * accessor for tests and single-threaded setup/teardown (the same
-     * contract as stats()).  The analysis escape is deliberate: the
-     * bank is shard-guarded on the concurrent timing path, and a
-     * caller using this handle asserts no concurrent accesses run.
+     * contract as stats()).  The escape is deliberate: the bank is
+     * shard-guarded on the concurrent timing path, and a caller using
+     * this handle asserts no concurrent accesses run.
      */
-    const BankModel &bank(int global_bank) const
-        PRIME_NO_THREAD_SAFETY_ANALYSIS;
-    BankModel &bank(int global_bank) PRIME_NO_THREAD_SAFETY_ANALYSIS;
+    const BankModel &bank(int global_bank) const;
+    BankModel &bank(int global_bank);
 
-    /** Earliest time the shared channel is free. */
-    Ns
-    channelFree() const
-    {
-        return channelFree_.load(std::memory_order_acquire);
-    }
+    /**
+     * Latest channel-free horizon across all channels: the earliest
+     * time every channel's data bus is idle.  With one channel this is
+     * exactly that channel's cursor (the historical meaning).
+     */
+    Ns channelFree() const;
 
-    /** Aggregate row-buffer hit rate over all banks. */
+    /**
+     * Latest PRIME-class completion across all channels -- the co-run
+     * pacing signal (lock-free; see CpuTrafficOptions::paceLeadNs).
+     */
+    Ns primeProgressNs() const;
+
+    /** Aggregate row-buffer hit rate over all banks of all channels. */
     double rowHitRate() const;
 
     /**
      * The published stats, refreshed from the per-bank shards on every
      * call (see the thread-safety notes above for when the totals are
-     * exact).
+     * exact).  Aggregates are published as mem.* plus per-channel
+     * shards as mem.chN.* and per-source service latency as
+     * mem.prime.service_ns / mem.cpu.service_ns.
      */
     StatGroup &stats();
+
+    /**
+     * Zero every controller's counters and histograms (post-warm-up
+     * reset for interference measurements).  Timing state -- channel
+     * cursors, open rows, busy horizons -- is kept: the modeled
+     * hardware stays warm, only the accounting restarts.
+     */
+    void resetStats();
+
     const nvmodel::TechParams &params() const { return params_; }
 
     /**
-     * Register per-bank occupancy probes with @p registry:
-     * mem.bankN.backlog_ns (gauge: how far bank N's timing cursor runs
-     * ahead of the shared channel, i.e. its queued-work depth in
-     * modeled ns) and mem.bankN.reads/writes (counters), plus the
-     * channel cursor mem.channel_free_ns.  Each probe takes the bank's
-     * shard lock for the two loads -- sampler-thread cost, never hot
+     * Register occupancy probes with @p registry: per bank (global
+     * numbering) mem.bankN.backlog_ns (gauge: how far bank N's timing
+     * cursor runs ahead of its channel's bus) and mem.bankN.reads/
+     * writes (counters); per channel mem.chN.free_ns; plus the
+     * aggregate horizon mem.channel_free_ns.  Each probe takes the
+     * bank's shard lock for two loads -- sampler-thread cost, never hot
      * path.  Pair with unregisterMetrics before destroying the memory.
      */
     void registerMetrics(telemetry::MetricsRegistry &registry) const;
@@ -168,57 +179,20 @@ class MainMemory
     /** Store stripes: 64B lines spread over this many mutexes. */
     static constexpr std::size_t kStoreStripes = 16;
 
-    /**
-     * One bank's lock domain: the timing state machine plus the stat
-     * shard its accesses sample into, all updated under `mutex`.
-     */
-    struct BankShard
-    {
-        alignas(64) mutable Mutex mutex;
-        BankModel bank PRIME_GUARDED_BY(mutex);
-        std::uint64_t reads PRIME_GUARDED_BY(mutex) = 0;
-        std::uint64_t writes PRIME_GUARDED_BY(mutex) = 0;
-        double bytes PRIME_GUARDED_BY(mutex) = 0.0;
-        telemetry::Histogram queueNs PRIME_GUARDED_BY(mutex);
-        telemetry::Histogram serviceNs PRIME_GUARDED_BY(mutex);
-
-        BankShard(const nvmodel::TimingParams &timing, PagePolicy policy)
-            : bank(timing, policy)
-        {}
-    };
-
-    /** Physical wordline tag for the row buffer (row x subarray x mat). */
-    int rowTag(const Location &loc) const;
-
-    /** The shard owning @p global_bank. */
-    BankShard &shard(int global_bank) const;
-
     /** Store stripe covering the 64B line of @p addr. */
     std::size_t storeStripe(std::uint64_t addr) const
     {
         return (addr >> 6) % kStoreStripes;
     }
 
-    /**
-     * Claim an exclusive channel slot of @p transfer ns starting at or
-     * after @p earliest; returns the slot's end (= dataReady).
-     */
-    Ns reserveChannel(Ns earliest, Ns transfer);
-
-    /** access() body; caller holds the target bank's shard mutex (the
-     *  REQUIRES makes that calling convention a compile-time fact). */
-    RequestResult accessShardLocked(BankShard &sh, const Request &request,
-                                    const Location &loc)
-        PRIME_REQUIRES(sh.mutex);
-
-    /** Fold the per-bank shards into stats_ (absolute, idempotent). */
+    /** Fold the controllers' shards into stats_ (absolute, idempotent). */
     void syncStats();
 
     nvmodel::TechParams params_;
     AddressMapper mapper_;
-    /** unique_ptr: BankShard owns a mutex and must stay pinned. */
-    std::vector<std::unique_ptr<BankShard>> shards_;
-    std::atomic<Ns> channelFree_{0.0};
+    SchedulerConfig sched_;
+    /** One controller per channel (pinned: they own mutexes). */
+    std::vector<std::unique_ptr<MemoryController>> controllers_;
 
     /** Functional backing store, striped by 64B line. */
     struct StoreStripe

@@ -18,6 +18,8 @@ defaultTechParams()
 void
 applyConfig(const Config &config, TechParams &params)
 {
+    params.geometry.channels =
+        config.getInt("geometry.channels", params.geometry.channels);
     params.geometry.ffSubarraysPerBank =
         config.getInt("geometry.ff_subarrays",
                       params.geometry.ffSubarraysPerBank);

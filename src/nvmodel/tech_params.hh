@@ -30,6 +30,16 @@ namespace prime::nvmodel {
 /** Geometry of the PRIME memory system (paper Table IV + Section V-A). */
 struct Geometry
 {
+    /**
+     * Independent memory channels.  Each channel owns its own data bus
+     * (a MemoryController with a private channel cursor) and a full
+     * chipsPerRank x banksPerChip bank array; physical addresses
+     * interleave across channels at 64-byte-line granularity
+     * (memory::AddressMapper).  The paper's configuration is a single
+     * channel; multi-channel organizations are opened for the CPU
+     * co-run interference studies.
+     */
+    int channels = 1;
     /** Chips per rank. */
     int chipsPerRank = 8;
     /** Banks per chip. */
@@ -56,7 +66,9 @@ struct Geometry
     /** Total memory capacity in bytes. */
     unsigned long long capacityBytes = units::gib(16);
 
-    int totalBanks() const { return chipsPerRank * banksPerChip; }
+    /** Banks owned by one channel's controller. */
+    int banksPerChannel() const { return chipsPerRank * banksPerChip; }
+    int totalBanks() const { return channels * banksPerChannel(); }
     /** Logical synapses one FF mat holds. */
     long long synapsesPerMat() const
     {
@@ -220,7 +232,7 @@ TechParams defaultTechParams();
 /**
  * Apply the recognized Config keys onto @p params:
  *
- *   geometry.ff_subarrays, geometry.mats_per_subarray,
+ *   geometry.channels, geometry.ff_subarrays, geometry.mats_per_subarray,
  *   geometry.subarrays_per_bank,
  *   timing.sa_clock_ghz, timing.bus_ghz, timing.buffer_bytes_per_ns,
  *   timing.internal_bus_bytes_per_ns,

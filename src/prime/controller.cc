@@ -66,7 +66,8 @@ PrimeController::execute(const mapping::Command &command)
       case CommandOp::Fetch: {
         // Mem -> global row buffer -> Buffer subarray.  The payload
         // crosses the bank/channel model as timed 64B read bursts.
-        mem_->scheduleBytes(command.src, command.bytes, false);
+        mem_->scheduleBytes(command.src, command.bytes, false,
+                            memory::RequestSource::Prime);
         std::vector<std::uint8_t> data =
             mem_->readData(command.src, command.bytes);
         buffer_->write(static_cast<std::size_t>(command.dst), data);
@@ -77,7 +78,8 @@ PrimeController::execute(const mapping::Command &command)
       case CommandOp::Commit: {
         std::vector<std::uint8_t> data = buffer_->read(
             static_cast<std::size_t>(command.src), command.bytes);
-        mem_->scheduleBytes(command.dst, data.size(), true);
+        mem_->scheduleBytes(command.dst, data.size(), true,
+                            memory::RequestSource::Prime);
         mem_->writeData(command.dst, data);
         if (stats_)
             stats_->get("controller.commit_bytes").add(command.bytes);

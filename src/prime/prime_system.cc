@@ -268,7 +268,8 @@ PrimeSystem::programWeight(const nn::Network &trained, Rng *rng)
             ctrl.mat(ref.mat).engine().calibrateOutputShift();
             // The migration is real memory traffic: timed write bursts
             // through the bank/channel model plus the functional copy.
-            mem_.scheduleBytes(migrationAddr_, migrated.size(), true);
+            mem_.scheduleBytes(migrationAddr_, migrated.size(), true,
+                               memory::RequestSource::Prime);
             mem_.writeData(migrationAddr_, migrated);
             migrationAddr_ += migrated.size();
             stats_.get("morph.migrated_bytes").add(

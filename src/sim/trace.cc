@@ -121,7 +121,8 @@ generateTrace(const memory::AddressMapper &mapper,
 
 TraceResult
 runTrace(memory::MainMemory &memory,
-         std::vector<memory::Request> requests, int scheduler_window)
+         std::vector<memory::Request> requests,
+         const memory::SchedulerConfig &sched)
 {
     PRIME_ASSERT(!requests.empty(), "empty trace");
     double bytes = 0.0;
@@ -129,7 +130,7 @@ runTrace(memory::MainMemory &memory,
         bytes += r.bytes;
 
     std::vector<memory::RequestResult> results =
-        memory.scheduleBatch(std::move(requests), scheduler_window);
+        memory.scheduleBatch(std::move(requests), sched);
 
     TraceResult out;
     double latency_sum = 0.0;

@@ -69,10 +69,10 @@ struct TraceResult
     Ns meanLatency = 0.0;
 };
 
-/** Replay through FR-FCFS scheduling and summarize. */
+/** Replay through FR-FCFS scheduling under @p sched and summarize. */
 TraceResult runTrace(memory::MainMemory &memory,
                      std::vector<memory::Request> requests,
-                     int scheduler_window = 16);
+                     const memory::SchedulerConfig &sched = {});
 
 } // namespace prime::sim
 

@@ -1,11 +1,18 @@
 /**
  * @file
- * ReRAM main-memory tests: address mapping round trips, bank timing,
- * FR-FCFS scheduling and the functional backing store.
+ * ReRAM main-memory tests: address mapping round trips (single and
+ * multi channel), bank timing, FR-FCFS scheduling with its starvation
+ * bound, per-channel stat shards under concurrency, and the functional
+ * backing store.
  */
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "memory/cpu_traffic.hh"
 #include "memory/main_memory.hh"
 #include "sim/event.hh"
 
@@ -167,7 +174,7 @@ TEST(MainMemory, RowHitRateImprovesWithFrFcfs)
         fcfs.access(r);
 
     MainMemory frfcfs(tech());
-    frfcfs.scheduleBatch(make_requests(frfcfs), 16);
+    frfcfs.scheduleBatch(make_requests(frfcfs), SchedulerConfig{16, 4});
 
     EXPECT_GT(frfcfs.rowHitRate(), fcfs.rowHitRate());
 }
@@ -191,6 +198,321 @@ TEST(MainMemory, StatsAccumulate)
     EXPECT_EQ(mem.stats().get("mem.reads").count(), 1u);
     EXPECT_EQ(mem.stats().get("mem.writes").count(), 1u);
     EXPECT_DOUBLE_EQ(mem.stats().get("mem.bytes").sum(), 128.0);
+}
+
+// Stride that increments only the row field of the decoded address:
+// one full sweep of (banks x subarrays x mats x mat-row bytes).
+std::uint64_t
+rowStride(const MainMemory &mem)
+{
+    const nvmodel::Geometry &g = mem.params().geometry;
+    return mem.mapper().bytesPerMatRow() *
+           static_cast<std::uint64_t>(g.matsPerSubarray) *
+           g.subarraysPerBank * g.totalBanks();
+}
+
+// A batch engineered to starve its second entry: the first request
+// opens row B, the second (the victim) wants row A, and every later
+// request is a row-B hit sitting inside the lookahead window.
+std::vector<Request>
+starvationBatch(const MainMemory &mem, int hits)
+{
+    const std::uint64_t stride = rowStride(mem);
+    std::vector<Request> reqs;
+    reqs.push_back(Request{stride, 8, false, 0.0});      // opens row B
+    reqs.push_back(Request{0, 8, false, 0.0});           // victim, row A
+    for (int i = 0; i < hits; ++i)                       // row-B hits
+        reqs.push_back(Request{
+            stride + 8 + static_cast<std::uint64_t>(i) * 8, 8, false,
+            0.0});
+    return reqs;
+}
+
+TEST(MainMemory, FrFcfsStarvationBoundHolds)
+{
+    // Regression for the documented-but-unenforced starvation bound:
+    // before the fix the victim was bypassed by every row hit the
+    // window could see and completed dead last.  Now the oldest entry
+    // is forced after at most maxBypass consecutive bypasses.
+    const SchedulerConfig sched{8, 3};
+    MainMemory mem(tech(), PagePolicy::Open, sched);
+    std::vector<RequestResult> results =
+        mem.scheduleBatch(starvationBatch(mem, 24));
+
+    std::size_t victim_pos = results.size();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].request.addr == 0)
+            victim_pos = i;
+    }
+    ASSERT_LT(victim_pos, results.size());
+    // Position 0 is the row-B opener; then at most maxBypass row-B
+    // hits may overtake the victim.
+    EXPECT_LE(victim_pos, 1u + static_cast<std::size_t>(sched.maxBypass));
+    // The bound must bind strictly before the end of the batch (the
+    // pre-fix behavior): 24 hits were available for bypassing.
+    EXPECT_LT(victim_pos, results.size() - 1);
+}
+
+TEST(MainMemory, FrFcfsHitVsOldestTradeoff)
+{
+    // maxBypass interpolates between pure FCFS (0: the oldest always
+    // goes next, row state ignored) and pure first-ready (large):
+    // row-hit rate grows monotonically with the bypass budget, while
+    // the victim's wait shrinks as the budget tightens.
+    auto hit_rate = [&](int max_bypass) {
+        MainMemory mem(tech());
+        mem.scheduleBatch(starvationBatch(mem, 24),
+                          SchedulerConfig{8, max_bypass});
+        return mem.rowHitRate();
+    };
+    const double fcfs = hit_rate(0);
+    const double bounded = hit_rate(3);
+    const double greedy = hit_rate(1000);
+    EXPECT_LE(fcfs, bounded);
+    EXPECT_LE(bounded, greedy);
+    EXPECT_GT(greedy, fcfs);
+}
+
+TEST(MainMemory, SchedulerConfigPlumbsThroughDefaultBatch)
+{
+    // The constructor-supplied SchedulerConfig governs every batch
+    // scheduled without an explicit config (the old code hardcoded
+    // window=16 in scheduleBytes): window=1 degenerates to FCFS and
+    // must see strictly fewer row hits than the lookahead scheduler
+    // on the same interleaved two-row batch.
+    auto two_row_batch = [](const MainMemory &mem) {
+        const std::uint64_t stride = rowStride(mem);
+        std::vector<Request> reqs;
+        for (int i = 0; i < 16; ++i) {
+            const std::uint64_t row = static_cast<std::uint64_t>(i % 2);
+            reqs.push_back(Request{
+                row * stride + static_cast<std::uint64_t>(i / 2) * 8, 8,
+                false, 0.0});
+        }
+        return reqs;
+    };
+    MainMemory narrow(tech(), PagePolicy::Open, SchedulerConfig{1, 4});
+    narrow.scheduleBatch(two_row_batch(narrow));
+    MainMemory wide(tech(), PagePolicy::Open, SchedulerConfig{16, 4});
+    wide.scheduleBatch(two_row_batch(wide));
+    EXPECT_EQ(narrow.schedulerConfig().window, 1);
+    EXPECT_EQ(wide.schedulerConfig().window, 16);
+    EXPECT_GT(wide.rowHitRate(), narrow.rowHitRate());
+}
+
+nvmodel::TechParams
+multiChannelTech(int channels)
+{
+    nvmodel::TechParams t = nvmodel::defaultTechParams();
+    t.geometry.channels = channels;
+    return t;
+}
+
+TEST(AddressMapper, MultiChannelRoundTripAndInterleave)
+{
+    const nvmodel::Geometry g = multiChannelTech(4).geometry;
+    AddressMapper m(g);
+    EXPECT_EQ(m.capacityBytes(), m.bytesPerChannel() * 4);
+    const std::vector<std::uint64_t> addrs = {
+        0, 1, 63, 64, 127, 128, 4096, 1234567, m.capacityBytes() - 1};
+    for (std::uint64_t addr : addrs) {
+        const Location loc = m.decode(addr);
+        EXPECT_EQ(m.encode(loc), addr) << addr;
+        // Consecutive 64B lines rotate across channels.
+        EXPECT_EQ(loc.channel,
+                  static_cast<int>((addr / 64) % 4)) << addr;
+        EXPECT_EQ(loc.channel, m.channelOf(addr)) << addr;
+        EXPECT_EQ(loc.globalBank,
+                  loc.channel * g.banksPerChannel() +
+                      loc.chip * g.banksPerChip + loc.bank) << addr;
+    }
+    // Dense round-trip sweep across the whole space.
+    for (std::uint64_t addr = 0; addr < m.capacityBytes();
+         addr += m.capacityBytes() / 997)
+        EXPECT_EQ(m.encode(m.decode(addr)), addr) << addr;
+}
+
+TEST(MainMemory, MultiChannelSpreadsStreamEvenly)
+{
+    MainMemory mem(multiChannelTech(4));
+    ASSERT_EQ(mem.channels(), 4);
+    // A 64-line stream is a whole number of rotations: every channel
+    // serves exactly 16 lines.
+    mem.scheduleBytes(0, 64 * 64, false);
+    StatGroup &stats = mem.stats();
+    for (int ch = 0; ch < 4; ++ch) {
+        EXPECT_EQ(stats.get("mem.ch" + std::to_string(ch) + ".reads")
+                      .count(),
+                  16u) << ch;
+    }
+    EXPECT_EQ(stats.get("mem.reads").count(), 64u);
+}
+
+TEST(MainMemory, RowTagIsInt64AndDoesNotAlias)
+{
+    // Regression for the 32-bit rowTag overflow: with 768 wordline
+    // tags per row index, rows 0 and 2^24 alias exactly (3 * 2^32)
+    // when the tag is computed in int, so the second access counted a
+    // bogus row hit.  A geometry with 2^25 rows per mat makes both
+    // rows addressable; the backing store is sparse, so the huge
+    // capacity costs nothing.
+    nvmodel::TechParams t = nvmodel::defaultTechParams();
+    t.geometry.chipsPerRank = 1;
+    t.geometry.banksPerChip = 1;
+    t.geometry.matRows = 1 << 25;
+    MainMemory mem(t);
+    const std::uint64_t stride = rowStride(mem);
+
+    mem.access(Request{0, 8, false, 0.0});
+    const RequestResult aliased =
+        mem.access(Request{(1ull << 24) * stride, 8, false, 0.0});
+    EXPECT_FALSE(aliased.bank.rowHit);
+    EXPECT_EQ(mem.stats().get("mem.row_hits").count(), 0u);
+    EXPECT_EQ(mem.stats().get("mem.row_misses").count(), 2u);
+}
+
+TEST(MainMemory, PerChannelShardTotalsExactUnderConcurrency)
+{
+    // Four host threads hammer all four channels concurrently; the
+    // published totals must be exactly the sum of what was issued
+    // (shard counters never lose updates), per channel and overall.
+    // TSan (clang-tsan preset) checks the lock discipline on top.
+    MainMemory mem(multiChannelTech(4));
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 512;
+    const std::uint64_t lines =
+        mem.mapper().capacityBytes() / AddressMapper::kLineBytes;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int th = 0; th < kThreads; ++th) {
+        threads.emplace_back([&mem, th, lines] {
+            for (int i = 0; i < kPerThread; ++i) {
+                // Stride a prime through the line space so each thread
+                // touches every channel.
+                const std::uint64_t line =
+                    (static_cast<std::uint64_t>(th) * 7919 +
+                     static_cast<std::uint64_t>(i) * 104729) %
+                    lines;
+                Request r;
+                r.addr = line * AddressMapper::kLineBytes;
+                r.bytes = 64;
+                r.isWrite = (i % 3) == 0;
+                r.issue = 0.0;
+                r.source = (th % 2) ? RequestSource::Cpu
+                                    : RequestSource::Prime;
+                mem.access(r);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    constexpr std::uint64_t kTotal =
+        static_cast<std::uint64_t>(kThreads) * kPerThread;
+    StatGroup &stats = mem.stats();
+    EXPECT_EQ(stats.get("mem.reads").count() +
+                  stats.get("mem.writes").count(),
+              kTotal);
+    EXPECT_DOUBLE_EQ(stats.get("mem.bytes").sum(),
+                     static_cast<double>(kTotal) * 64.0);
+    std::uint64_t channel_sum = 0;
+    for (int ch = 0; ch < mem.channels(); ++ch) {
+        const std::string prefix = "mem.ch" + std::to_string(ch) + ".";
+        channel_sum += stats.get(prefix + "reads").count() +
+                       stats.get(prefix + "writes").count();
+        EXPECT_EQ(stats.histogram(prefix + "service_ns").count(),
+                  stats.get(prefix + "reads").count() +
+                      stats.get(prefix + "writes").count()) << ch;
+    }
+    EXPECT_EQ(channel_sum, kTotal);
+    // Source attribution partitions the service histogram exactly.
+    EXPECT_EQ(stats.histogram("mem.prime.service_ns").count() +
+                  stats.histogram("mem.cpu.service_ns").count(),
+              kTotal);
+    EXPECT_EQ(stats.histogram("mem.prime.service_ns").count(),
+              kTotal / 2);
+}
+
+TEST(MainMemory, ResetStatsZeroesCountersKeepsTiming)
+{
+    MainMemory mem(multiChannelTech(2));
+    mem.scheduleBytes(0, 4096, false);
+    const Ns horizon = mem.channelFree();
+    EXPECT_GT(horizon, 0.0);
+    mem.resetStats();
+    StatGroup &stats = mem.stats();
+    EXPECT_EQ(stats.get("mem.reads").count(), 0u);
+    EXPECT_EQ(stats.get("mem.row_hits").count(), 0u);
+    EXPECT_EQ(stats.histogram("mem.service_ns").count(), 0u);
+    EXPECT_DOUBLE_EQ(mem.rowHitRate(), 0.0);
+    // The hardware stays warm: cursors and open rows survive.
+    EXPECT_DOUBLE_EQ(mem.channelFree(), horizon);
+}
+
+TEST(CpuTraffic, GeneratesTaggedOpenLoopTraffic)
+{
+    MainMemory mem(multiChannelTech(2));
+    CpuTrafficOptions opt;
+    opt.pattern = CpuPattern::Random;
+    opt.intensity = 0.5;
+    opt.seed = 7;
+    CpuTrafficGenerator gen(mem, opt);
+    const CpuRunStats run = gen.run(256);
+    EXPECT_EQ(run.requests, 256u);
+    EXPECT_EQ(run.serviceNs.count(), 256u);
+    EXPECT_GT(run.lastDataReady, 0.0);
+    // Every request is attributed to the CPU class.
+    StatGroup &stats = mem.stats();
+    EXPECT_EQ(stats.histogram("mem.cpu.service_ns").count(), 256u);
+    EXPECT_EQ(stats.histogram("mem.prime.service_ns").count(), 0u);
+}
+
+TEST(CpuTraffic, StopEndsRunAndZeroIntensityIsIdle)
+{
+    MainMemory mem(tech());
+    CpuTrafficOptions opt;
+    opt.intensity = 0.0;
+    CpuTrafficGenerator idle(mem, opt);
+    EXPECT_EQ(idle.run(128).requests, 0u);
+
+    opt.intensity = 1.0;
+    CpuTrafficGenerator gen(mem, opt);
+    gen.stop();
+    EXPECT_EQ(gen.run().requests, 0u);
+    gen.rearm();
+    EXPECT_EQ(gen.run(16).requests, 16u);
+}
+
+TEST(CpuTraffic, PacingThrottlesAgainstPrimeProgress)
+{
+    // With pacing on and no PRIME traffic at all, the arrival clock
+    // may only run paceLeadNs past primeProgressNs() == 0: the run
+    // stalls after roughly paceLeadNs worth of arrivals instead of
+    // delivering its whole request budget.
+    MainMemory mem(tech());
+    CpuTrafficOptions opt;
+    opt.pattern = CpuPattern::Random;
+    opt.intensity = 4.0;
+    opt.paceLeadNs = 300.0;
+    opt.seed = 5;
+    CpuTrafficGenerator gen(mem, opt);
+    CpuRunStats stats;
+    std::thread t([&gen, &stats] { stats = gen.run(1u << 20); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    gen.stop();
+    t.join();
+
+    EXPECT_GT(stats.requests, 0u);
+    EXPECT_LT(stats.requests, 1u << 20);
+    // Arrivals admitted before the throttle bound are Poisson with
+    // mean paceLeadNs * intensity * peak / bytes; 10x the mean plus
+    // slack is astronomically safe.
+    const double peak =
+        mem.params().timing.channelBandwidth() * mem.channels();
+    const double expected =
+        opt.paceLeadNs * opt.intensity * peak / opt.bytes;
+    EXPECT_LT(stats.requests,
+              static_cast<std::uint64_t>(10.0 * expected) + 16);
 }
 
 } // namespace

@@ -581,6 +581,50 @@ def check_sampler_lock(repo: Repo) -> Iterator[Finding]:
                     f" explicit-order atomics only")
 
 
+# String-keyed StatGroup lookup with at least one argument (so
+# unique_ptr/shared_ptr .get() does not match).
+MEM_STAT_LOOKUP_RE = re.compile(
+    r"(?:\.|->)(?:get|histogram|formula)\s*\(\s*[^)\s]")
+# Column-0 method-definition line in the repo's style (return type on
+# its own line, qualified name starting the next): captures the final
+# name component as the enclosing function.
+MEM_FUNC_DEF_RE = re.compile(r"^(?:\w+(?:<[^(;]*>)?::)*(~?\w+)\s*\(")
+# Publication-only paths: everything else in src/memory is, or is
+# called from, a request path and must sample into its bank shard.
+MEM_STATS_ALLOWED = {"MainMemory", "stats", "syncStats",
+                     "registerMetrics", "unregisterMetrics"}
+
+
+@rule("mem-shard-stats", "error",
+      "src/memory request paths sample into bank-shard counters, never"
+      " string-keyed StatGroup lookups",
+      "src/memory/**")
+def check_mem_shard_stats(repo: Repo) -> Iterator[Finding]:
+    # The memory hot path (access/scheduleBankQueue and everything they
+    # call) serves every PRIME and CPU request; a string-keyed registry
+    # lookup there reintroduces the shared-hash-map contention the bank
+    # shards exist to avoid.  Only stat *publication* -- the MainMemory
+    # constructor (formula registration), stats()/syncStats, and the
+    # metrics (un)registration -- may touch the registry.
+    for sf in repo.files("src/memory", (".hh", ".cc")):
+        current = ""
+        for lineno, code in enumerate(sf.code_lines, 1):
+            m = MEM_FUNC_DEF_RE.match(code)
+            if m:
+                current = m.group(1)
+            if MEM_STAT_LOOKUP_RE.search(code) and \
+                    current not in MEM_STATS_ALLOWED:
+                where = current or "<file scope>"
+                yield emit(
+                    sf, lineno, "mem-shard-stats",
+                    f"string-keyed StatGroup lookup in memory"
+                    f" function '{where}': request paths must sample"
+                    f" into the per-bank shard counters; only the"
+                    f" MainMemory constructor and the publication"
+                    f" paths (stats/syncStats/registerMetrics/"
+                    f"unregisterMetrics) may touch the registry")
+
+
 # --------------------------------------------------------------------------
 # Headers (opt-in, needs a compiler)
 # --------------------------------------------------------------------------
@@ -890,6 +934,43 @@ def self_test() -> int:
     ])})
     expect(failures, "sampler-lock/ring",
            run_rules(ring_bad, ["sampler-lock"]), 1)
+
+    # ---- mem-shard-stats ----
+    mem_stats_bad = fixture_repo({"src/memory/ctrl.cc": "\n".join([
+        "RequestResult",
+        "MemoryController::access(const Request &r)",
+        "{",
+        "    stats_.get(\"mem.reads\").increment();",      # finding
+        "    stats_.histogram(name).sample(v);",           # finding
+        "}",
+    ])})
+    expect(failures, "mem-shard-stats/bad",
+           run_rules(mem_stats_bad, ["mem-shard-stats"]), 2)
+
+    mem_stats_good = fixture_repo({"src/memory/mm.cc": "\n".join([
+        "void",
+        "MainMemory::syncStats()",
+        "{",
+        "    stats_.get(prefix + \"reads\").increment();",
+        "    stats_.histogram(\"mem.service_ns\").merge(h);",
+        "}",
+        "RequestResult",
+        "MemoryController::access(const Request &r)",
+        "{",
+        "    sh.reads += 1;  // shard counter, no registry",
+        "    return controllers_[0].get()->access(r);",  # ptr .get()
+        "}",
+    ])})
+    expect(failures, "mem-shard-stats/good",
+           run_rules(mem_stats_good, ["mem-shard-stats"]), 0)
+
+    mem_stats_elsewhere = fixture_repo({"src/prime/x.cc": "\n".join([
+        "void f() {",
+        "    stats_.get(\"a.b\").increment();",  # outside src/memory
+        "}",
+    ])})
+    expect(failures, "mem-shard-stats/elsewhere",
+           run_rules(mem_stats_elsewhere, ["mem-shard-stats"]), 0)
 
     for f in failures:
         print(f"prime_lint self-test: {f}", file=sys.stderr)
